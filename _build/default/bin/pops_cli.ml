@@ -1,0 +1,487 @@
+(* pops — command-line driver for the POPS library.
+
+   Subcommands mirror the tool flow of the paper:
+     pops tmin       — delay bounds of a path (Section 3.1)
+     pops size       — constant-sensitivity sizing to a constraint (3.2)
+     pops flimit     — library characterisation (4.1, Table 2)
+     pops protocol   — the full optimization protocol (Fig. 7)
+     pops curve      — delay/area trade-off sweep (Fig. 6)
+     pops circuit    — inspect a benchmark circuit (netlist, STA, power)
+     pops simulate   — transient-simulate a sized path (HSPICE stand-in)
+     pops flow       — netlist-level timing closure (Path Selection)
+     pops bench-file — analyze / optimize an ISCAS .bench netlist file
+
+   Paths come either from a benchmark circuit's critical spine
+   (--circuit c432) or from an explicit gate list
+   (--gates inv,nand2,inv --cout 60 --branch 5). *)
+
+module Tech = Pops_process.Tech
+module Gk = Pops_cell.Gate_kind
+module Library = Pops_cell.Library
+module Path = Pops_delay.Path
+module Netlist = Pops_netlist.Netlist
+module Paths = Pops_sta.Paths
+module Timing = Pops_sta.Timing
+module NPower = Pops_sta.Power
+module Transient = Pops_spice.Transient
+module Bounds = Pops_core.Bounds
+module Sens = Pops_core.Sensitivity
+module Buffers = Pops_core.Buffers
+module Domains = Pops_core.Domains
+module Tradeoff = Pops_core.Tradeoff
+module Protocol = Pops_core.Protocol
+module Power = Pops_core.Power
+module Profiles = Pops_circuits.Profiles
+module Table = Pops_util.Table
+
+open Cmdliner
+
+let tech = Tech.cmos025
+let lib = Library.make tech
+
+(* ------------------------------------------------------------------ *)
+(* path acquisition                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_kinds s =
+  let names = String.split_on_char ',' s |> List.map String.trim in
+  let kinds = List.map Gk.of_name names in
+  if List.exists Option.is_none kinds then
+    Error
+      (Printf.sprintf "unknown gate in %S (known: %s)" s
+         (String.concat ", " (List.map Gk.name Gk.all)))
+  else Ok (List.map Option.get kinds)
+
+let path_of_spec ~circuit ~gates ~cout ~branch =
+  match (circuit, gates) with
+  | Some name, None -> (
+    match Profiles.find name with
+    | None ->
+      Error
+        (Printf.sprintf "unknown circuit %S (known: %s)" name
+           (String.concat ", " (List.map (fun p -> p.Profiles.name) Profiles.all)))
+    | Some p ->
+      let nl, spine = Profiles.circuit tech p in
+      Ok ((Paths.extract ~lib nl spine).Paths.path, Printf.sprintf "critical path of %s" name))
+  | None, Some s -> (
+    match parse_kinds s with
+    | Error e -> Error e
+    | Ok kinds ->
+      Ok
+        ( Path.of_kinds ~lib ~branch ~c_out:cout kinds,
+          Printf.sprintf "custom path [%s]" s ))
+  | Some _, Some _ -> Error "give either --circuit or --gates, not both"
+  | None, None -> Error "a path is required: --circuit <name> or --gates <list>"
+
+let circuit_arg =
+  Arg.(value & opt (some string) None & info [ "circuit"; "c" ] ~docv:"NAME"
+         ~doc:"Benchmark circuit (Adder16, fpd, c432, ... c7552); uses its critical path.")
+
+let gates_arg =
+  Arg.(value & opt (some string) None & info [ "gates"; "g" ] ~docv:"KINDS"
+         ~doc:"Comma-separated gate kinds for a custom path, e.g. inv,nand2,nor3,inv.")
+
+let cout_arg =
+  Arg.(value & opt float 60. & info [ "cout" ] ~docv:"FF"
+         ~doc:"Terminal load of a custom path (fF).")
+
+let branch_arg =
+  Arg.(value & opt float 0. & info [ "branch" ] ~docv:"FF"
+         ~doc:"Off-path branch load per stage of a custom path (fF).")
+
+let tc_ratio_arg =
+  Arg.(value & opt float 1.2 & info [ "tc-ratio" ] ~docv:"R"
+         ~doc:"Delay constraint as a multiple of the path's Tmin.")
+
+let tc_ps_arg =
+  Arg.(value & opt (some float) None & info [ "tc" ] ~docv:"PS"
+         ~doc:"Delay constraint in picoseconds (overrides --tc-ratio).")
+
+let with_path f circuit gates cout branch =
+  match path_of_spec ~circuit ~gates ~cout ~branch with
+  | Error e ->
+    prerr_endline ("pops: " ^ e);
+    1
+  | Ok (path, label) -> f path label
+
+let resolve_tc path tc_ps tc_ratio =
+  match tc_ps with
+  | Some tc -> tc
+  | None -> tc_ratio *. (Bounds.compute path).Bounds.tmin
+
+(* ------------------------------------------------------------------ *)
+(* tmin                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_tmin check circuit gates cout branch =
+  with_path
+    (fun path label ->
+      let b = Bounds.compute path in
+      Printf.printf "%s: %d stages\n" label (Path.length path);
+      Printf.printf "Tmax (all gates at minimum drive) = %.1f ps\n" b.Bounds.tmax;
+      Printf.printf "Tmin (link-equation optimum)      = %.1f ps\n" b.Bounds.tmin;
+      Printf.printf "area at Tmin                      = %.1f um\n"
+        (Path.area path b.Bounds.sizing_tmin);
+      let t = Table.create [ ("stage", Table.Right); ("gate", Table.Left);
+                             ("cin (fF)", Table.Right); ("branch (fF)", Table.Right) ] in
+      List.iteri
+        (fun i kind ->
+          Table.add_row t
+            [ string_of_int i; Gk.name kind;
+              Table.cell_f b.Bounds.sizing_tmin.(i);
+              Table.cell_f path.Path.stages.(i).Path.branch ])
+        (Path.stage_kinds path);
+      Table.print t;
+      if check then begin
+        let ok =
+          Bounds.verify_stationary ~beta:b.Bounds.beta_tmin path b.Bounds.sizing_tmin
+        in
+        Printf.printf "stationarity check: %s\n" (if ok then "PASS" else "FAIL");
+        if not ok then 2 else 0
+      end
+      else 0)
+    circuit gates cout branch
+
+let tmin_cmd =
+  let check =
+    Arg.(value & flag & info [ "check" ] ~doc:"Verify the optimum is stationary.")
+  in
+  Cmd.v (Cmd.info "tmin" ~doc:"Compute the delay bounds (Tmin, Tmax) of a path")
+    Term.(const run_tmin $ check $ circuit_arg $ gates_arg $ cout_arg $ branch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* size                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_size snap tc_ps tc_ratio circuit gates cout branch =
+  with_path
+    (fun path label ->
+      let tc = resolve_tc path tc_ps tc_ratio in
+      Printf.printf "%s: sizing for Tc = %.1f ps\n" label tc;
+      match Sens.size_for_constraint path ~tc with
+      | Error (`Infeasible tmin) ->
+        Printf.printf
+          "INFEASIBLE: Tc is below the minimum achievable delay (%.1f ps).\n\
+           Use `pops protocol' to apply structure modification.\n"
+          tmin;
+        1
+      | Ok r ->
+        Printf.printf "met with delay = %.1f ps, area = %.1f um (a = %.4f ps/um)\n"
+          r.Sens.delay r.Sens.area r.Sens.a;
+        let sizing, code =
+          if snap then begin
+            let leg = Pops_core.Discrete.legalize ~lib path ~tc r.Sens.sizing in
+            Printf.printf
+              "grid-legalised: delay = %.1f ps, area = %.1f um (%d repair bumps)%s\n"
+              leg.Pops_core.Discrete.delay leg.Pops_core.Discrete.area
+              leg.Pops_core.Discrete.bumps
+              (if leg.Pops_core.Discrete.met then "" else " - MISSED Tc");
+            (leg.Pops_core.Discrete.sizing, if leg.Pops_core.Discrete.met then 0 else 1)
+          end
+          else (r.Sens.sizing, 0)
+        in
+        let power = Power.of_path path sizing in
+        Printf.printf "switched capacitance %.1f fF, dynamic power %.2f uW @100MHz\n"
+          power.Power.switched_cap power.Power.dynamic_uw;
+        let t = Table.create [ ("stage", Table.Right); ("gate", Table.Left);
+                               ("cin (fF)", Table.Right) ] in
+        List.iteri
+          (fun i kind ->
+            Table.add_row t
+              [ string_of_int i; Gk.name kind; Table.cell_f sizing.(i) ])
+          (Path.stage_kinds path);
+        Table.print t;
+        code)
+    circuit gates cout branch
+
+let size_cmd =
+  let snap =
+    Arg.(value & flag & info [ "snap" ]
+           ~doc:"Legalise the sizing onto the library's discrete drive grid.")
+  in
+  Cmd.v (Cmd.info "size" ~doc:"Size a path for a delay constraint at minimum area")
+    Term.(const run_size $ snap $ tc_ps_arg $ tc_ratio_arg $ circuit_arg $ gates_arg
+          $ cout_arg $ branch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* flimit                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_flimit driver =
+  match Gk.of_name driver with
+  | None ->
+    prerr_endline ("pops: unknown driver gate " ^ driver);
+    1
+  | Some driver ->
+    let t = Table.create
+        ~title:(Printf.sprintf "buffer-insertion fan-out limits (driver: %s)" (Gk.name driver))
+        [ ("gate", Table.Left); ("Flimit", Table.Right) ] in
+    List.iter
+      (fun (gate, f) ->
+        Table.add_row t
+          [ Gk.name gate;
+            (if Float.is_finite f then Table.cell_f ~decimals:1 f else "never") ])
+      (Buffers.characterize_library ~lib ~driver
+         [ Gk.Inv; Gk.Nand 2; Gk.Nand 3; Gk.Nand 4; Gk.Nor 2; Gk.Nor 3; Gk.Nor 4;
+           Gk.Aoi21; Gk.Oai21 ]);
+    Table.print t;
+    0
+
+let flimit_cmd =
+  let driver =
+    Arg.(value & opt string "inv" & info [ "driver" ] ~docv:"GATE"
+           ~doc:"Gate driving the characterised cell.")
+  in
+  Cmd.v (Cmd.info "flimit" ~doc:"Characterise the library's buffer-insertion limits")
+    Term.(const run_flimit $ driver)
+
+(* ------------------------------------------------------------------ *)
+(* protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_protocol tc_ps tc_ratio no_restructure circuit gates cout branch =
+  with_path
+    (fun path label ->
+      let tc = resolve_tc path tc_ps tc_ratio in
+      let r = Protocol.run ~allow_restructure:(not no_restructure) ~lib ~tc path in
+      Printf.printf "%s under Tc = %.1f ps\n" label tc;
+      Format.printf "%a@." Protocol.pp_report r;
+      List.iter
+        (fun rw ->
+          Printf.printf "  rewrite at stage %d: %s -> %s (+%d side inverters)\n"
+            rw.Pops_core.Restructure.stage
+            (Gk.name rw.Pops_core.Restructure.from_kind)
+            (Gk.name rw.Pops_core.Restructure.to_kind)
+            rw.Pops_core.Restructure.side_inverters)
+        r.Protocol.rewrites;
+      if r.Protocol.met then 0 else 1)
+    circuit gates cout branch
+
+let protocol_cmd =
+  let no_restructure =
+    Arg.(value & flag & info [ "no-restructure" ]
+           ~doc:"Disable the De Morgan restructuring alternative.")
+  in
+  Cmd.v (Cmd.info "protocol" ~doc:"Run the full optimization protocol (Fig. 7)")
+    Term.(const run_protocol $ tc_ps_arg $ tc_ratio_arg $ no_restructure
+          $ circuit_arg $ gates_arg $ cout_arg $ branch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* curve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_curve points circuit gates cout branch =
+  with_path
+    (fun path label ->
+      let plain, buffered = Tradeoff.sizing_vs_buffering ~lib ~points path in
+      Printf.printf "%s: delay/area fronts\n" label;
+      let t = Table.create [ ("a (ps/um)", Table.Right); ("delay (ps)", Table.Right);
+                             ("area sizing (um)", Table.Right);
+                             ("area buffered (um)", Table.Right) ] in
+      List.iter2
+        (fun p b ->
+          Table.add_row t
+            [ Printf.sprintf "%.4f" p.Tradeoff.a;
+              Table.cell_f ~decimals:1 p.Tradeoff.delay;
+              Table.cell_f ~decimals:1 p.Tradeoff.area;
+              Printf.sprintf "%.1f (d=%.0f)" b.Tradeoff.area b.Tradeoff.delay ])
+        plain buffered;
+      Table.print t;
+      (match Tradeoff.crossover_delay plain buffered with
+      | Some d -> Printf.printf "buffering pays below %.1f ps\n" d
+      | None -> Printf.printf "buffering does not pay on this path\n");
+      0)
+    circuit gates cout branch
+
+let curve_cmd =
+  let points =
+    Arg.(value & opt int 15 & info [ "points" ] ~docv:"N" ~doc:"Points per front.")
+  in
+  Cmd.v (Cmd.info "curve" ~doc:"Sweep the delay/area trade-off (Fig. 6)")
+    Term.(const run_curve $ points $ circuit_arg $ gates_arg $ cout_arg $ branch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* circuit                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_circuit name k tc =
+  match Profiles.find name with
+  | None ->
+    prerr_endline ("pops: unknown circuit " ^ name);
+    1
+  | Some p ->
+    let nl, spine = Profiles.circuit tech p in
+    Format.printf "%a@." Netlist.pp_stats nl;
+    let timing = Timing.analyze ~lib nl in
+    Printf.printf "STA critical delay: %.1f ps (path of %d nodes)\n"
+      (Timing.critical_delay timing)
+      (List.length (Timing.critical_path timing));
+    print_string
+      (Pops_sta.Report.render_path ~lib nl timing (Timing.critical_path timing));
+    (match tc with
+    | Some tc -> print_string (Pops_sta.Report.endpoint_summary ~lib ~tc nl timing)
+    | None -> ());
+    Printf.printf "spine length: %d\n" (List.length spine);
+    let power = NPower.analyze ~lib nl in
+    Printf.printf "area %.1f um, dynamic power %.2f uW @100MHz\n"
+      power.NPower.area power.NPower.dynamic_uw;
+    let worst = Paths.k_worst ~k ~lib nl in
+    let t = Table.create ~title:(Printf.sprintf "%d most critical paths" k)
+        [ ("#", Table.Right); ("gates", Table.Right); ("delay (ps)", Table.Right) ] in
+    List.iteri
+      (fun i ex ->
+        let sizing =
+          Array.of_list
+            (List.map (fun id -> (Netlist.node nl id).Netlist.cin) ex.Paths.nodes)
+        in
+        Table.add_row t
+          [ string_of_int (i + 1);
+            string_of_int (List.length ex.Paths.nodes);
+            Table.cell_f ~decimals:1 (Path.delay_worst ex.Paths.path sizing) ])
+      worst;
+    Table.print t;
+    0
+
+let circuit_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Benchmark circuit name.")
+  in
+  let k = Arg.(value & opt int 5 & info [ "k" ] ~doc:"How many paths to list.") in
+  Cmd.v (Cmd.info "circuit" ~doc:"Inspect a benchmark circuit (netlist, STA, paths, power)")
+    Term.(const run_circuit $ name_arg $ k $ tc_ps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_simulate at_tmin circuit gates cout branch =
+  with_path
+    (fun path label ->
+      let sizing =
+        if at_tmin then (Bounds.compute path).Bounds.sizing_tmin
+        else Path.min_sizing path
+      in
+      let analytic = Path.delay_worst path sizing in
+      let sim = Transient.simulate_path_worst path sizing in
+      Printf.printf "%s (%s sizing)\n" label (if at_tmin then "Tmin" else "minimum");
+      Printf.printf "analytic model : %.1f ps\n" analytic;
+      Printf.printf "transient sim  : %.1f ps (ratio %.2f)\n" sim.Transient.total_delay
+        (sim.Transient.total_delay /. analytic);
+      let t = Table.create [ ("stage", Table.Right); ("sim delay (ps)", Table.Right);
+                             ("sim transition (ps)", Table.Right) ] in
+      Array.iteri
+        (fun i d ->
+          Table.add_row t
+            [ string_of_int i; Table.cell_f ~decimals:1 d;
+              Table.cell_f ~decimals:1 sim.Transient.stage_transitions.(i) ])
+        sim.Transient.stage_delays;
+      Table.print t;
+      0)
+    circuit gates cout branch
+
+let simulate_cmd =
+  let at_tmin =
+    Arg.(value & flag & info [ "tmin" ] ~doc:"Simulate the Tmin sizing instead of minimum drive.")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Transient-simulate a path (the HSPICE stand-in)")
+    Term.(const run_simulate $ at_tmin $ circuit_arg $ gates_arg $ cout_arg $ branch_arg)
+
+(* ------------------------------------------------------------------ *)
+(* flow                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_flow name tc_ps tc_ratio rounds =
+  match Profiles.find name with
+  | None ->
+    prerr_endline ("pops: unknown circuit " ^ name);
+    1
+  | Some p ->
+    let nl, _ = Profiles.circuit tech p in
+    let d0 = Timing.critical_delay (Timing.analyze ~lib nl) in
+    let tc = match tc_ps with Some tc -> tc | None -> tc_ratio *. d0 in
+    Printf.printf "%s: STA critical delay %.1f ps, target Tc = %.1f ps\n" name d0 tc;
+    let r = Pops_flow.Flow.optimize ~max_rounds:rounds ~lib ~tc nl in
+    Format.printf "%a@." Pops_flow.Flow.pp_report r;
+    List.iter
+      (fun it ->
+        Printf.printf "  round %d: %.1f ps, %s on a %d-gate path\n"
+          it.Pops_flow.Flow.round it.Pops_flow.Flow.critical_delay
+          (Protocol.strategy_to_string it.Pops_flow.Flow.strategy)
+          it.Pops_flow.Flow.path_gates)
+      r.Pops_flow.Flow.iterations;
+    (match r.Pops_flow.Flow.outcome with Pops_flow.Flow.Met -> 0 | _ -> 1)
+
+let flow_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Benchmark circuit name.")
+  in
+  let rounds =
+    Arg.(value & opt int 20 & info [ "rounds" ] ~doc:"Iteration budget.")
+  in
+  let tc_ratio =
+    Arg.(value & opt float 0.8 & info [ "tc-ratio" ] ~docv:"R"
+           ~doc:"Target as a multiple of the initial STA critical delay.")
+  in
+  Cmd.v (Cmd.info "flow" ~doc:"Netlist-level timing closure (the Path Selection loop)")
+    Term.(const run_flow $ name_arg $ tc_ps_arg $ tc_ratio $ rounds)
+
+(* ------------------------------------------------------------------ *)
+(* bench-file: work on ISCAS .bench netlists                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_bench_file file do_flow tc_ps tc_ratio out =
+  match Pops_netlist.Bench_io.parse_file tech file with
+  | Error msg ->
+    prerr_endline ("pops: " ^ msg);
+    1
+  | Ok (nl, names) ->
+    Format.printf "%a@." Netlist.pp_stats nl;
+    let d0 = Timing.critical_delay (Timing.analyze ~lib nl) in
+    Printf.printf "STA critical delay: %.1f ps\n" d0;
+    let code =
+      if do_flow then begin
+        let tc = match tc_ps with Some tc -> tc | None -> tc_ratio *. d0 in
+        Printf.printf "optimizing to Tc = %.1f ps ...\n" tc;
+        let r = Pops_flow.Flow.optimize ~lib ~tc nl in
+        Format.printf "%a@." Pops_flow.Flow.pp_report r;
+        match r.Pops_flow.Flow.outcome with Pops_flow.Flow.Met -> 0 | _ -> 1
+      end
+      else 0
+    in
+    (match out with
+    | Some path ->
+      Pops_netlist.Bench_io.write_file ~names nl path;
+      Printf.printf "wrote %s (with cin/wire annotations)\n" path
+    | None -> ());
+    code
+
+let bench_file_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"ISCAS .bench netlist file.")
+  in
+  let do_flow =
+    Arg.(value & flag & info [ "flow" ] ~doc:"Run the timing-closure flow on it.")
+  in
+  let tc_ratio =
+    Arg.(value & opt float 0.8 & info [ "tc-ratio" ] ~docv:"R"
+           ~doc:"Flow target as a multiple of the initial critical delay.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the (optimized) netlist back in .bench syntax.")
+  in
+  Cmd.v (Cmd.info "bench-file" ~doc:"Analyze or optimize an ISCAS .bench netlist file")
+    Term.(const run_bench_file $ file $ do_flow $ tc_ps_arg $ tc_ratio $ out)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc = "POPS - low-power oriented CMOS circuit optimization (DATE 2005 reproduction)" in
+  Cmd.group (Cmd.info "pops" ~version:"1.0.0" ~doc)
+    [ tmin_cmd; size_cmd; flimit_cmd; protocol_cmd; curve_cmd; circuit_cmd;
+      simulate_cmd; flow_cmd; bench_file_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

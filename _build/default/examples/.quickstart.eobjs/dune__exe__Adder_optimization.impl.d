@@ -1,0 +1,1 @@
+examples/adder_optimization.ml: Array Format List Pops_cell Pops_core Pops_delay Pops_netlist Pops_process Pops_sta Pops_util Printf

@@ -1,0 +1,1 @@
+examples/bus_driver.ml: Array List Pops_cell Pops_core Pops_delay Pops_process Printf String

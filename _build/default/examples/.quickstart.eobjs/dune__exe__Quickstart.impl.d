@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Pops_cell Pops_core Pops_delay Pops_process Printf

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Float Pops_cell Pops_core Pops_delay Pops_process Pops_spice Pops_util Printf

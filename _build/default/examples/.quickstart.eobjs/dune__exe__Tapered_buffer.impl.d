@@ -1,0 +1,1 @@
+examples/tapered_buffer.ml: Array List Pops_cell Pops_core Pops_delay Pops_process Pops_util Printf String

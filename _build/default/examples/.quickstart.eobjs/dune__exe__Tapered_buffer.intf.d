@@ -1,0 +1,1 @@
+examples/tapered_buffer.mli:

@@ -1,0 +1,1 @@
+examples/timing_closure.ml: Format List Option Pops_cell Pops_circuits Pops_core Pops_flow Pops_netlist Pops_process Pops_sta Printf

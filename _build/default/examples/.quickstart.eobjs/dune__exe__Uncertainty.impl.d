@@ -1,0 +1,1 @@
+examples/uncertainty.ml: List Pops_cell Pops_core Pops_delay Pops_process Pops_util Printf

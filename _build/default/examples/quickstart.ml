@@ -1,0 +1,57 @@
+(* Quickstart: the 60-second tour of the POPS API.
+
+   Build a bounded combinational path, look at its delay bounds, size it
+   for a constraint, and let the protocol decide what to do when sizing
+   alone is not enough.
+
+     dune exec examples/quickstart.exe *)
+
+module Gk = Pops_cell.Gate_kind
+module Library = Pops_cell.Library
+module Path = Pops_delay.Path
+module Bounds = Pops_core.Bounds
+module Sens = Pops_core.Sensitivity
+module Protocol = Pops_core.Protocol
+
+let () =
+  (* 1. a process and a characterised cell library *)
+  let tech = Pops_process.Tech.cmos025 in
+  let lib = Library.make tech in
+
+  (* 2. a bounded path: fixed input drive, fixed terminal load, a branch
+     (off-path) load on every stage — and a heavily loaded NOR2, the
+     classic overloaded node *)
+  let path =
+    Path.of_kinds ~lib ~branch:6. ~c_out:120.
+      [ Gk.Inv; Gk.Nand 2; Gk.Inv; Gk.Nor 2; Gk.Nand 3; Gk.Inv ]
+    |> fun p ->
+    Path.with_stage_replaced p ~at:3
+      { Path.cell = Library.find lib (Gk.Nor 2); branch = 150. }
+  in
+  Format.printf "path: %a@." Path.pp path;
+
+  (* 3. the optimization space: Tmin / Tmax (paper Section 3.1) *)
+  let b = Bounds.compute path in
+  Printf.printf "Tmax = %.1f ps (all gates at minimum drive)\n" b.Bounds.tmax;
+  Printf.printf "Tmin = %.1f ps (link-equation optimum)\n\n" b.Bounds.tmin;
+
+  (* 4. size for a comfortable constraint at minimum area (Section 3.2) *)
+  let tc = 1.5 *. b.Bounds.tmin in
+  (match Sens.size_for_constraint path ~tc with
+  | Ok r ->
+    Printf.printf "Tc = %.1f ps met with delay %.1f ps, area %.1f um\n" tc
+      r.Sens.delay r.Sens.area;
+    Array.iteri (fun i c -> Printf.printf "  stage %d: %.2f fF\n" i c) r.Sens.sizing
+  | Error (`Infeasible tmin) ->
+    Printf.printf "infeasible below %.1f ps\n" tmin);
+
+  (* 5. an impossible constraint: the protocol modifies the structure *)
+  let tc_hard = 0.98 *. b.Bounds.tmin in
+  let report = Protocol.run ~lib ~tc:tc_hard path in
+  Printf.printf "\nTc = %.1f ps (below Tmin!) -> protocol chose %s; met = %b\n"
+    tc_hard
+    (Protocol.strategy_to_string report.Protocol.strategy)
+    report.Protocol.met;
+  Printf.printf "final: %d stages, delay %.1f ps, area %.1f um\n"
+    (Path.length report.Protocol.path)
+    report.Protocol.delay report.Protocol.area

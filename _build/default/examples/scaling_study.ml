@@ -1,0 +1,67 @@
+(* Process scaling study: the same optimization protocol on the same
+   logical path in two technologies (0.25 um and 0.18 um).
+
+   The protocol's metrics are all expressed in reduced process
+   parameters, so the *decisions* (domains, buffer limits, strategy)
+   carry across nodes while the absolute numbers scale — exactly the
+   portability argument for closed-form optimization over re-simulated
+   iteration.
+
+     dune exec examples/scaling_study.exe *)
+
+module Gk = Pops_cell.Gate_kind
+module Library = Pops_cell.Library
+module Path = Pops_delay.Path
+module Bounds = Pops_core.Bounds
+module Buffers = Pops_core.Buffers
+module Sens = Pops_core.Sensitivity
+module Model = Pops_delay.Model
+module Transient = Pops_spice.Transient
+module Table = Pops_util.Table
+
+let kinds =
+  [ Gk.Inv; Gk.Nand 2; Gk.Inv; Gk.Nor 3; Gk.Nand 3; Gk.Inv; Gk.Nor 2; Gk.Inv ]
+
+let study (tech : Pops_process.Tech.t) =
+  let lib = Library.make tech in
+  (* loads scale with the minimum input capacitance of the node *)
+  let unit = tech.Pops_process.Tech.cmin in
+  let path =
+    Path.of_kinds ~lib ~branch:(3. *. unit) ~c_out:(30. *. unit) kinds
+  in
+  let b = Bounds.compute path in
+  let tc = 1.3 *. b.Bounds.tmin in
+  let area =
+    match Sens.size_for_constraint path ~tc with
+    | Ok r -> r.Sens.area
+    | Error _ -> Float.nan
+  in
+  let fo4_model = Model.fo4_delay tech in
+  let fo4_sim = Transient.fo4 tech in
+  let flimit_nor3 = Buffers.flimit ~lib ~driver:Gk.Inv ~gate:(Gk.Nor 3) () in
+  (b.Bounds.tmin, b.Bounds.tmax, area, fo4_model, fo4_sim, flimit_nor3)
+
+let () =
+  let t = Table.create ~title:"the same 8-gate path across process nodes"
+      [ ("metric", Table.Left); ("0.25 um", Table.Right); ("0.18 um", Table.Right);
+        ("ratio", Table.Right) ]
+  in
+  let tmin25, tmax25, area25, fo4m25, fo4s25, fl25 = study Pops_process.Tech.cmos025 in
+  let tmin18, tmax18, area18, fo4m18, fo4s18, fl18 = study Pops_process.Tech.cmos018 in
+  let row name a b =
+    Table.add_row t
+      [ name; Table.cell_f ~decimals:1 a; Table.cell_f ~decimals:1 b;
+        Printf.sprintf "%.2f" (b /. a) ]
+  in
+  row "FO4, model (ps)" fo4m25 fo4m18;
+  row "FO4, simulated (ps)" fo4s25 fo4s18;
+  row "Tmin (ps)" tmin25 tmin18;
+  row "Tmax (ps)" tmax25 tmax18;
+  row "area @ 1.3 Tmin (um)" area25 area18;
+  row "Flimit(nor3)" fl25 fl18;
+  Table.print t;
+  Printf.printf
+    "observations: delays scale with the process time unit (FO4 ratio ~%.2f)\n\
+     while the Flimit metric barely moves - the protocol's decisions are\n\
+     process-portable, its numbers are not.\n"
+    (fo4m18 /. fo4m25)

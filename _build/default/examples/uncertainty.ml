@@ -1,0 +1,56 @@
+(* Margins and yield under load uncertainty - the paper's introduction,
+   quantified on one path.
+
+   Before routing, branch and wire loads are estimates.  The common
+   defence is a blanket guard-band ("size for 30% faster than needed");
+   the deterministic bounds let us ask exactly how much margin the
+   uncertainty really requires.
+
+     dune exec examples/uncertainty.exe *)
+
+module Gk = Pops_cell.Gate_kind
+module Library = Pops_cell.Library
+module Path = Pops_delay.Path
+module Bounds = Pops_core.Bounds
+module Margins = Pops_core.Margins
+module Table = Pops_util.Table
+
+let tech = Pops_process.Tech.cmos025
+let lib = Library.make tech
+
+let () =
+  let path =
+    Path.of_kinds ~lib ~branch:12. ~c_out:90.
+      [ Gk.Inv; Gk.Nand 2; Gk.Inv; Gk.Nor 3; Gk.Nand 2; Gk.Inv; Gk.Nor 2; Gk.Inv ]
+  in
+  let b = Bounds.compute path in
+  let tc = 1.4 *. b.Bounds.tmin in
+  let sigma = 0.20 in
+  Printf.printf "Tc = %.1f ps (1.4 Tmin), load uncertainty sigma = %.0f%%\n\n" tc
+    (100. *. sigma);
+
+  let t = Table.create ~title:"guard-band margin vs area and Monte-Carlo yield"
+      [ ("margin", Table.Right); ("area (um)", Table.Right); ("yield", Table.Right);
+        ("p95 delay (ps)", Table.Right) ] in
+  List.iter
+    (fun margin ->
+      let g = Margins.guardband ~margin ~tc path in
+      if g.Margins.feasible then begin
+        let y = Margins.timing_yield ~samples:600 ~sigma ~tc path g.Margins.sizing in
+        Table.add_row t
+          [ Printf.sprintf "%.0f%%" (100. *. margin);
+            Table.cell_f ~decimals:1 g.Margins.area;
+            Printf.sprintf "%.1f%%" (100. *. y.Margins.yield);
+            Table.cell_f ~decimals:0 y.Margins.p95_delay ]
+      end)
+    [ 0.; 0.05; 0.10; 0.15; 0.25; 0.35 ];
+  Table.print t;
+
+  (match Margins.margin_for_yield ~samples:600 ~sigma ~tc path with
+  | Some g ->
+    Printf.printf
+      "\n95%% yield needs a %.1f%% margin (%.1f um) - a 35%% blanket guard band\n\
+       would cost %.1fx that area for the same constraint.\n"
+      (100. *. g.Margins.margin) g.Margins.area
+      ((Margins.guardband ~margin:0.35 ~tc path).Margins.area /. g.Margins.area)
+  | None -> print_endline "no margin below 50% reaches the target yield")

@@ -1,0 +1,1 @@
+lib/amps/amps.ml: Random_search Tilos

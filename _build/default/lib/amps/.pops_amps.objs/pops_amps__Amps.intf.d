@@ -1,0 +1,1 @@
+lib/amps/amps.mli: Pops_delay

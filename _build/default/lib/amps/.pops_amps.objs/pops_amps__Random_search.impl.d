@@ -1,0 +1,1 @@
+lib/amps/random_search.ml: Array List Pops_delay Pops_process Pops_util

@@ -1,0 +1,1 @@
+lib/amps/random_search.mli: Pops_delay

@@ -1,0 +1,1 @@
+lib/amps/tilos.ml: Array Pops_delay

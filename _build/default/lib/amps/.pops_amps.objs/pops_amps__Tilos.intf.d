@@ -1,0 +1,1 @@
+lib/amps/tilos.mli: Pops_delay

@@ -1,0 +1,27 @@
+type stats = {
+  sizing : float array;
+  delay : float;
+  area : float;
+  evaluations : int;
+  met : bool;
+}
+
+let minimum_delay ?seed path =
+  let r = Random_search.minimum_delay ?seed path in
+  {
+    sizing = r.Random_search.sizing;
+    delay = r.Random_search.delay;
+    area = r.Random_search.area;
+    evaluations = r.Random_search.evaluations;
+    met = true;
+  }
+
+let size_for_constraint path ~tc =
+  let r = Tilos.size_for_constraint path ~tc in
+  {
+    sizing = r.Tilos.sizing;
+    delay = r.Tilos.delay;
+    area = r.Tilos.area;
+    evaluations = r.Tilos.evaluations;
+    met = r.Tilos.met;
+  }

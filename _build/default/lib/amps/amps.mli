@@ -1,0 +1,22 @@
+(** Facade of the industrial-tool baseline ("AMPS" in the paper).
+
+    AMPS (Synopsys) is closed source; this module packages the two
+    contemporary industrial algorithms — random multi-start search for
+    minimum delay and TILOS-style iterative sensitivity sizing for
+    constraint satisfaction — behind one interface so the benchmark
+    harness can drive POPS and the baseline identically.  See DESIGN.md,
+    "Substitutions". *)
+
+type stats = {
+  sizing : float array;
+  delay : float;  (** ps, worst polarity *)
+  area : float;  (** um *)
+  evaluations : int;  (** full path re-timings — the cost driver *)
+  met : bool;
+}
+
+val minimum_delay : ?seed:int64 -> Pops_delay.Path.t -> stats
+(** Fig. 2 baseline: pseudo-random minimum-delay sizing. *)
+
+val size_for_constraint : Pops_delay.Path.t -> tc:float -> stats
+(** Table 1 / Fig. 4 baseline: iterative sizing to a delay constraint. *)

@@ -1,0 +1,72 @@
+module Path = Pops_delay.Path
+module Rng = Pops_util.Rng
+
+type result = {
+  sizing : float array;
+  delay : float;
+  area : float;
+  evaluations : int;
+}
+
+let minimum_delay ?(restarts = 8) ?steps ?(seed = 0x1AB5L) path =
+  let n = Path.length path in
+  (* longer paths need proportionally more moves to converge *)
+  let steps = match steps with Some s -> s | None -> max 400 (60 * n) in
+  let rng = Rng.create seed in
+  let evaluations = ref 0 in
+  let delay_of x =
+    incr evaluations;
+    Path.delay_worst path x
+  in
+  let cmin = path.Path.tech.Pops_process.Tech.cmin in
+  (* deterministic per-gate polish: backward coordinate sweeps, each gate
+     tried at a few multiplicative steps — the local refinement every
+     industrial sizer runs after its global search *)
+  let polish x d =
+    let x = ref x and d = ref d in
+    for _ = 1 to 4 do
+      for j = n - 1 downto 1 do
+        List.iter
+          (fun m ->
+            let y = Array.copy !x in
+            y.(j) <- y.(j) *. m;
+            let y = Path.clamp_sizing path y in
+            let dy = delay_of y in
+            if dy < !d then begin
+              x := y;
+              d := dy
+            end)
+          [ 0.8; 0.92; 1.08; 1.25 ]
+      done
+    done;
+    (!x, !d)
+  in
+  let best = ref None in
+  for _ = 1 to restarts do
+    (* random initial sizing, log-uniform over two decades *)
+    let x =
+      ref
+        (Path.clamp_sizing path
+           (Array.init n (fun _ -> cmin *. Rng.log_range rng 1. 100.)))
+    in
+    let d = ref (delay_of !x) in
+    for _ = 1 to steps do
+      let j = 1 + Rng.int rng (max 1 (n - 1)) in
+      let y = Array.copy !x in
+      y.(j) <- y.(j) *. Rng.log_range rng 0.7 1.45;
+      let y = Path.clamp_sizing path y in
+      let dy = delay_of y in
+      if dy < !d then begin
+        x := y;
+        d := dy
+      end
+    done;
+    match !best with
+    | Some (db, _) when db <= !d -> ()
+    | Some _ | None -> best := Some (!d, !x)
+  done;
+  match !best with
+  | Some (d, x) ->
+    let x, d = polish x d in
+    { sizing = x; delay = d; area = Path.area path x; evaluations = !evaluations }
+  | None -> assert false

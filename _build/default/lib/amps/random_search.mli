@@ -1,0 +1,21 @@
+(** Pseudo-random minimum-delay search — the paper's Fig. 2 foil.
+
+    The paper compares its deterministic Tmin against "a pseudo-random
+    sizing technique" (the industrial tool's minimum-delay mode): random
+    multi-start hill climbing over the sizing vector.  It converges near
+    the optimum but never quite reaches it and burns orders of magnitude
+    more evaluations. *)
+
+type result = {
+  sizing : float array;
+  delay : float;  (** best worst-polarity delay found, ps *)
+  area : float;
+  evaluations : int;
+}
+
+val minimum_delay :
+  ?restarts:int -> ?steps:int -> ?seed:int64 -> Pops_delay.Path.t -> result
+(** [restarts] random starting points (default 8), [steps] hill-climbing
+    moves each (default [60 * path length]); a deterministic coordinate
+    polish runs on the best point found.  Deterministic for a given
+    [seed] (default [0x1AB5L]). *)

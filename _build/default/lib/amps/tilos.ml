@@ -1,0 +1,57 @@
+module Path = Pops_delay.Path
+
+type result = {
+  sizing : float array;
+  delay : float;
+  area : float;
+  steps : int;
+  evaluations : int;
+  met : bool;
+}
+
+let size_for_constraint ?(step_factor = 1.08) ?(max_steps = 20_000) path ~tc =
+  let n = Path.length path in
+  let evaluations = ref 0 in
+  let delay_of x =
+    incr evaluations;
+    Path.delay_worst path x
+  in
+  let x = ref (Path.min_sizing path) in
+  let d = ref (delay_of !x) in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !d > tc && !continue && !steps < max_steps do
+    (* evaluate every candidate upsize; keep the best delay gain per
+       added area (the TILOS sensitivity) *)
+    let best = ref None in
+    for j = 1 to n - 1 do
+      let y = Array.copy !x in
+      y.(j) <- y.(j) *. step_factor;
+      let y = Path.clamp_sizing path y in
+      if y.(j) > !x.(j) then begin
+        let dy = delay_of y in
+        let gain = !d -. dy in
+        let cost = Path.area path y -. Path.area path !x in
+        if gain > 0. && cost > 0. then begin
+          let sensitivity = gain /. cost in
+          match !best with
+          | Some (s, _, _) when s >= sensitivity -> ()
+          | Some _ | None -> best := Some (sensitivity, y, dy)
+        end
+      end
+    done;
+    (match !best with
+    | Some (_, y, dy) ->
+      x := y;
+      d := dy;
+      incr steps
+    | None -> continue := false)
+  done;
+  {
+    sizing = !x;
+    delay = !d;
+    area = Path.area path !x;
+    steps = !steps;
+    evaluations = !evaluations;
+    met = !d <= tc +. 0.02;
+  }

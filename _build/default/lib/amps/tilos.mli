@@ -1,0 +1,24 @@
+(** TILOS-style iterative sensitivity sizing (paper refs [1, 2]) — the
+    constraint-distribution engine of the industrial baseline.
+
+    Starting from the minimum-drive configuration, while the constraint
+    is violated: evaluate, for every free gate, the delay improvement per
+    unit of added area of a small geometric upsize; commit the single
+    best move; repeat.  Every step re-times the whole path, which is why
+    the approach is orders of magnitude slower than the closed-form
+    constraint distribution — exactly the contrast in the paper's
+    Table 1. *)
+
+type result = {
+  sizing : float array;
+  delay : float;  (** worst-polarity path delay achieved, ps *)
+  area : float;
+  steps : int;  (** committed upsize moves *)
+  evaluations : int;  (** full path re-timings performed *)
+  met : bool;
+}
+
+val size_for_constraint :
+  ?step_factor:float -> ?max_steps:int -> Pops_delay.Path.t -> tc:float -> result
+(** [step_factor] is the per-move upsize ratio (default 1.08);
+    [max_steps] caps the run (default 20000). *)

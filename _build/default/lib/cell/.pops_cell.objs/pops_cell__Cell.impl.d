@@ -1,0 +1,1 @@
+lib/cell/cell.ml: Format Gate_kind Option Pops_process

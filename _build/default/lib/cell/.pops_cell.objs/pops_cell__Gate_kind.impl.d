@@ -1,0 +1,1 @@
+lib/cell/gate_kind.ml: Array Format Fun Printf

@@ -1,0 +1,1 @@
+lib/cell/gate_kind.mli: Format

@@ -1,0 +1,1 @@
+lib/cell/library.ml: Array Cell Format Gate_kind List Pops_process

@@ -1,0 +1,113 @@
+type t =
+  | Inv
+  | Buf
+  | Nand of int
+  | Nor of int
+  | Aoi21
+  | Oai21
+  | Aoi22
+  | Oai22
+  | Xor2
+  | Xnor2
+
+let arity = function
+  | Inv | Buf -> 1
+  | Nand n | Nor n -> n
+  | Aoi21 | Oai21 -> 3
+  | Aoi22 | Oai22 -> 4
+  | Xor2 | Xnor2 -> 2
+
+let inverting = function
+  | Inv | Nand _ | Nor _ | Aoi21 | Oai21 | Aoi22 | Oai22 | Xnor2 -> true
+  | Buf | Xor2 -> false
+
+let series_n = function
+  | Inv | Buf -> 1
+  | Nand n -> n
+  | Nor _ -> 1
+  | Aoi21 -> 2
+  | Oai21 -> 2
+  | Aoi22 -> 2
+  | Oai22 -> 2
+  | Xor2 | Xnor2 -> 2
+
+let series_p = function
+  | Inv | Buf -> 1
+  | Nand _ -> 1
+  | Nor n -> n
+  | Aoi21 -> 2
+  | Oai21 -> 2
+  | Aoi22 -> 2
+  | Oai22 -> 2
+  | Xor2 | Xnor2 -> 2
+
+let check_arity kind inputs =
+  if Array.length inputs <> arity kind then
+    invalid_arg
+      (Printf.sprintf "Gate_kind.eval: expected %d inputs, got %d" (arity kind)
+         (Array.length inputs))
+
+let eval kind inputs =
+  check_arity kind inputs;
+  match kind with
+  | Inv -> not inputs.(0)
+  | Buf -> inputs.(0)
+  | Nand _ -> not (Array.for_all Fun.id inputs)
+  | Nor _ -> not (Array.exists Fun.id inputs)
+  | Aoi21 -> not ((inputs.(0) && inputs.(1)) || inputs.(2))
+  | Oai21 -> not ((inputs.(0) || inputs.(1)) && inputs.(2))
+  | Aoi22 -> not ((inputs.(0) && inputs.(1)) || (inputs.(2) && inputs.(3)))
+  | Oai22 -> not ((inputs.(0) || inputs.(1)) && (inputs.(2) || inputs.(3)))
+  | Xor2 -> inputs.(0) <> inputs.(1)
+  | Xnor2 -> inputs.(0) = inputs.(1)
+
+let de_morgan_dual = function
+  | Nor n -> Some (Nand n)
+  | Nand n -> Some (Nor n)
+  | Aoi22 -> Some Oai22  (* !(ab + cd) = !(!(!a+!b) !(... dual with inverted pins *)
+  | Oai22 -> Some Aoi22
+  | Inv | Buf | Aoi21 | Oai21 | Xor2 | Xnor2 -> None
+
+let name = function
+  | Inv -> "inv"
+  | Buf -> "buf"
+  | Nand n -> Printf.sprintf "nand%d" n
+  | Nor n -> Printf.sprintf "nor%d" n
+  | Aoi21 -> "aoi21"
+  | Oai21 -> "oai21"
+  | Aoi22 -> "aoi22"
+  | Oai22 -> "oai22"
+  | Xor2 -> "xor2"
+  | Xnor2 -> "xnor2"
+
+let of_name s =
+  match s with
+  | "inv" -> Some Inv
+  | "buf" -> Some Buf
+  | "nand2" -> Some (Nand 2)
+  | "nand3" -> Some (Nand 3)
+  | "nand4" -> Some (Nand 4)
+  | "nor2" -> Some (Nor 2)
+  | "nor3" -> Some (Nor 3)
+  | "nor4" -> Some (Nor 4)
+  | "aoi21" -> Some Aoi21
+  | "oai21" -> Some Oai21
+  | "aoi22" -> Some Aoi22
+  | "oai22" -> Some Oai22
+  | "xor2" -> Some Xor2
+  | "xnor2" -> Some Xnor2
+  | _ -> None
+
+let all =
+  [ Inv; Buf; Nand 2; Nand 3; Nand 4; Nor 2; Nor 3; Nor 4; Aoi21; Oai21; Aoi22;
+    Oai22; Xor2; Xnor2 ]
+
+let equal a b =
+  match (a, b) with
+  | Inv, Inv | Buf, Buf | Aoi21, Aoi21 | Oai21, Oai21 | Aoi22, Aoi22
+  | Oai22, Oai22 | Xor2, Xor2 | Xnor2, Xnor2 -> true
+  | Nand n, Nand m | Nor n, Nor m -> n = m
+  | (Inv | Buf | Nand _ | Nor _ | Aoi21 | Oai21 | Aoi22 | Oai22 | Xor2 | Xnor2), _ ->
+    false
+
+let pp ppf k = Format.pp_print_string ppf (name k)

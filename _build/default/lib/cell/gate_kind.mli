@@ -1,0 +1,56 @@
+(** The static-CMOS gate taxonomy used by the library, the netlist and the
+    optimizer.
+
+    These are the primitive gates of the paper's 0.25 um library study
+    (Table 2 characterises inv, nand2, nand3, nor2, nor3); the AOI/OAI and
+    XOR cells appear in the generated benchmark circuits. *)
+
+type t =
+  | Inv
+  | Buf  (** two-stage non-inverting driver *)
+  | Nand of int  (** [Nand n], 2 <= n <= 4 *)
+  | Nor of int  (** [Nor n], 2 <= n <= 4 *)
+  | Aoi21  (** AND-OR-invert: !(a&b | c) *)
+  | Oai21  (** OR-AND-invert: !((a|b) & c) *)
+  | Aoi22  (** !(a&b | c&d) *)
+  | Oai22  (** !((a|b) & (c|d)) *)
+  | Xor2
+  | Xnor2
+
+val arity : t -> int
+(** Number of logic inputs. *)
+
+val inverting : t -> bool
+(** Whether the cell inverts along its (first-input) path; XOR counts as
+    non-inverting for polarity bookkeeping but is handled specially by the
+    timing code (both polarities propagate). *)
+
+val series_n : t -> int
+(** Worst-case NMOS series-stack height (drives the falling-edge logical
+    weight [DW_HL]). *)
+
+val series_p : t -> int
+(** Worst-case PMOS series-stack height (drives the rising-edge logical
+    weight [DW_LH]). *)
+
+val eval : t -> bool array -> bool
+(** Boolean function of the gate.
+    @raise Invalid_argument if the input count differs from [arity]. *)
+
+val de_morgan_dual : t -> t option
+(** [de_morgan_dual k] is the gate the De Morgan rewrite of Section 4.2
+    replaces [k] with: [Nor n -> Some (Nand n)], [Nand n -> Some (Nor n)],
+    [None] for every other kind.  The rewrite also inverts all inputs and
+    the output to preserve the logic function. *)
+
+val name : t -> string
+(** Lower-case library name, e.g. ["nand2"]. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}. *)
+
+val all : t list
+(** All supported kinds, for library construction and tests. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

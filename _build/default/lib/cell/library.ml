@@ -1,0 +1,36 @@
+type t = {
+  tech : Pops_process.Tech.t;
+  cells : (Gate_kind.t * Cell.t) list;
+  grid : float array;
+}
+
+let grid_multiples = [| 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16.; 24.; 32.; 48.; 64. |]
+
+let make ?(kinds = Gate_kind.all) tech =
+  let cells = List.map (fun kind -> (kind, Cell.make tech kind)) kinds in
+  { tech; cells; grid = Array.map (fun m -> m *. tech.cmin) grid_multiples }
+
+let tech t = t.tech
+
+let find t kind =
+  match List.find_opt (fun (k, _) -> Gate_kind.equal k kind) t.cells with
+  | Some (_, cell) -> cell
+  | None -> raise Not_found
+
+let inverter t = find t Gate_kind.Inv
+
+let cells t = List.map snd t.cells
+
+let drive_grid t = Array.copy t.grid
+
+let snap_cin t cin =
+  let n = Array.length t.grid in
+  if cin > t.grid.(n - 1) then cin
+  else
+    let rec go i = if t.grid.(i) >= cin then t.grid.(i) else go (i + 1) in
+    go 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>library (%s):@ " t.tech.name;
+  List.iter (fun (_, c) -> Format.fprintf ppf "%a@ " Cell.pp c) t.cells;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** A characterised cell library for one process.
+
+    Construction characterises every {!Gate_kind.t} once; lookups are then
+    O(1).  The library also owns the discrete drive grid used when the
+    continuous optimum must be snapped to implementable drives (the paper
+    sizes continuously; snapping quantifies the cost of a real library). *)
+
+type t
+
+val make : ?kinds:Gate_kind.t list -> Pops_process.Tech.t -> t
+(** [make tech] characterises [kinds] (default: {!Gate_kind.all}) in
+    process [tech]. *)
+
+val tech : t -> Pops_process.Tech.t
+
+val find : t -> Gate_kind.t -> Cell.t
+(** @raise Not_found if the kind was excluded at construction. *)
+
+val inverter : t -> Cell.t
+(** The inverter cell, used pervasively by buffering code. *)
+
+val cells : t -> Cell.t list
+
+val drive_grid : t -> float array
+(** Available discrete drives as multiples of [cmin]:
+    [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64]. *)
+
+val snap_cin : t -> float -> float
+(** [snap_cin lib cin] rounds an input capacitance up to the nearest grid
+    drive (never down, so a met delay constraint stays met); values above
+    the largest grid point are left unchanged (continuous beyond x64). *)
+
+val pp : Format.formatter -> t -> unit

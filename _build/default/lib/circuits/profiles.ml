@@ -1,0 +1,119 @@
+type t = {
+  name : string;
+  path_gates : int;
+  paper_cpu_pops_ms : float;
+  paper_cpu_amps_ms : float;
+  paper_tmin_sizing_ns : float option;
+  paper_tmin_buff_ns : float option;
+}
+
+(* Table 1 (gate counts, CPU ms) and Table 3 (Tmin ns) of the paper. *)
+let all =
+  [
+    {
+      name = "Adder16";
+      path_gates = 99;
+      paper_cpu_pops_ms = 159.;
+      paper_cpu_amps_ms = 23700.;
+      paper_tmin_sizing_ns = Some 4.53;
+      paper_tmin_buff_ns = Some 4.39;
+    };
+    {
+      name = "fpd";
+      path_gates = 14;
+      paper_cpu_pops_ms = 19.;
+      paper_cpu_amps_ms = 6120.;
+      paper_tmin_sizing_ns = None;
+      paper_tmin_buff_ns = None;
+    };
+    {
+      name = "c432";
+      path_gates = 29;
+      paper_cpu_pops_ms = 29.;
+      paper_cpu_amps_ms = 9950.;
+      paper_tmin_sizing_ns = Some 2.22;
+      paper_tmin_buff_ns = Some 1.97;
+    };
+    {
+      name = "c499";
+      path_gates = 29;
+      paper_cpu_pops_ms = 30.;
+      paper_cpu_amps_ms = 9050.;
+      paper_tmin_sizing_ns = Some 1.79;
+      paper_tmin_buff_ns = Some 1.64;
+    };
+    {
+      name = "c880";
+      path_gates = 28;
+      paper_cpu_pops_ms = 29.;
+      paper_cpu_amps_ms = 9850.;
+      paper_tmin_sizing_ns = Some 2.09;
+      paper_tmin_buff_ns = Some 1.71;
+    };
+    {
+      name = "c1355";
+      path_gates = 30;
+      paper_cpu_pops_ms = 49.;
+      paper_cpu_amps_ms = 11400.;
+      paper_tmin_sizing_ns = Some 2.16;
+      paper_tmin_buff_ns = Some 1.89;
+    };
+    {
+      name = "c1908";
+      path_gates = 44;
+      paper_cpu_pops_ms = 49.;
+      paper_cpu_amps_ms = 11760.;
+      paper_tmin_sizing_ns = Some 2.66;
+      paper_tmin_buff_ns = Some 2.32;
+    };
+    {
+      name = "c3540";
+      path_gates = 58;
+      paper_cpu_pops_ms = 69.;
+      paper_cpu_amps_ms = 15890.;
+      paper_tmin_sizing_ns = Some 3.29;
+      paper_tmin_buff_ns = Some 3.21;
+    };
+    {
+      name = "c5315";
+      path_gates = 60;
+      paper_cpu_pops_ms = 90.;
+      paper_cpu_amps_ms = 19400.;
+      paper_tmin_sizing_ns = Some 3.57;
+      paper_tmin_buff_ns = Some 3.20;
+    };
+    {
+      name = "c6288";
+      path_gates = 116;
+      paper_cpu_pops_ms = 210.;
+      paper_cpu_amps_ms = 21920.;
+      paper_tmin_sizing_ns = Some 7.98;
+      paper_tmin_buff_ns = Some 7.74;
+    };
+    {
+      name = "c7552";
+      path_gates = 47;
+      paper_cpu_pops_ms = 69.;
+      paper_cpu_amps_ms = 16400.;
+      paper_tmin_sizing_ns = Some 3.08;
+      paper_tmin_buff_ns = Some 2.60;
+    };
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let fig2_suite =
+  List.filter (fun p -> p.name <> "fpd" && p.name <> "c6288") all
+
+let fig4_suite =
+  List.filter
+    (fun p -> List.mem p.name [ "Adder16"; "c432"; "c1355"; "c1908"; "c3540"; "c5315"; "c7552" ])
+    all
+
+let table4_suite =
+  List.filter (fun p -> List.mem p.name [ "c1355"; "c1908"; "c5315"; "c7552" ]) all
+
+let to_generator_profile p =
+  Pops_netlist.Generator.make_profile ~name:p.name ~path_gates:p.path_gates ()
+
+let circuit tech p = Pops_netlist.Generator.generate tech (to_generator_profile p)

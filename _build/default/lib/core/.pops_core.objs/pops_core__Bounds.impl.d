@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Float List Pops_cell Pops_delay Sensitivity

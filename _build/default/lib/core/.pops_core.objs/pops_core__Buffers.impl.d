@@ -1,0 +1,1 @@
+lib/core/buffers.ml: Array Float Hashtbl List Pops_cell Pops_delay Pops_process Pops_util Sensitivity

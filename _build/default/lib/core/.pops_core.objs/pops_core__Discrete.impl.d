@@ -1,0 +1,1 @@
+lib/core/discrete.ml: Array Float Pops_cell Pops_delay Sensitivity

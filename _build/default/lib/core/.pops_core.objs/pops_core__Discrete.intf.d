@@ -1,0 +1,1 @@
+lib/core/discrete.mli: Pops_cell Pops_delay

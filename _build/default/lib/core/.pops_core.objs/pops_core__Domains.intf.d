@@ -1,0 +1,1 @@
+lib/core/domains.mli: Format

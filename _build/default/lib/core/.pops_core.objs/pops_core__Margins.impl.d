@@ -1,0 +1,1 @@
+lib/core/margins.ml: Array Float Pops_delay Pops_util Sensitivity

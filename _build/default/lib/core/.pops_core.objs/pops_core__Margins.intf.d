@@ -1,0 +1,1 @@
+lib/core/margins.mli: Pops_delay

@@ -1,0 +1,1 @@
+lib/core/power.ml: Array Pops_cell Pops_delay Pops_process

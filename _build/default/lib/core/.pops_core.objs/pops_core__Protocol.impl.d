@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Bounds Buffers Domains Format Fun List Pops_delay Restructure Sensitivity

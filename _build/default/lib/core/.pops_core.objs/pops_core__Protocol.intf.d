@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Buffers Domains Format Pops_cell Pops_delay Restructure

@@ -1,0 +1,1 @@
+lib/core/repeaters.ml: Pops_cell Pops_process Pops_util

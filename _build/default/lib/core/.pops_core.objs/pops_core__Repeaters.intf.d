@@ -1,0 +1,1 @@
+lib/core/repeaters.mli: Pops_cell

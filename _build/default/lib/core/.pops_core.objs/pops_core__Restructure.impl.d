@@ -1,0 +1,1 @@
+lib/core/restructure.ml: Array Buffers Float Fun List Pops_cell Pops_delay Pops_process

@@ -1,0 +1,1 @@
+lib/core/restructure.mli: Pops_cell Pops_delay

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array Float Fun Hashtbl List Option Pops_cell Pops_delay Pops_process Pops_util

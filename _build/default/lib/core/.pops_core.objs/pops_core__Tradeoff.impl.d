@@ -1,0 +1,1 @@
+lib/core/tradeoff.ml: Array Buffers Pops_delay Pops_util Sensitivity

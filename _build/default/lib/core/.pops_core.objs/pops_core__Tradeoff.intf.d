@@ -1,0 +1,1 @@
+lib/core/tradeoff.mli: Pops_cell Pops_delay

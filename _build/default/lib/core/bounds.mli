@@ -1,0 +1,47 @@
+(** Path delay bounds (Section 3.1): the optimization-space
+    characterisation that makes constraint feasibility decidable.
+
+    - [Tmax]: the pseudo upper bound — every gate at the minimum available
+      drive (no upper bound exists without a size limit, so the paper
+      takes the realistic minimum-area configuration);
+    - [Tmin]: the lower bound, reached when every interior gate satisfies
+      the link equations (eq. 4, i.e. zero delay sensitivity), computed by
+      the backward fixed-point iteration of {!Sensitivity.solve}. *)
+
+type t = {
+  tmin : float;
+      (** minimum achievable worst-polarity delay, ps.  Evaluated on a
+          small polarity-weight grid (balanced and both pure polarities),
+          so it upper-bounds the exact minimax by well under 1%. *)
+  tmax : float;  (** worst-polarity delay at minimum drive, ps *)
+  sizing_tmin : float array;  (** the sizing achieving [tmin] *)
+  beta_tmin : float;
+      (** the polarity weight whose link equations produced
+          [sizing_tmin] (see {!Sensitivity.solve_beta}) *)
+}
+
+val compute : Pops_delay.Path.t -> t
+
+val tmin : Pops_delay.Path.t -> float
+val tmax : Pops_delay.Path.t -> float
+
+type trace_point = {
+  sum_cin_ratio : float;  (** [Sigma C_IN / C_REF] — Fig. 1's x axis *)
+  delay : float;  (** path delay at this iterate — Fig. 1's y axis *)
+}
+
+val tmin_trace : Pops_delay.Path.t -> trace_point list
+(** The (area, delay) trajectory of the fixed-point iterations from the
+    minimum-drive initial solution to the optimum — the paper's Fig. 1. *)
+
+val feasible : Pops_delay.Path.t -> tc:float -> bool
+(** Whether a delay constraint can be met by sizing alone
+    ([tc >= tmin]). *)
+
+val verify_stationary :
+  ?tol:float -> ?beta:float -> Pops_delay.Path.t -> float array -> bool
+(** True when the [beta]-weighted polarity gradient (default balanced,
+    0.5) vanishes at [sizing] for every interior entry — i.e. the sizing
+    really is the optimum of that objective.  Entries clamped at the
+    drive bounds are exempt (their optimum may lie outside the box).
+    Used by tests and the CLI's [--check] flag. *)

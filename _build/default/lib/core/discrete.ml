@@ -1,0 +1,86 @@
+module Path = Pops_delay.Path
+module Library = Pops_cell.Library
+
+type result = {
+  sizing : float array;
+  delay : float;
+  area : float;
+  met : bool;
+  bumps : int;
+}
+
+let snap_up ~lib path sizing =
+  let x = Path.clamp_sizing path sizing in
+  Array.mapi (fun i c -> if i = 0 then c else Library.snap_cin lib c) x
+
+let is_legal ~lib path sizing =
+  let grid = Library.drive_grid lib in
+  let top = grid.(Array.length grid - 1) in
+  let on_grid c =
+    c >= top
+    || Array.exists (fun g -> Float.abs (g -. c) < 1e-9) grid
+  in
+  let x = Path.clamp_sizing path sizing in
+  let ok = ref true in
+  Array.iteri (fun i c -> if i > 0 && not (on_grid c) then ok := false) x;
+  !ok
+
+(* next grid value strictly above [c]; None at the top (continuous
+   territory above the grid is handled by a 1.25x step) *)
+let next_step ~lib c =
+  let grid = Library.drive_grid lib in
+  let top = grid.(Array.length grid - 1) in
+  if c >= top then Some (c *. 1.25)
+  else
+    Array.fold_left
+      (fun acc g -> match acc with Some _ -> acc | None -> if g > c +. 1e-9 then Some g else None)
+      None grid
+
+let legalize ?(max_bumps = 200) ~lib path ~tc sizing =
+  let x = ref (snap_up ~lib path sizing) in
+  let d = ref (Path.delay_worst path !x) in
+  let bumps = ref 0 in
+  let progress = ref true in
+  while !d > tc && !progress && !bumps < max_bumps do
+    (* bump the stage whose next grid step buys the most delay per width *)
+    let best = ref None in
+    for j = 1 to Path.length path - 1 do
+      match next_step ~lib !x.(j) with
+      | None -> ()
+      | Some c' ->
+        let y = Array.copy !x in
+        y.(j) <- c';
+        let y = Path.clamp_sizing path y in
+        if y.(j) > !x.(j) then begin
+          let dy = Path.delay_worst path y in
+          let gain = !d -. dy in
+          let cost = Path.area path y -. Path.area path !x in
+          if gain > 0. && cost > 0. then begin
+            let sens = gain /. cost in
+            match !best with
+            | Some (s, _, _) when s >= sens -> ()
+            | Some _ | None -> best := Some (sens, y, dy)
+          end
+        end
+    done;
+    (match !best with
+    | Some (_, y, dy) ->
+      x := y;
+      d := dy;
+      incr bumps
+    | None -> progress := false)
+  done;
+  {
+    sizing = !x;
+    delay = !d;
+    area = Path.area path !x;
+    met = !d <= tc *. (1. +. 1e-6) +. 0.02;
+    bumps = !bumps;
+  }
+
+let grid_overhead ~lib path ~tc =
+  match Sensitivity.size_for_constraint path ~tc with
+  | Error (`Infeasible _) -> None
+  | Ok r ->
+    let legal = legalize ~lib path ~tc r.Sensitivity.sizing in
+    if legal.met then Some (r.Sensitivity.area, legal.area) else None

@@ -1,0 +1,50 @@
+(** Discrete-drive legalisation.
+
+    The paper sizes transistors continuously; a real standard-cell
+    library offers a finite drive grid (x1, x2, x3, x4, x6 ... of the
+    minimum cell).  This module maps a continuous sizing onto the grid of
+    {!Pops_cell.Library.drive_grid} and quantifies the cost:
+
+    - {!snap_up} rounds every free stage {e up} to the next available
+      drive.  Because a bounded path's delay is not monotone in any
+      single size (a bigger gate loads its driver), rounding up can
+      still violate the constraint;
+    - {!legalize} therefore follows with a greedy discrete repair: while
+      the constraint is violated, bump the grid step of the stage whose
+      increment buys the most delay per added width (a discrete TILOS
+      step on the grid). *)
+
+type result = {
+  sizing : float array;  (** grid-legal sizing *)
+  delay : float;  (** worst-polarity delay, ps *)
+  area : float;  (** um *)
+  met : bool;
+  bumps : int;  (** repair steps taken by {!legalize} *)
+}
+
+val snap_up : lib:Pops_cell.Library.t -> Pops_delay.Path.t -> float array -> float array
+(** Every interior stage rounded up to the nearest grid drive (entry 0,
+    the fixed input gate, is left as is). *)
+
+val is_legal : lib:Pops_cell.Library.t -> Pops_delay.Path.t -> float array -> bool
+(** Whether every interior stage sits on the drive grid (or above the
+    grid's top, where sizing is continuous). *)
+
+val legalize :
+  ?max_bumps:int ->
+  lib:Pops_cell.Library.t ->
+  Pops_delay.Path.t ->
+  tc:float ->
+  float array ->
+  result
+(** [legalize ~lib path ~tc sizing] snaps [sizing] up and repairs any
+    constraint violation with at most [max_bumps] (default 200) greedy
+    grid bumps.  [met = false] when the repair budget runs out or the
+    grid cannot reach [tc]. *)
+
+val grid_overhead :
+  lib:Pops_cell.Library.t -> Pops_delay.Path.t -> tc:float ->
+  (float * float) option
+(** [(continuous_area, legal_area)] for the minimum-area sizing meeting
+    [tc] — the price of the discrete library.  [None] when [tc] is
+    infeasible even continuously. *)

@@ -1,0 +1,24 @@
+type t = Weak | Medium | Hard | Infeasible
+
+let hard_ratio = 1.2
+let weak_ratio = 2.5
+
+let classify ~tmin ~tc =
+  if tc < tmin then Infeasible
+  else if tc <= hard_ratio *. tmin then Hard
+  else if tc <= weak_ratio *. tmin then Medium
+  else Weak
+
+let representative_tc ~tmin = function
+  | Weak -> 3.0 *. tmin
+  | Medium -> 1.8 *. tmin
+  | Hard -> 1.1 *. tmin
+  | Infeasible -> 0.9 *. tmin
+
+let to_string = function
+  | Weak -> "weak"
+  | Medium -> "medium"
+  | Hard -> "hard"
+  | Infeasible -> "infeasible"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

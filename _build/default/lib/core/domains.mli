@@ -1,0 +1,30 @@
+(** Constraint-domain classification (Fig. 6).
+
+    The paper splits the feasible constraint space by the ratio
+    [Tc / Tmin]:
+
+    - weak ([Tc > 2.5 Tmin]): plain sizing is the best alternative;
+    - medium ([1.2 Tmin < Tc <= 2.5 Tmin]): buffers are not necessary but
+      allow an implementation with less area;
+    - hard ([Tc <= 1.2 Tmin]): buffer insertion with global sizing is the
+      most efficient alternative;
+    - infeasible ([Tc < Tmin]): only a structure modification can help. *)
+
+type t = Weak | Medium | Hard | Infeasible
+
+val hard_ratio : float
+(** 1.2 — boundary between hard and medium. *)
+
+val weak_ratio : float
+(** 2.5 — boundary between medium and weak. *)
+
+val classify : tmin:float -> tc:float -> t
+
+val representative_tc : tmin:float -> t -> float
+(** A constraint value in the middle of the given domain, used by the
+    Fig. 8 benchmark (weak: [3 Tmin]; medium: [1.8 Tmin]; hard:
+    [1.1 Tmin] — hard means {e below} the sizing-only minimum territory
+    boundary but still above [Tmin] itself; infeasible: [0.9 Tmin]). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Path = Pops_delay.Path
+module Rng = Pops_util.Rng
+
+type yield_report = {
+  samples : int;
+  yield : float;
+  mean_delay : float;
+  p95_delay : float;
+}
+
+(* standard normal via Box-Muller *)
+let normal rng =
+  let u1 = Float.max 1e-12 (Rng.float rng 1.) in
+  let u2 = Rng.float rng 1. in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+(* a copy of [path] with every fixed load scaled by an independent
+   log-normal factor of magnitude [sigma] *)
+let perturb rng ~sigma path =
+  let factor () = exp (sigma *. normal rng) in
+  let stages =
+    Array.to_list
+      (Array.map
+         (fun (st : Path.stage) ->
+           { st with Path.branch = st.Path.branch *. factor () })
+         path.Path.stages)
+  in
+  Path.make ~opts:path.Path.opts ~input_slope:path.Path.input_slope
+    ~input_edge:path.Path.input_edge ~drive_cin:path.Path.drive_cin
+    ~tech:path.Path.tech
+    ~c_out:(path.Path.c_out *. factor ())
+    stages
+
+let timing_yield ?(samples = 500) ?(seed = 0xD1CEL) ~sigma ~tc path sizing =
+  let rng = Rng.create seed in
+  let delays =
+    Array.init samples (fun _ ->
+        Path.delay_worst (perturb rng ~sigma path) sizing)
+  in
+  let met = Array.fold_left (fun n d -> if d <= tc then n + 1 else n) 0 delays in
+  {
+    samples;
+    yield = float_of_int met /. float_of_int samples;
+    mean_delay = Pops_util.Stats.mean delays;
+    p95_delay = Pops_util.Stats.percentile delays 95.;
+  }
+
+type guardband_report = {
+  margin : float;
+  sizing : float array;
+  area : float;
+  nominal_delay : float;
+  feasible : bool;
+}
+
+let guardband ~margin ~tc path =
+  let target = tc /. (1. +. margin) in
+  match Sensitivity.size_for_constraint path ~tc:target with
+  | Ok r ->
+    {
+      margin;
+      sizing = r.Sensitivity.sizing;
+      area = r.Sensitivity.area;
+      nominal_delay = r.Sensitivity.delay;
+      feasible = true;
+    }
+  | Error (`Infeasible _) ->
+    let _, x, _ = Sensitivity.minimum_delay path in
+    {
+      margin;
+      sizing = x;
+      area = Path.area path x;
+      nominal_delay = Path.delay_worst path x;
+      feasible = false;
+    }
+
+let margin_for_yield ?samples ?seed ?(target_yield = 0.95) ?(max_margin = 0.5)
+    ~sigma ~tc path =
+  let rec search margin =
+    if margin > max_margin +. 1e-9 then None
+    else begin
+      let g = guardband ~margin ~tc path in
+      if not g.feasible then None
+      else
+        let y = timing_yield ?samples ?seed ~sigma ~tc path g.sizing in
+        if y.yield >= target_yield then Some g else search (margin +. 0.025)
+    end
+  in
+  search 0.

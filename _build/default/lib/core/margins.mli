@@ -1,0 +1,58 @@
+(** Load-uncertainty analysis: margins, yield, and the cost of
+    guard-banding.
+
+    The paper's introduction motivates deterministic optimization by the
+    alternative's cost: "the uncertainty in routing capacitance
+    estimation imposes to use many iterations or to consider very large
+    safety margin resulting in oversized designs".  This module makes
+    that argument quantitative:
+
+    - {!timing_yield} Monte-Carlo-perturbs every fixed load (branch,
+      wire, terminal) of a sized path and reports the fraction of
+      samples meeting the constraint;
+    - {!guardband} sizes the path for a tightened constraint
+      [tc / (1 + margin)] — the classic safety-margin recipe — and
+      reports the area cost;
+    - {!margin_for_yield} finds the smallest margin reaching a target
+      yield under a given uncertainty, closing the loop: how much area
+      does X% of load uncertainty really cost?
+
+    Perturbations are multiplicative log-normal-ish factors
+    [exp(sigma * g)] with [g] standard normal, applied independently per
+    stage load — the standard back-end model of estimation error before
+    routing is known.  Everything is seeded and deterministic. *)
+
+type yield_report = {
+  samples : int;
+  yield : float;  (** fraction of samples with delay <= tc *)
+  mean_delay : float;  (** ps *)
+  p95_delay : float;  (** 95th percentile, ps *)
+}
+
+val timing_yield :
+  ?samples:int -> ?seed:int64 -> sigma:float -> tc:float ->
+  Pops_delay.Path.t -> float array -> yield_report
+(** [timing_yield ~sigma ~tc path sizing] with [samples] (default 500)
+    load perturbations of relative magnitude [sigma] (e.g. 0.15 for
+    ~15% uncertainty). *)
+
+type guardband_report = {
+  margin : float;  (** the applied margin, e.g. 0.2 for 20% *)
+  sizing : float array;
+  area : float;
+  nominal_delay : float;  (** ps, at unperturbed loads *)
+  feasible : bool;  (** whether the tightened target was reachable *)
+}
+
+val guardband :
+  margin:float -> tc:float -> Pops_delay.Path.t -> guardband_report
+(** Size for [tc / (1 + margin)] at minimum area. *)
+
+val margin_for_yield :
+  ?samples:int -> ?seed:int64 -> ?target_yield:float -> ?max_margin:float ->
+  sigma:float -> tc:float -> Pops_delay.Path.t ->
+  guardband_report option
+(** Smallest margin (searched in 2.5% steps up to [max_margin], default
+    0.5) whose guard-banded sizing reaches [target_yield] (default 0.95)
+    under [sigma]; [None] if even [max_margin] fails or is
+    infeasible. *)

@@ -1,0 +1,35 @@
+module Path = Pops_delay.Path
+
+type report = {
+  switched_cap : float;
+  dynamic_uw : float;
+  leakage_uw : float;
+  area : float;
+}
+
+(* leakage scales with total width; threshold effects (corners) are
+   already folded into the process record's per-um figure *)
+let leakage_uw_of_width (tech : Pops_process.Tech.t) width =
+  (* nA * V -> nW -> uW *)
+  tech.i_leak_per_um *. width *. tech.vdd /. 1000.
+
+let of_path ?(freq_mhz = 100.) ?(activity = 0.25) path sizing =
+  let x = Path.clamp_sizing path sizing in
+  let cap = ref path.Path.c_out in
+  Array.iteri
+    (fun i (st : Path.stage) ->
+      cap :=
+        !cap +. x.(i)
+        +. Pops_cell.Cell.cpar st.Path.cell ~cin:x.(i)
+        +. st.Path.branch)
+    path.Path.stages;
+  let vdd = path.Path.tech.Pops_process.Tech.vdd in
+  (* fF * V^2 * MHz = nW; divide by 1000 for uW *)
+  let dynamic_uw = activity *. freq_mhz *. vdd *. vdd *. !cap /. 1000. in
+  let area = Path.area path x in
+  {
+    switched_cap = !cap;
+    dynamic_uw;
+    leakage_uw = leakage_uw_of_width path.Path.tech area;
+    area;
+  }

@@ -1,0 +1,26 @@
+(** Switching power of a sized path.
+
+    The paper uses the total transistor width [Sigma W] as its area/power
+    proxy (gate sizing dominates both).  This module adds the explicit
+    dynamic-power estimate [P = alpha * f * Vdd^2 * Sigma C] so that
+    optimization reports can speak in microwatts as well. *)
+
+type report = {
+  switched_cap : float;  (** total switched capacitance, fF *)
+  dynamic_uw : float;  (** dynamic power, uW *)
+  leakage_uw : float;
+      (** subthreshold leakage, uW — proportional to total width; corner
+          threshold shifts are folded into the process record *)
+  area : float;  (** [Sigma W], um *)
+}
+
+val of_path :
+  ?freq_mhz:float ->
+  ?activity:float ->
+  Pops_delay.Path.t ->
+  float array ->
+  report
+(** [of_path path sizing] with clock frequency [freq_mhz] (default 100)
+    and switching activity [activity] (default 0.25 transitions per
+    cycle per node).  Switched capacitance counts every gate's input and
+    parasitic capacitance plus branch and terminal loads. *)

@@ -1,0 +1,56 @@
+(** Repeater insertion on resistive interconnect.
+
+    The paper's buffer-insertion study (refs [5, 6]: tapered buffers,
+    interleaved buffer insertion and sizing) has a classical companion
+    problem the tool must eventually face: a {e long wire} is not a
+    lumped capacitance — its Elmore delay grows quadratically with
+    length, and the fix is to break it with repeaters.
+
+    For a wire of total resistance [R_w] and capacitance [C_w] driven
+    through [n] identical inverters of input capacitance [c] (output
+    resistance modelled from the cell's transition coefficient), the
+    per-segment Elmore delay gives the textbook closed forms
+
+    [n* = sqrt(0.4 R_w C_w / (R_inv C_inv))]
+    [c* = cmin * sqrt(R_inv C_w / (R_w C_inv))-ish]
+
+    which this module does {e not} hard-code: it evaluates the Elmore
+    delay model and optimises [n] and [c] numerically, then the tests
+    check the optimum matches the closed form's scaling. *)
+
+type wire = {
+  r_total : float;  (** total wire resistance, kOhm *)
+  c_total : float;  (** total wire capacitance, fF *)
+}
+
+val wire_of_length : ?r_per_mm:float -> ?c_per_mm:float -> float -> wire
+(** A wire of the given length in mm; defaults are 0.25 um-class global
+    metal: 0.075 kOhm/mm and 200 fF/mm. *)
+
+val unrepeated_delay :
+  lib:Pops_cell.Library.t -> wire -> driver_cin:float -> cload:float -> float
+(** 50%-style Elmore delay (ps) of the wire driven by a single inverter
+    of input capacitance [driver_cin] into [cload]. *)
+
+type solution = {
+  segments : int;  (** number of repeaters *)
+  repeater_cin : float;  (** fF, uniform *)
+  delay : float;  (** ps, including the fixed upstream driver's stage *)
+  area : float;  (** um of repeater width *)
+}
+
+val optimize :
+  ?max_segments:int -> ?driver_cin:float -> lib:Pops_cell.Library.t ->
+  wire -> cload:float -> solution
+(** Best repeater count and size for the wire (numerical search over
+    [1 .. max_segments] (default 40) with golden-section on the size).
+    The chain is driven by a fixed gate of input capacitance
+    [driver_cin] (default 8x minimum) whose delay is part of the
+    objective — otherwise the optimum degenerates to one enormous
+    repeater nothing pays for. *)
+
+val delay_of :
+  ?driver_cin:float -> lib:Pops_cell.Library.t -> wire -> cload:float ->
+  segments:int -> repeater_cin:float -> float
+(** Elmore delay of a given configuration — exposed for the tests, the
+    bench sweep and the example. *)

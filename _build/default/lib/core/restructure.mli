@@ -1,0 +1,57 @@
+(** Path acceleration by logic structure modification (Section 4.2).
+
+    Instead of buffering an inefficient gate (a NOR: large PMOS stack, low
+    [Flimit]), the De Morgan theorem replaces it with its efficient dual
+    (a NAND) plus the inverters needed to conserve the logic function:
+
+    [NOR(a, b) = not NAND(not a, not b)]
+
+    On the optimized path only two of those inverters lie in series with
+    the signal (one on the on-path input, one on the output) — the same
+    stage count as an inserted inverter-pair buffer — while the inverters
+    on the side inputs are off-path minimum-size cells that cost area
+    only.  The NAND's lower logical weight then buys delay or area. *)
+
+type rewrite = {
+  stage : int;  (** original stage index that was rewritten *)
+  from_kind : Pops_cell.Gate_kind.t;
+  to_kind : Pops_cell.Gate_kind.t;
+  side_inverters : int;  (** off-path inverters added (area only) *)
+}
+
+type result = {
+  path : Pops_delay.Path.t;  (** the restructured path *)
+  rewrites : rewrite list;
+  side_area : float;
+      (** area of the off-path side inverters (minimum size), um — add to
+          {!Pops_delay.Path.area} for fair comparisons *)
+}
+
+val candidates : lib:Pops_cell.Library.t -> Pops_delay.Path.t -> int list
+(** Stages worth rewriting: gates with a De Morgan dual whose [Flimit] is
+    lower than their dual's (i.e. the dual is the more efficient gate)
+    {e and} that sit on an overloaded node ({!Buffers.critical_nodes}) —
+    rewriting an unloaded gate only adds stages. *)
+
+val apply : lib:Pops_cell.Library.t -> ?stages:int list -> Pops_delay.Path.t -> result option
+(** Rewrite the given stages (default: all {!candidates}).  [None] when
+    nothing qualifies.  The caller re-sizes the resulting path. *)
+
+type optimized = {
+  o_path : Pops_delay.Path.t;
+  o_sizing : float array;
+  o_delay : float;  (** ps, worst polarity *)
+  o_area : float;  (** total: path + shields + off-path side inverters *)
+  o_rewrites : rewrite list;
+}
+
+val optimize :
+  lib:Pops_cell.Library.t ->
+  Pops_delay.Path.t ->
+  tc:float ->
+  optimized option
+(** Restructure the critical NOR-class nodes, then run the same
+    buffer-insertion + constraint-sizing pass the pure-buffering
+    alternative gets (so the Table 4 comparison is apples to apples).
+    [None] when no rewrite applies or the constraint remains
+    infeasible. *)

@@ -1,0 +1,306 @@
+module Path = Pops_delay.Path
+module Model = Pops_delay.Model
+module N = Pops_util.Numerics
+
+type solve_stats = { iterations : int; residual : float }
+
+(* One backward Gauss-Seidel sweep of the link equations (eq. 6): solve
+   dT/dx_j = a w_j for x_j with every other size frozen at its current
+   value (see docs/model.md for the derivation), for a weighted
+   combination of path polarity variants (all sharing the same stage
+   geometry, differing only in per-stage coefficients).  For the
+   single-polarity objective pass one variant with weight 1; for the
+   balanced rise/fall objective pass both with weight 1/2 — the averaged
+   delay is itself a sum of per-stage terms, so the link equation keeps
+   its closed form with coefficient bundles averaged.  Processing
+   j = n-1 .. 1 uses the freshly updated downstream size, exactly the
+   paper's "backward from the output, where the terminal load is known"
+   iteration. *)
+let sweep_counter = ref 0
+
+let sweeps_performed () = !sweep_counter
+
+let sweep_variants ?(skip = fun _ -> false) (variants : (Path.t * float) list) ~a x =
+  incr sweep_counter;
+  let path = match variants with (p, _) :: _ -> p | [] -> invalid_arg "sweep" in
+  let n = Path.length path in
+  let tech = path.Path.tech in
+  let tau = tech.Pops_process.Tech.tau in
+  let opts = path.Path.opts in
+  let x = Path.clamp_sizing path x in
+  for j = n - 1 downto 1 do
+    if not (skip j) then begin
+      let next_j = if j = n - 1 then path.Path.c_out else x.(j + 1) in
+      let k_j = path.Path.stages.(j).Path.branch +. next_j in
+      let cell = path.Path.stages.(j).Path.cell in
+      let num = ref 0. and den = ref 0. in
+      List.iter
+        (fun (variant, w) ->
+          let cj = Path.stage_coeffs variant j in
+          let cjm1 = Path.stage_coeffs variant (j - 1) in
+          let l_prev =
+            (cjm1.Path.p *. x.(j - 1))
+            +. path.Path.stages.(j - 1).Path.branch
+            +. x.(j)
+          in
+          let cm_prev = cjm1.Path.m *. x.(j - 1) in
+          let k1 =
+            if opts.Model.with_coupling then
+              1. +. (2. *. cm_prev *. cm_prev /. ((cm_prev +. l_prev) ** 2.))
+            else 1.
+          in
+          let slope_j = if opts.Model.with_slope then cj.Path.v else 0. in
+          let upstream = cjm1.Path.s *. tau /. (2. *. x.(j - 1)) *. (k1 +. slope_j) in
+          let l_j = (cj.Path.p *. x.(j)) +. k_j in
+          let cm_j = cj.Path.m *. x.(j) in
+          let e2 =
+            if opts.Model.with_coupling then
+              cj.Path.s *. tau *. k_j *. cj.Path.m *. cj.Path.m
+              /. ((cm_j +. l_j) ** 2.)
+            else 0.
+          in
+          let v_next =
+            if j + 1 < n && opts.Model.with_slope then
+              (Path.stage_coeffs variant (j + 1)).Path.v
+            else 0.
+          in
+          num := !num +. (w *. cj.Path.s *. (1. +. v_next));
+          den := !den +. (w *. (upstream -. e2)))
+        variants;
+      (* the sensitivity target is per unit of WIDTH (eq. 5 with the
+         paper's Sigma-W objective): dT/dW_j = a  <=>  dT/dx_j = a * w_j
+         with w_j the stage's area-per-fF *)
+      let denom = !den -. (a *. Path.area_weight path j) in
+      let lo = Pops_cell.Cell.min_cin cell in
+      let hi = 4096. *. lo in
+      x.(j) <-
+        (if denom <= 1e-12 then hi
+         else
+           let x2 = tau *. k_j *. !num /. (2. *. denom) in
+           N.clamp ~lo ~hi (sqrt x2))
+    end
+  done;
+  x
+
+let sweep ?skip (path : Path.t) ~a x = sweep_variants ?skip [ (path, 1.) ] ~a x
+
+let check_a a = if a > 0. then invalid_arg "Sensitivity: a must be <= 0."
+
+let solve ?(a = 0.) ?(frozen = []) ?x0 ?(tol = 1e-6) ?(max_iter = 300) path =
+  check_a a;
+  let x0 = Option.value x0 ~default:(Path.min_sizing path) in
+  let skip j = List.mem j frozen in
+  let x, iterations =
+    N.fixed_point ~tol ~max_iter ~step:(sweep ~skip path ~a) ~distance:N.distance_inf
+      x0
+  in
+  let residual = N.distance_inf x (sweep ~skip path ~a x) in
+  (x, { iterations; residual })
+
+(* Weighted two-polarity solve: [beta] is the weight of the path's own
+   polarity (1 = pure own-polarity link equations, 0 = pure flipped,
+   0.5 = balanced). *)
+let solve_beta ?(a = 0.) ?(frozen = []) ?x0 ~beta path =
+  check_a a;
+  let x0 = Option.value x0 ~default:(Path.min_sizing path) in
+  let skip j = List.mem j frozen in
+  let flipped = Path.with_input_edge path (Pops_delay.Edge.flip path.Path.input_edge) in
+  let variants =
+    if beta >= 0.999 then [ (path, 1.) ]
+    else if beta <= 0.001 then [ (flipped, 1.) ]
+    else [ (path, beta); (flipped, 1. -. beta) ]
+  in
+  let x, _ =
+    (* 1e-4 fF is ~0.004% of the minimum drive: far below anything the
+       delay model can resolve, at roughly half the sweeps of 1e-6 *)
+    N.fixed_point ~tol:1e-4 ~max_iter:300
+      ~step:(sweep_variants ~skip variants ~a)
+      ~distance:N.distance_inf x0
+  in
+  x
+
+let solve_worst ?a ?frozen ?x0 path = solve_beta ?a ?frozen ?x0 ~beta:0.5 path
+
+(* The minimum achievable worst-polarity delay: the minimax optimum may
+   sit on either pure polarity or strictly between, so scan a small
+   weight grid and refine by golden section. *)
+let minimum_delay path =
+  (* warm-start each solve from the previous optimum: nearby weights have
+     nearby fixed points, so convergence takes a few sweeps instead of a
+     cold-start descent *)
+  let warm = ref None in
+  let eval beta =
+    let x = solve_beta ~a:0. ?x0:!warm ~beta path in
+    warm := Some x;
+    (Path.delay_worst path x, x, beta)
+  in
+  let best_of =
+    List.fold_left
+      (fun ((db, _, _) as best) ((d, _, _) as cand) -> if d < db then cand else best)
+  in
+  let candidates = List.map eval [ 0.5; 1.0; 0.0 ] in
+  let _, _, beta_grid = best_of (List.hd candidates) (List.tl candidates) in
+  let lo = Float.max 0. (beta_grid -. 0.5) and hi = Float.min 1. (beta_grid +. 0.5) in
+  let beta_refined, _ =
+    N.golden_section_min ~tol:0.02 ~max_iter:10
+      ~f:(fun beta ->
+        let d, _, _ = eval beta in
+        d)
+      ~lo ~hi ()
+  in
+  best_of (eval beta_refined) candidates
+
+let solve_trace ?(a = 0.) ?(tol = 1e-6) ?(max_iter = 300) path =
+  check_a a;
+  let x0 = Path.min_sizing path in
+  let flipped = Path.with_input_edge path (Pops_delay.Edge.flip path.Path.input_edge) in
+  let variants = [ (path, 0.5); (flipped, 0.5) ] in
+  N.fixed_point_trace ~tol ~max_iter
+    ~step:(sweep_variants variants ~a)
+    ~distance:N.distance_inf x0
+
+let delay_of_a path a =
+  let x = solve_worst ~a path in
+  Path.delay_worst path x
+
+type constraint_result = {
+  sizing : float array;
+  a : float;
+  delay : float;
+  area : float;
+}
+
+let result_of path a sizing =
+  { sizing; a; delay = Path.delay_worst path sizing; area = Path.area path sizing }
+
+(* For one polarity weight [beta]: bisect on [a] so the worst-polarity
+   delay meets [tc] at minimum area; returns the best feasible candidate
+   seen, or [None] when even [a = 0] misses [tc] under this weighting.
+   The fixed point is warm-started from the previous iterate. *)
+let bisect_for_beta ~beta path ~tc =
+  let solve_at ?x0 a = solve_beta ~a ?x0 ~beta path in
+  let x0 = solve_at 0. in
+  let d0 = Path.delay_worst path x0 in
+  if d0 > tc then None
+  else begin
+    let rec expand a_lo x =
+      if a_lo < -1e6 then (a_lo, x)
+      else
+        let x' = solve_at ~x0:x a_lo in
+        if Path.delay_worst path x' >= tc then (a_lo, x')
+        else expand (a_lo *. 4.) x'
+    in
+    let a_lo, x_lo = expand (-1e-3) x0 in
+    let rec bisect a_lo a_hi x_prev best iter =
+      (* invariant: delay(a_hi) <= tc (feasible), delay(a_lo) >= tc
+         (or a_lo is the expansion cap); stop early once the feasible
+         delay is within 0.1% of the constraint — further tightening
+         cannot buy measurable area *)
+      if
+        iter >= 60
+        || a_hi -. a_lo < 1e-9 *. Float.max 1. (Float.abs a_lo)
+        || best.delay >= tc *. 0.999
+      then best
+      else
+        let a_mid = 0.5 *. (a_lo +. a_hi) in
+        let x = solve_at ~x0:x_prev a_mid in
+        let d = Path.delay_worst path x in
+        if d <= tc then
+          let cand = result_of path a_mid x in
+          let best = if cand.area < best.area then cand else best in
+          bisect a_lo a_mid x best (iter + 1)
+        else bisect a_mid a_hi x best (iter + 1)
+    in
+    Some (bisect a_lo 0. x_lo (result_of path 0. x0) 0)
+  end
+
+(* The constraint is on the worst polarity, so the minimum-area sizing
+   satisfies the KKT conditions of "min area s.t. rise <= tc, fall <=
+   tc": when one constraint binds, the pure single-polarity link
+   equations are exact; when both bind, the optimal weighting lies
+   between — area(beta) is unimodal, so after a coarse grid a short
+   golden-section refinement on [beta] finds it. *)
+let size_for_constraint ?(tol_ps = 0.01) path ~tc =
+  let tmin, x_tmin, beta_tmin = minimum_delay path in
+  let grid = [ 1.0; 0.0; 0.5; beta_tmin ] in
+  if tc < tmin -. tol_ps then Error (`Infeasible tmin)
+  else begin
+    let x_min_area = Path.min_sizing path in
+    let tmax = Path.delay_worst path x_min_area in
+    if tc >= tmax then Ok (result_of path Float.neg_infinity x_min_area)
+    else begin
+      let cache = Hashtbl.create 16 in
+      let candidate beta =
+        let key = int_of_float (beta *. 1000.) in
+        match Hashtbl.find_opt cache key with
+        | Some c -> c
+        | None ->
+          let c = bisect_for_beta ~beta path ~tc in
+          Hashtbl.replace cache key c;
+          c
+      in
+      let area_of beta =
+        match candidate beta with Some c -> c.area | None -> Float.infinity
+      in
+      let best_beta_on_grid =
+        List.fold_left
+          (fun best beta -> if area_of beta < area_of best then beta else best)
+          1.0 grid
+      in
+      (* golden-section refinement around the best grid point *)
+      let lo = Float.max 0. (best_beta_on_grid -. 0.5) in
+      let hi = Float.min 1. (best_beta_on_grid +. 0.5) in
+      let refined_beta, _ =
+        Pops_util.Numerics.golden_section_min ~tol:0.04 ~max_iter:8 ~f:area_of ~lo
+          ~hi ()
+      in
+      let all_candidates =
+        List.filter_map candidate (refined_beta :: grid)
+        @ List.filter_map Fun.id (Hashtbl.fold (fun _ c acc -> c :: acc) cache [])
+      in
+      match all_candidates with
+      | [] ->
+        (* tc within tol of tmin: return the fastest sizing *)
+        Ok (result_of path 0. x_tmin)
+      | first :: rest ->
+        Ok
+          (List.fold_left
+             (fun best c -> if c.area < best.area then c else best)
+             first rest)
+    end
+  end
+
+let sutherland ?(iters = 4) path ~tc =
+  let n = Path.length path in
+  let x = ref (Path.min_sizing path) in
+  for _ = 1 to iters do
+    let per = Path.delay_per_stage path !x in
+    let slopes = Array.make n path.Path.input_slope in
+    for i = 1 to n - 1 do
+      slopes.(i) <- snd per.(i - 1)
+    done;
+    let d0 = fst per.(0) in
+    let budget = Float.max 0.1 ((tc -. d0) /. float_of_int (max 1 (n - 1))) in
+    let y = Path.clamp_sizing path !x in
+    for j = n - 1 downto 1 do
+      let cell = path.Path.stages.(j).Path.cell in
+      let next = if j = n - 1 then path.Path.c_out else y.(j + 1) in
+      let fixed_load = path.Path.stages.(j).Path.branch +. next in
+      let stage_delay xj =
+        let cload = Pops_cell.Cell.cpar cell ~cin:xj +. fixed_load in
+        fst
+          (Model.stage_delay ~opts:path.Path.opts cell
+             ~edge_out:path.Path.edges.(j) ~tau_in:slopes.(j) ~cin:xj ~cload)
+      in
+      let lo = Pops_cell.Cell.min_cin cell in
+      let hi = 4096. *. lo in
+      y.(j) <-
+        (if stage_delay lo <= budget then lo
+         else if stage_delay hi >= budget then hi
+         else N.bisect ~caller:"sutherland" ~tol:1e-6
+                ~f:(fun xj -> stage_delay xj -. budget)
+                ~lo ~hi ())
+    done;
+    x := y
+  done;
+  !x

@@ -1,0 +1,97 @@
+(** The constant-sensitivity sizing method (Section 3.2, eqs. 5–6).
+
+    The method imposes the same delay sensitivity on every free gate of a
+    bounded path:
+
+    [dT/dC_IN(i) = a]   for all interior stages [i]            (eq. 5)
+
+    For [a = 0] this is the minimum-delay condition (the link equations of
+    eq. 4); decreasing [a] below zero trades delay for area, sweeping the
+    entire Pareto front of the convex sizing problem (the paper's Fig. 3).
+    The solution of the resulting system (eq. 6) is computed by the
+    backward Gauss–Seidel fixed point the paper describes: starting from
+    the minimum-drive initial solution and processing from the output
+    (where the terminal load is known) towards the input.
+
+    The sensitivity is expressed per unit of {e transistor width}
+    ([a = dT/dW_i], ps/um): with the paper's [Sigma W] area objective the
+    exact optimality (KKT) condition is a uniform width-sensitivity, so
+    a 3-input cell is held to a proportionally tighter capacitance
+    sensitivity ([dT/dC_IN(i) = a * dW_i/dC_IN(i)]).  [a] is 0 or
+    negative. *)
+
+type solve_stats = {
+  iterations : int;  (** fixed-point sweeps performed *)
+  residual : float;  (** final max sizing change, fF *)
+}
+
+val solve : ?a:float -> ?frozen:int list -> ?x0:float array -> ?tol:float ->
+  ?max_iter:int -> Pops_delay.Path.t -> float array * solve_stats
+(** [solve ~a path] returns the sizing satisfying eq. (5) with sensitivity
+    [a] (default [0.], i.e. minimum delay), entries clamped to the
+    available drive range.  Stages listed in [frozen] keep their [x0]
+    size (default: the minimum drive) — used by local buffer insertion,
+    where only the buffer may be sized.
+    @raise Invalid_argument if [a > 0.]. *)
+
+val solve_worst : ?a:float -> ?frozen:int list -> ?x0:float array ->
+  Pops_delay.Path.t -> float array
+(** Like {!solve} but for the balanced rise/fall objective
+    {!Pops_delay.Path.delay_avg}: the link equations keep their closed
+    form with the per-stage coefficient bundles averaged over the two
+    polarities.  All higher-level entry points (bounds, constraint
+    sizing, the protocol) use this, so NOR/NAND weak edges are never
+    hidden by a lucky polarity; results are then {e reported} against
+    {!Pops_delay.Path.delay_worst}. *)
+
+val solve_beta : ?a:float -> ?frozen:int list -> ?x0:float array ->
+  beta:float -> Pops_delay.Path.t -> float array
+(** The generalised weighted solve behind {!solve_worst}: [beta] is the
+    weight of the path's own input polarity ([1] = pure own-polarity
+    link equations, [0] = pure flipped, [0.5] = balanced).  Constraint
+    sizing sweeps a small [beta] grid because the KKT-optimal weighting
+    depends on which polarity constraint binds. *)
+
+val solve_trace : ?a:float -> ?tol:float -> ?max_iter:int -> Pops_delay.Path.t ->
+  float array list
+(** Every fixed-point iterate (first is the minimum-drive initial
+    solution); reproduces the convergence trajectory of Fig. 1. *)
+
+val minimum_delay : Pops_delay.Path.t -> float * float array * float
+(** [(tmin, sizing, beta)]: the minimum achievable worst-polarity delay,
+    the sizing reaching it and the polarity weight whose link equations
+    produced it (grid scan plus golden-section refinement).  The shared
+    Tmin definition used by [Bounds], the constraint sizer and the
+    buffer-insertion objective. *)
+
+val delay_of_a : Pops_delay.Path.t -> float -> float
+(** Path delay of the sizing obtained with sensitivity [a]. Monotone
+    non-decreasing as [a] decreases (property-tested). *)
+
+type constraint_result = {
+  sizing : float array;
+  a : float;  (** the sensitivity achieving the constraint *)
+  delay : float;
+  area : float;
+}
+
+val size_for_constraint :
+  ?tol_ps:float -> Pops_delay.Path.t -> tc:float ->
+  (constraint_result, [ `Infeasible of float ]) result
+(** [size_for_constraint path ~tc] finds by bisection on [a] the
+    minimum-area sizing whose delay meets [tc].  [`Infeasible tmin] when
+    [tc] is below the path's minimum achievable delay (the caller must
+    then modify the structure — Section 4). When [tc] exceeds the
+    minimum-drive delay the all-minimum sizing is returned. *)
+
+val sweeps_performed : unit -> int
+(** Total link-equation sweeps executed by this process so far — one
+    sweep costs one whole-path retiming, making this the
+    hardware-independent cost metric the Table 1 benchmark reports.
+    Monotone counter; sample before/after the work to measure. *)
+
+val sutherland : ?iters:int -> Pops_delay.Path.t -> tc:float -> float array
+(** The equal-delay-per-stage constraint distribution (Sutherland/Mead,
+    paper refs [4,15]): every stage gets the budget [tc / n].  The fast
+    classical method the paper compares against — it oversizes gates with
+    large logical weight; the benchmark harness quantifies the area gap. *)

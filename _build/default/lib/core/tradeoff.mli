@@ -1,0 +1,32 @@
+(** Delay–area trade-off curves (Fig. 6).
+
+    Sweeping the sensitivity coefficient [a] from 0 downwards traces the
+    Pareto front of a path: each [a] yields the minimum-area sizing for
+    the delay it achieves.  Plotting the plain path against the path with
+    buffers inserted shows where the two fronts cross, which is exactly
+    how the paper derives its constraint-domain boundaries. *)
+
+type point = {
+  a : float;  (** sensitivity coefficient of this point *)
+  delay : float;  (** ps *)
+  area : float;  (** um of transistor width *)
+}
+
+val curve : ?points:int -> ?a_deep:float -> Pops_delay.Path.t -> point list
+(** [curve path] samples the front with [points] (default 40) values of
+    [a] geometrically spaced in [[-a_deep, 0]] ([a_deep] defaults to 50),
+    returned from fastest (a = 0) to smallest. *)
+
+val sizing_vs_buffering :
+  lib:Pops_cell.Library.t ->
+  ?points:int ->
+  Pops_delay.Path.t ->
+  point list * point list
+(** The two fronts of Fig. 6: [(sizing_only, buffered)] where the second
+    is the front of the path after global buffer insertion at minimum
+    delay. *)
+
+val crossover_delay : point list -> point list -> float option
+(** Delay at which the second front's area drops below the first's —
+    the practical boundary of the "buffering pays" region.  [None] when
+    the fronts do not cross on the sampled range. *)

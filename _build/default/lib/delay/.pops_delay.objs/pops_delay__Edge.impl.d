@@ -1,0 +1,1 @@
+lib/delay/edge.ml: Format

@@ -1,0 +1,1 @@
+lib/delay/edge.mli: Format

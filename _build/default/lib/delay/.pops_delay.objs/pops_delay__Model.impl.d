@@ -1,0 +1,1 @@
+lib/delay/model.ml: Edge Pops_cell Pops_process

@@ -1,0 +1,1 @@
+lib/delay/model.mli: Edge Pops_cell Pops_process

@@ -1,0 +1,1 @@
+lib/delay/path.ml: Array Edge Format List Model Option Pops_cell Pops_process Pops_util Printf

@@ -1,0 +1,1 @@
+lib/delay/path.mli: Edge Format Model Pops_cell Pops_process

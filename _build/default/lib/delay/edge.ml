@@ -1,0 +1,13 @@
+type t = Rising | Falling
+
+let flip = function Rising -> Falling | Falling -> Rising
+
+let propagate ~inverting e = if inverting then flip e else e
+
+let equal a b = match (a, b) with
+  | Rising, Rising | Falling, Falling -> true
+  | (Rising | Falling), _ -> false
+
+let pp ppf = function
+  | Rising -> Format.pp_print_string ppf "rise"
+  | Falling -> Format.pp_print_string ppf "fall"

@@ -1,0 +1,15 @@
+(** Signal edge polarity.
+
+    The delay model is edge-specific: falling outputs are driven by the
+    NMOS stack, rising outputs by the PMOS stack, with different symmetry
+    factors and coupling capacitances. *)
+
+type t = Rising | Falling
+
+val flip : t -> t
+
+val propagate : inverting:bool -> t -> t
+(** Edge at a gate output given the edge at its switching input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,242 @@
+type stage = { cell : Pops_cell.Cell.t; branch : float }
+
+type t = {
+  tech : Pops_process.Tech.t;
+  stages : stage array;
+  drive_cin : float;
+  c_out : float;
+  input_slope : float;
+  input_edge : Edge.t;
+  opts : Model.opts;
+  edges : Edge.t array;
+}
+
+type coeffs = { s : float; v : float; m : float; p : float }
+
+let compute_edges input_edge stages =
+  let n = Array.length stages in
+  let edges = Array.make n input_edge in
+  let e = ref input_edge in
+  for i = 0 to n - 1 do
+    let inv = Pops_cell.Gate_kind.inverting stages.(i).cell.Pops_cell.Cell.kind in
+    e := Edge.propagate ~inverting:inv !e;
+    edges.(i) <- !e
+  done;
+  edges
+
+let make ?(opts = Model.default_opts) ?input_slope ?(input_edge = Edge.Rising)
+    ?drive_cin ~tech ~c_out stages =
+  if stages = [] then invalid_arg "Path.make: empty stage list";
+  if c_out <= 0. then invalid_arg "Path.make: c_out must be positive";
+  let stages = Array.of_list stages in
+  Array.iter (fun st -> if st.branch < 0. then invalid_arg "Path.make: negative branch") stages;
+  let drive_cin = Option.value drive_cin ~default:tech.Pops_process.Tech.cmin in
+  let input_slope =
+    Option.value input_slope ~default:(2. *. tech.Pops_process.Tech.tau)
+  in
+  {
+    tech;
+    stages;
+    drive_cin;
+    c_out;
+    input_slope;
+    input_edge;
+    opts;
+    edges = compute_edges input_edge stages;
+  }
+
+let of_kinds ?opts ?input_slope ?input_edge ?drive_cin ?(branch = 0.) ~lib ~c_out
+    kinds =
+  let stage_of_kind kind = { cell = Pops_cell.Library.find lib kind; branch } in
+  make ?opts ?input_slope ?input_edge ?drive_cin
+    ~tech:(Pops_cell.Library.tech lib) ~c_out
+    (List.map stage_of_kind kinds)
+
+let length t = Array.length t.stages
+
+let max_cin_factor = 4096.
+
+let min_sizing t =
+  let x = Array.map (fun st -> Pops_cell.Cell.min_cin st.cell) t.stages in
+  x.(0) <- t.drive_cin;
+  x
+
+let clamp_sizing t x =
+  let y = Array.copy x in
+  y.(0) <- t.drive_cin;
+  for i = 1 to Array.length y - 1 do
+    let lo = Pops_cell.Cell.min_cin t.stages.(i).cell in
+    y.(i) <- Pops_util.Numerics.clamp ~lo ~hi:(max_cin_factor *. lo) y.(i)
+  done;
+  y
+
+let stage_coeffs t i =
+  let cell = t.stages.(i).cell in
+  let edge = t.edges.(i) in
+  let s, v, m =
+    match edge with
+    | Edge.Falling ->
+      ( cell.Pops_cell.Cell.s_hl,
+        Pops_process.Tech.vtn_reduced t.tech,
+        cell.Pops_cell.Cell.cm_ratio_hl )
+    | Edge.Rising ->
+      ( cell.Pops_cell.Cell.s_lh,
+        Pops_process.Tech.vtp_reduced t.tech,
+        cell.Pops_cell.Cell.cm_ratio_lh )
+  in
+  let m = if t.opts.Model.with_coupling then m else 0. in
+  { s; v; m; p = cell.Pops_cell.Cell.par_ratio }
+
+(* Output load of stage [i] under sizing [x] (x.(0) already forced). *)
+let load t x i =
+  let n = Array.length t.stages in
+  let next = if i = n - 1 then t.c_out else x.(i + 1) in
+  Pops_cell.Cell.cpar t.stages.(i).cell ~cin:x.(i) +. t.stages.(i).branch +. next
+
+let loads t x =
+  let x = clamp_sizing t x in
+  Array.init (Array.length t.stages) (load t x)
+
+let delay_per_stage t x =
+  let x = clamp_sizing t x in
+  let n = Array.length t.stages in
+  let out = Array.make n (0., 0.) in
+  let tau_in = ref t.input_slope in
+  for i = 0 to n - 1 do
+    let cload = load t x i in
+    let d, tau_out =
+      Model.stage_delay ~opts:t.opts t.stages.(i).cell ~edge_out:t.edges.(i)
+        ~tau_in:!tau_in ~cin:x.(i) ~cload
+    in
+    out.(i) <- (d, tau_out);
+    tau_in := tau_out
+  done;
+  out
+
+let delay t x =
+  Array.fold_left (fun acc (d, _) -> acc +. d) 0. (delay_per_stage t x)
+
+let with_input_edge t edge =
+  if Edge.equal edge t.input_edge then t
+  else { t with input_edge = edge; edges = compute_edges edge t.stages }
+
+let worst_edge t x =
+  let d_own = delay t x in
+  let flipped = with_input_edge t (Edge.flip t.input_edge) in
+  let d_flip = delay flipped x in
+  if d_own >= d_flip then (t.input_edge, d_own) else (flipped.input_edge, d_flip)
+
+let delay_worst t x = snd (worst_edge t x)
+
+let delay_avg t x =
+  let flipped = with_input_edge t (Edge.flip t.input_edge) in
+  0.5 *. (delay t x +. delay flipped x)
+
+(* Exact gradient.  With cm_i = m_i * x_i and L_i = p_i x_i + B_i + next_i,
+   the three places x_j appears are: the load of stage j-1 (as "next"),
+   stage j's own output term (through 1/x_j, L_j and cm_j — the cm and L
+   dependences combine into the compact -2 m^2 K/(cm+L)^2 term because
+   2 cm L / ((cm+L) x) = 2 m L / (cm+L)), and stage j+1's slope term. *)
+let gradient t x =
+  let x = clamp_sizing t x in
+  let n = Array.length t.stages in
+  let tau = t.tech.Pops_process.Tech.tau in
+  let g = Array.make n 0. in
+  for j = 1 to n - 1 do
+    let cj = stage_coeffs t j in
+    let cjm1 = stage_coeffs t (j - 1) in
+    let l_prev = load t x (j - 1) in
+    let cm_prev = cjm1.m *. x.(j - 1) in
+    let k1 =
+      if t.opts.Model.with_coupling then
+        1. +. (2. *. cm_prev *. cm_prev /. ((cm_prev +. l_prev) ** 2.))
+      else 1.
+    in
+    let slope_j = if t.opts.Model.with_slope then cj.v else 0. in
+    let upstream = cjm1.s *. tau /. (2. *. x.(j - 1)) *. (k1 +. slope_j) in
+    let next_j = if j = n - 1 then t.c_out else x.(j + 1) in
+    let k_j = t.stages.(j).branch +. next_j in
+    let l_j = load t x j in
+    let cm_j = cj.m *. x.(j) in
+    let v_next =
+      if j + 1 < n && t.opts.Model.with_slope then (stage_coeffs t (j + 1)).v
+      else 0.
+    in
+    let own =
+      cj.s *. tau *. k_j /. 2.
+      *. (((1. +. v_next) /. (x.(j) *. x.(j)))
+          +.
+          if t.opts.Model.with_coupling then
+            2. *. cj.m *. cj.m /. ((cm_j +. l_j) ** 2.)
+          else 0.)
+    in
+    g.(j) <- upstream -. own
+  done;
+  g
+
+let area_weight t i =
+  let cell = t.stages.(i).cell in
+  Pops_cell.Cell.area cell ~cin:1.
+
+let area t x =
+  let x = clamp_sizing t x in
+  let total = ref 0. in
+  Array.iteri
+    (fun i st -> total := !total +. Pops_cell.Cell.area st.cell ~cin:x.(i))
+    t.stages;
+  !total
+
+let sum_cin_ratio t x =
+  let x = clamp_sizing t x in
+  Array.fold_left ( +. ) 0. x /. t.tech.Pops_process.Tech.cmin
+
+let fast_input_violations t x =
+  let x = clamp_sizing t x in
+  let per_stage = delay_per_stage t x in
+  let viol = ref [] in
+  let tau_in = ref t.input_slope in
+  Array.iteri
+    (fun i (_, tau_out) ->
+      let cload = load t x i in
+      if
+        not
+          (Model.fast_input_range t.stages.(i).cell ~edge_out:t.edges.(i)
+             ~tau_in:!tau_in ~cin:x.(i) ~cload)
+      then viol := i :: !viol;
+      tau_in := tau_out)
+    per_stage;
+  List.rev !viol
+
+let rebuild t stages =
+  {
+    t with
+    stages;
+    edges = compute_edges t.input_edge stages;
+  }
+
+let with_stage_inserted t ~at st =
+  let n = Array.length t.stages in
+  if at < 0 || at >= n then invalid_arg "Path.with_stage_inserted";
+  let stages =
+    Array.init (n + 1) (fun i ->
+        if i <= at then t.stages.(i) else if i = at + 1 then st else t.stages.(i - 1))
+  in
+  rebuild t stages
+
+let with_stage_replaced t ~at st =
+  let n = Array.length t.stages in
+  if at < 0 || at >= n then invalid_arg "Path.with_stage_replaced";
+  let stages = Array.mapi (fun i old -> if i = at then st else old) t.stages in
+  rebuild t stages
+
+let stage_kinds t =
+  Array.to_list (Array.map (fun st -> st.cell.Pops_cell.Cell.kind) t.stages)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>path[%d]:" (Array.length t.stages);
+  Array.iter
+    (fun st ->
+      Format.fprintf ppf " %a%s" Pops_cell.Gate_kind.pp st.cell.Pops_cell.Cell.kind
+        (if st.branch > 0. then Printf.sprintf "(+%.1ffF)" st.branch else ""))
+    t.stages;
+  Format.fprintf ppf " -> %.1ffF@]" t.c_out

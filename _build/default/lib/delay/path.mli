@@ -1,0 +1,147 @@
+(** Bounded combinational paths (Section 2.2 of the paper).
+
+    A {e bounded} path has its input gate capacitance fixed by the load
+    constraint on the latch that feeds it, and its terminal load fixed by
+    the input capacitance of the latches/gates it drives.  Under those two
+    boundary conditions the path delay is a convex function of the
+    interior gate input capacitances (the sizing vector), which is what
+    makes the deterministic optimization of Sections 3–4 possible.
+
+    A sizing vector [x] has one entry per stage, in fF of input
+    capacitance per stage input pin.  [x.(0)] is the input gate: it is
+    {e fixed} at [drive_cin] and functions below overwrite it before
+    evaluating, so optimizers may store anything there.
+
+    Conventions:
+    - stage [i] drives stage [i+1]; the last stage drives [c_out];
+    - stage [i]'s load is [cpar(i) + branch(i) + x.(i+1)] where
+      [branch(i)] is the fixed off-path load (side fan-out plus wire);
+    - edges alternate according to each cell's inverting polarity,
+      starting from [input_edge]. *)
+
+type stage = {
+  cell : Pops_cell.Cell.t;
+  branch : float;  (** fixed off-path output load, fF (fanout + wire) *)
+}
+
+type t = private {
+  tech : Pops_process.Tech.t;
+  stages : stage array;
+  drive_cin : float;  (** fixed input capacitance of stage 0, fF *)
+  c_out : float;  (** fixed terminal load, fF *)
+  input_slope : float;  (** transition time at the path input, ps *)
+  input_edge : Edge.t;
+  opts : Model.opts;
+  edges : Edge.t array;  (** output edge of each stage, precomputed *)
+}
+
+val make :
+  ?opts:Model.opts ->
+  ?input_slope:float ->
+  ?input_edge:Edge.t ->
+  ?drive_cin:float ->
+  tech:Pops_process.Tech.t ->
+  c_out:float ->
+  stage list ->
+  t
+(** [make ~tech ~c_out stages] builds a bounded path.  [drive_cin]
+    defaults to the process [cmin]; [input_slope] to 2x the process [tau];
+    [input_edge] to [Rising].
+    @raise Invalid_argument on an empty stage list. *)
+
+val of_kinds :
+  ?opts:Model.opts ->
+  ?input_slope:float ->
+  ?input_edge:Edge.t ->
+  ?drive_cin:float ->
+  ?branch:float ->
+  lib:Pops_cell.Library.t ->
+  c_out:float ->
+  Pops_cell.Gate_kind.t list ->
+  t
+(** Convenience constructor: every stage gets the same fixed [branch] load
+    (default 0.). *)
+
+val length : t -> int
+(** Number of stages. *)
+
+val min_sizing : t -> float array
+(** Every stage at its minimum drive — the paper's pseudo upper bound
+    configuration (and the [C_REF] initial solution). *)
+
+val clamp_sizing : t -> float array -> float array
+(** Fresh vector with [x.(0) := drive_cin] and every interior entry
+    clamped to [\[cmin, 4096 * cmin\]]. *)
+
+val delay : t -> float array -> float
+(** Total path delay (ps) for sizing [x] (eq. 1 summed along the path),
+    for the path's own [input_edge].  [x.(0)] is treated as [drive_cin]
+    regardless of its value. *)
+
+val with_input_edge : t -> Edge.t -> t
+(** Same path, driven by the other polarity (stage edges recomputed). *)
+
+val delay_worst : t -> float array -> float
+(** [max] of {!delay} over the two input polarities — the criterion real
+    timing sign-off uses, and the one the optimizers report against. *)
+
+val delay_avg : t -> float array -> float
+(** Mean of {!delay} over the two input polarities — the balanced
+    objective the sizing optimizers minimise (optimising a single
+    polarity under-sizes the other's weak gates; minimising the average
+    is the standard practice and a convex proxy for the minimax). *)
+
+val worst_edge : t -> float array -> Edge.t * float
+(** The input polarity achieving {!delay_worst}, with its delay. *)
+
+val delay_per_stage : t -> float array -> (float * float) array
+(** Per-stage [(delay, tau_out)] pairs, for reports and the simulator
+    cross-check. *)
+
+val gradient : t -> float array -> float array
+(** Exact analytic gradient [dT/dx.(i)] of {!delay} (ps/fF).  Entry 0 is
+    0 (the input gate is not a free variable).  Validated against
+    {!Pops_util.Numerics.gradient} by property tests. *)
+
+val area : t -> float array -> float
+(** Total transistor width, um (the paper's [Sigma W] metric). *)
+
+val area_weight : t -> int -> float
+(** [dArea/dC_IN] of a stage, um/fF — constant per stage (area is linear
+    in the input capacitance).  The sizing optimizers express the
+    sensitivity condition per unit of {e width}, so a 3-input cell
+    (3x the width per fF) is held to a proportionally tighter
+    capacitance sensitivity; this is the exact KKT condition for
+    minimum [Sigma W] under a delay constraint. *)
+
+val sum_cin_ratio : t -> float array -> float
+(** [Sigma C_IN / C_REF] — the x-axis of the paper's Fig. 1. *)
+
+val loads : t -> float array -> float array
+(** Per-stage output load (fF) under sizing [x]. *)
+
+val fast_input_violations : t -> float array -> int list
+(** Stages whose input transition falls outside the fast-input range. *)
+
+val with_stage_inserted : t -> at:int -> stage -> t
+(** Path with [stage] inserted {e after} position [at] (so it drives what
+    stage [at] used to drive).  Used by buffer insertion. *)
+
+val with_stage_replaced : t -> at:int -> stage -> t
+(** Path with stage [at] replaced. Used by the De Morgan restructuring. *)
+
+val stage_kinds : t -> Pops_cell.Gate_kind.t list
+(** The gate kinds along the path, in order. *)
+
+type coeffs = {
+  s : float;  (** symmetry factor for the stage's output edge *)
+  v : float;  (** reduced threshold of the switching transistor *)
+  m : float;  (** coupling ratio: C_M = m * cin (0 when disabled) *)
+  p : float;  (** parasitic ratio: C_par = p * cin *)
+}
+
+val stage_coeffs : t -> int -> coeffs
+(** Reduced per-stage coefficients (the [A_i] of the paper's eq. 4), used
+    by the link-equation solvers in [Pops_core]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Array Float Format List Pops_core Pops_delay Pops_netlist Pops_sta

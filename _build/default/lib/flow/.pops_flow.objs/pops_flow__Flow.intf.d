@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Format Pops_cell Pops_core Pops_netlist

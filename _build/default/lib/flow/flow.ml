@@ -1,0 +1,175 @@
+module Netlist = Pops_netlist.Netlist
+module Transform = Pops_netlist.Transform
+module Logic = Pops_netlist.Logic
+module Timing = Pops_sta.Timing
+module Paths = Pops_sta.Paths
+module Path = Pops_delay.Path
+module Bounds = Pops_core.Bounds
+module Sens = Pops_core.Sensitivity
+module Buffers = Pops_core.Buffers
+module Protocol = Pops_core.Protocol
+
+type outcome = Met | No_progress | Budget_exhausted
+
+type iteration = {
+  round : int;
+  critical_delay : float;
+  strategy : Protocol.strategy;
+  path_gates : int;
+}
+
+type report = {
+  outcome : outcome;
+  initial_delay : float;
+  final_delay : float;
+  initial_area : float;
+  final_area : float;
+  iterations : iteration list;
+  buffers_added : int;
+  rewrites : int;
+  equivalence : (unit, string) result;
+}
+
+let critical_delay ~lib t = Timing.critical_delay (Timing.analyze ~lib t)
+
+(* Map one path-level protocol decision back onto the netlist.  Sizing is
+   a direct write-back; structural moves go through the logic-preserving
+   Transform surgeries at the node the stage index points to.  After a
+   structural change the stage indexing is stale, so the caller re-runs
+   STA and sizes the fresh critical path on the next round. *)
+(* monotone write-back: never shrink a gate below its current size, so
+   paths sharing a prefix cannot degrade each other across rounds *)
+let apply_sizing_max t nodes sizing =
+  List.iteri
+    (fun i id ->
+      let current = (Netlist.node t id).Netlist.cin in
+      Netlist.set_cin t id (Float.max current sizing.(i)))
+    nodes
+
+let apply_decision t (nodes : int array) (r : Protocol.report) =
+  let buffers = ref 0 and rewrites = ref 0 in
+  if r.Protocol.strategy = Protocol.Sizing_only then
+    apply_sizing_max t (Array.to_list nodes) r.Protocol.sizing
+  else begin
+    (* shields: dilute each recorded branch with an off-path pair sized
+       by the path-level decision *)
+    List.iter
+      (fun (sh : Buffers.shield) ->
+        let stage = sh.Buffers.stage in
+        if stage < Array.length nodes - 1 then begin
+          let node = nodes.(stage) in
+          let next = nodes.(stage + 1) in
+          let off_path =
+            List.filter (fun c -> c <> next) (Netlist.node t node).Netlist.fanouts
+          in
+          if off_path <> [] then begin
+            ignore
+              (Transform.insert_buffer_for ~cin1:sh.Buffers.b1 ~cin2:sh.Buffers.b2 t
+                 ~after:node ~only:off_path);
+            buffers := !buffers + 2
+          end
+        end)
+      r.Protocol.shields;
+    (* series pairs: all consumers move behind the pair, matching the
+       path-level semantics; the pair is sized on the next round *)
+    List.iter
+      (fun stage ->
+        if stage < Array.length nodes then begin
+          ignore (Transform.insert_buffer t ~after:nodes.(stage));
+          buffers := !buffers + 2
+        end)
+      r.Protocol.pairs;
+    (* De Morgan rewrites *)
+    List.iter
+      (fun (rw : Pops_core.Restructure.rewrite) ->
+        let stage = rw.Pops_core.Restructure.stage in
+        if stage < Array.length nodes then
+          match Transform.de_morgan t nodes.(stage) with
+          | Ok _ -> incr rewrites
+          | Error _ -> ())
+      r.Protocol.rewrites
+  end;
+  (!buffers, !rewrites)
+
+(* size the current critical path for tc (best effort below Tmin) *)
+let size_critical ~lib ~tc t =
+  let ex = Paths.critical ~lib t in
+  let sizing =
+    match Sens.size_for_constraint ex.Paths.path ~tc with
+    | Ok r -> r.Sens.sizing
+    | Error (`Infeasible _) ->
+      let _, x, _ = Sens.minimum_delay ex.Paths.path in
+      x
+  in
+  apply_sizing_max t ex.Paths.nodes sizing
+
+let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib ~tc t =
+  let reference = Netlist.copy t in
+  let initial_delay = critical_delay ~lib t in
+  let initial_area = Netlist.total_area t lib in
+  let buffers_added = ref 0 and rewrites_total = ref 0 in
+  let iterations = ref [] in
+  let rec loop round prev_delay =
+    let d = critical_delay ~lib t in
+    if d <= tc *. (1. +. 1e-6) +. 0.02 then Met
+    else if round > max_rounds then Budget_exhausted
+    else if round > 1 && d >= prev_delay -. (0.001 *. prev_delay) then No_progress
+    else begin
+      let worst = Paths.k_worst ~k:k_paths ~lib t in
+      let structural_change = ref false in
+      List.iter
+        (fun (ex : Paths.extracted) ->
+          (* skip paths that already meet timing under current sizes *)
+          let sizing_now =
+            Array.of_list
+              (List.map (fun id -> (Netlist.node t id).Netlist.cin) ex.Paths.nodes)
+          in
+          if Path.delay_worst ex.Paths.path sizing_now > tc then begin
+            let r = Protocol.run ~allow_restructure ~lib ~tc ex.Paths.path in
+            let b, rw = apply_decision t (Array.of_list ex.Paths.nodes) r in
+            buffers_added := !buffers_added + b;
+            rewrites_total := !rewrites_total + rw;
+            if b > 0 || rw > 0 then structural_change := true;
+            iterations :=
+              {
+                round;
+                critical_delay = d;
+                strategy = r.Protocol.strategy;
+                path_gates = List.length ex.Paths.nodes;
+              }
+              :: !iterations
+          end)
+        worst;
+      (* after surgery the indices moved: re-size the fresh critical path *)
+      if !structural_change then size_critical ~lib ~tc t;
+      loop (round + 1) d
+    end
+  in
+  let outcome = loop 1 Float.infinity in
+  let final_delay = critical_delay ~lib t in
+  {
+    outcome;
+    initial_delay;
+    final_delay;
+    initial_area;
+    final_area = Netlist.total_area t lib;
+    iterations = List.rev !iterations;
+    buffers_added = !buffers_added;
+    rewrites = !rewrites_total;
+    equivalence = Logic.equivalent reference t;
+  }
+
+let outcome_to_string = function
+  | Met -> "met"
+  | No_progress -> "no-progress"
+  | Budget_exhausted -> "budget-exhausted"
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>flow: %s@ delay %.1f -> %.1f ps@ area %.1f -> %.1f um@ \
+     %d rounds, %d buffer inverters, %d rewrites@ equivalence: %s@]"
+    (outcome_to_string r.outcome)
+    r.initial_delay r.final_delay r.initial_area r.final_area
+    (List.length r.iterations)
+    r.buffers_added r.rewrites
+    (match r.equivalence with Ok () -> "PASS" | Error m -> "FAIL: " ^ m)

@@ -1,0 +1,56 @@
+(** The netlist-level optimization flow — the "Path Selection" in POPS.
+
+    The path engine of [Pops_core] optimizes one bounded path; a real
+    circuit is closed only when {e every} path meets the constraint.
+    This module runs the tool's outer loop on a netlist:
+
+    + STA; if the critical delay meets [tc], done;
+    + extract the critical path (or the K worst) as bounded paths;
+    + run the protocol on each: sizing, buffer insertion (series pairs
+      and branch shields), De Morgan restructuring;
+    + apply the decisions back to the netlist — sizes via
+      {!Pops_sta.Paths.apply_sizing}, buffers and rewrites via the
+      {!Pops_netlist.Transform} surgeries — and re-run STA;
+    + iterate until timing is met, no progress is possible, or the
+      iteration budget runs out.
+
+    Every structural surgery preserves the logic function; {!optimize}
+    re-checks equivalence against the input netlist and reports it. *)
+
+type outcome = Met | No_progress | Budget_exhausted
+
+type iteration = {
+  round : int;
+  critical_delay : float;  (** STA delay at the start of the round, ps *)
+  strategy : Pops_core.Protocol.strategy;
+  path_gates : int;  (** length of the path optimised this round *)
+}
+
+type report = {
+  outcome : outcome;
+  initial_delay : float;  (** STA critical delay before, ps *)
+  final_delay : float;  (** after, ps *)
+  initial_area : float;  (** [Sigma W] before, um *)
+  final_area : float;
+  iterations : iteration list;  (** oldest first *)
+  buffers_added : int;  (** inverters added by pairs and shields *)
+  rewrites : int;  (** De Morgan rewrites applied *)
+  equivalence : (unit, string) result;
+      (** logic check of the final netlist against the input *)
+}
+
+val optimize :
+  ?max_rounds:int ->
+  ?allow_restructure:bool ->
+  ?k_paths:int ->
+  lib:Pops_cell.Library.t ->
+  tc:float ->
+  Pops_netlist.Netlist.t ->
+  report
+(** [optimize ~lib ~tc netlist] mutates [netlist] in place and returns
+    the report.  [max_rounds] defaults to 20; [k_paths] (default 3) is
+    how many of the worst paths are optimised per round;
+    [allow_restructure] defaults to true.  The equivalence check runs on
+    a pre-flow copy kept internally. *)
+
+val pp_report : Format.formatter -> report -> unit

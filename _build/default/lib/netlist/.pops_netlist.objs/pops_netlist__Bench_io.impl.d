@@ -1,0 +1,1 @@
+lib/netlist/bench_io.ml: Array Buffer Float Hashtbl In_channel List Netlist Option Out_channel Pops_cell Pops_process Printf Result String

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Netlist Option Pops_cell Pops_process Pops_util

@@ -1,0 +1,1 @@
+lib/netlist/logic.ml: Array Hashtbl Int64 List Netlist Pops_cell Pops_util Printf String

@@ -1,0 +1,329 @@
+module Gk = Pops_cell.Gate_kind
+
+type names = (string * int) list
+
+(* ------------------------------------------------------------------ *)
+(* parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type statement =
+  | S_input of string
+  | S_output of string
+  | S_gate of string * string * string list * float option * float option
+      (* target, op, args, cin annotation, wire annotation *)
+
+let trim = String.trim
+
+let parse_annotations comment =
+  (* "# cin=5.6 wire=1.2" -> (Some 5.6, Some 1.2) *)
+  let tokens = String.split_on_char ' ' comment |> List.map trim in
+  let find key =
+    List.find_map
+      (fun tok ->
+        let prefix = key ^ "=" in
+        if String.length tok > String.length prefix
+           && String.sub tok 0 (String.length prefix) = prefix
+        then
+          float_of_string_opt
+            (String.sub tok (String.length prefix)
+               (String.length tok - String.length prefix))
+        else None)
+      tokens
+  in
+  (find "cin", find "wire")
+
+let parse_call s =
+  (* "NAND(a, b)" -> ("NAND", ["a"; "b"]) *)
+  match String.index_opt s '(' with
+  | None -> None
+  | Some i ->
+    let op = trim (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match String.rindex_opt rest ')' with
+    | None -> None
+    | Some j ->
+      let args_str = String.sub rest 0 j in
+      let args =
+        if trim args_str = "" then []
+        else String.split_on_char ',' args_str |> List.map trim
+      in
+      Some (String.uppercase_ascii op, args))
+
+let parse_line lineno line =
+  let code, comment =
+    match String.index_opt line '#' with
+    | Some i ->
+      (String.sub line 0 i, String.sub line i (String.length line - i))
+    | None -> (line, "")
+  in
+  let code = trim code in
+  if code = "" then Ok None
+  else
+    let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    match String.index_opt code '=' with
+    | None -> (
+      match parse_call code with
+      | Some ("INPUT", [ name ]) -> Ok (Some (S_input name))
+      | Some ("OUTPUT", [ name ]) -> Ok (Some (S_output name))
+      | Some (("INPUT" | "OUTPUT"), _) -> fail "INPUT/OUTPUT take one signal"
+      | Some (op, _) -> fail (Printf.sprintf "unknown statement %s" op)
+      | None -> fail "expected INPUT(..), OUTPUT(..) or a gate assignment")
+    | Some i -> (
+      let target = trim (String.sub code 0 i) in
+      let rhs = trim (String.sub code (i + 1) (String.length code - i - 1)) in
+      if target = "" then fail "empty target signal"
+      else
+        match parse_call rhs with
+        | None -> fail "expected OP(arg, ...) on the right-hand side"
+        | Some (op, args) ->
+          let cin, wire = parse_annotations comment in
+          Ok (Some (S_gate (target, op, args, cin, wire))))
+
+(* gate construction with tree decomposition for wide fan-in *)
+let rec build_nand t args =
+  match List.length args with
+  | 0 -> Error "NAND with no inputs"
+  | 1 -> Ok (Netlist.add_gate t Gk.Inv [| List.hd args |])
+  | n when n <= 4 -> Ok (Netlist.add_gate t (Gk.Nand n) (Array.of_list args))
+  | n ->
+    let left, right = (List.filteri (fun i _ -> i < n / 2) args,
+                       List.filteri (fun i _ -> i >= n / 2) args) in
+    Result.bind (build_and t left) (fun a ->
+        Result.bind (build_and t right) (fun b ->
+            Ok (Netlist.add_gate t (Gk.Nand 2) [| a; b |])))
+
+and build_and t args =
+  match args with
+  | [ single ] -> Ok single
+  | _ -> Result.map (fun g -> Netlist.add_gate t Gk.Inv [| g |]) (build_nand t args)
+
+let rec build_nor t args =
+  match List.length args with
+  | 0 -> Error "NOR with no inputs"
+  | 1 -> Ok (Netlist.add_gate t Gk.Inv [| List.hd args |])
+  | n when n <= 4 -> Ok (Netlist.add_gate t (Gk.Nor n) (Array.of_list args))
+  | n ->
+    let left, right = (List.filteri (fun i _ -> i < n / 2) args,
+                       List.filteri (fun i _ -> i >= n / 2) args) in
+    Result.bind (build_or t left) (fun a ->
+        Result.bind (build_or t right) (fun b ->
+            Ok (Netlist.add_gate t (Gk.Nor 2) [| a; b |])))
+
+and build_or t args =
+  match args with
+  | [ single ] -> Ok single
+  | _ -> Result.map (fun g -> Netlist.add_gate t Gk.Inv [| g |]) (build_nor t args)
+
+let build_xor t args =
+  match args with
+  | [] -> Error "XOR with no inputs"
+  | first :: rest ->
+    Ok (List.fold_left (fun acc a -> Netlist.add_gate t Gk.Xor2 [| acc; a |]) first rest)
+
+let build_gate t op args =
+  match (op, args) with
+  | ("NOT" | "INV"), [ a ] -> Ok (Netlist.add_gate t Gk.Inv [| a |])
+  | ("NOT" | "INV"), _ -> Error "NOT takes one input"
+  | ("BUF" | "BUFF"), [ a ] -> Ok (Netlist.add_gate t Gk.Buf [| a |])
+  | ("BUF" | "BUFF"), _ -> Error "BUFF takes one input"
+  | "NAND", args -> build_nand t args
+  | "AND", args -> (
+    match args with
+    | [ _ ] -> Result.map (fun g -> g) (build_and t args)
+    | _ -> Result.bind (build_nand t args) (fun g -> Ok (Netlist.add_gate t Gk.Inv [| g |])))
+  | "NOR", args -> build_nor t args
+  | "OR", args -> (
+    match args with
+    | [ _ ] -> build_or t args
+    | _ -> Result.bind (build_nor t args) (fun g -> Ok (Netlist.add_gate t Gk.Inv [| g |])))
+  | "XOR", ([ _; _ ] as args) -> Ok (Netlist.add_gate t Gk.Xor2 (Array.of_list args))
+  | "XOR", args -> build_xor t args
+  | "XNOR", ([ _; _ ] as args) -> Ok (Netlist.add_gate t Gk.Xnor2 (Array.of_list args))
+  | "XNOR", args ->
+    Result.map (fun g -> Netlist.add_gate t Gk.Inv [| g |]) (build_xor t args)
+  | "AOI21", [ a; b; c ] -> Ok (Netlist.add_gate t Gk.Aoi21 [| a; b; c |])
+  | "OAI21", [ a; b; c ] -> Ok (Netlist.add_gate t Gk.Oai21 [| a; b; c |])
+  | "AOI22", [ a; b; c; d ] -> Ok (Netlist.add_gate t Gk.Aoi22 [| a; b; c; d |])
+  | "OAI22", [ a; b; c; d ] -> Ok (Netlist.add_gate t Gk.Oai22 [| a; b; c; d |])
+  | op, _ -> Error (Printf.sprintf "unsupported gate %s" op)
+
+let parse tech ?out_load text =
+  let out_load =
+    Option.value out_load ~default:(4. *. tech.Pops_process.Tech.cmin)
+  in
+  let lines = String.split_on_char '\n' text in
+  (* first pass: collect statements *)
+  let rec collect lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Error _ as e -> e
+      | Ok None -> collect (lineno + 1) acc rest
+      | Ok (Some s) -> collect (lineno + 1) ((lineno, s) :: acc) rest)
+  in
+  match collect 1 [] lines with
+  | Error e -> Error e
+  | Ok statements ->
+    let t = Netlist.create tech in
+    let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let define name id lineno =
+      if Hashtbl.mem table name then
+        Error (Printf.sprintf "line %d: %s defined twice" lineno name)
+      else begin
+        Hashtbl.replace table name id;
+        Ok ()
+      end
+    in
+    (* inputs and DFF outputs become sources immediately *)
+    let sources_result =
+      List.fold_left
+        (fun acc (lineno, s) ->
+          Result.bind acc (fun () ->
+              match s with
+              | S_input name -> define name (Netlist.add_input t) lineno
+              | S_gate (target, "DFF", _, _, _) ->
+                (* conventional combinational split: DFF output = pseudo PI *)
+                define target (Netlist.add_input t) lineno
+              | S_output _ | S_gate _ -> Ok ()))
+        (Ok ()) statements
+    in
+    (* gates: iterate until all resolvable lines are built (bench files
+       may reference signals defined later) *)
+    let gates =
+      List.filter_map
+        (fun (lineno, s) ->
+          match s with
+          | S_gate (target, op, args, cin, wire) when op <> "DFF" ->
+            Some (lineno, target, op, args, cin, wire)
+          | S_gate _ | S_input _ | S_output _ -> None)
+        statements
+    in
+    let build_ready () =
+      let pending = ref gates and progress = ref true and err = ref None in
+      while !progress && !err = None && !pending <> [] do
+        progress := false;
+        let still = ref [] in
+        List.iter
+          (fun ((lineno, target, op, args, cin, wire) as g) ->
+            if !err <> None then still := g :: !still
+            else if List.for_all (Hashtbl.mem table) args then begin
+              let arg_ids = List.map (Hashtbl.find table) args in
+              match build_gate t op arg_ids with
+              | Error msg -> err := Some (Printf.sprintf "line %d: %s" lineno msg)
+              | Ok id -> (
+                (match cin with Some c -> Netlist.set_cin t id c | None -> ());
+                (match wire with Some w -> Netlist.set_wire t id w | None -> ());
+                match define target id lineno with
+                | Error msg -> err := Some msg
+                | Ok () -> progress := true)
+            end
+            else still := g :: !still)
+          !pending;
+        pending := List.rev !still
+      done;
+      match (!err, !pending) with
+      | Some e, _ -> Error e
+      | None, [] -> Ok ()
+      | None, (lineno, target, _, args, _, _) :: _ ->
+        let missing = List.filter (fun a -> not (Hashtbl.mem table a)) args in
+        Error
+          (Printf.sprintf "line %d: %s depends on undefined signal(s) %s" lineno
+             target (String.concat ", " missing))
+    in
+    let outputs_result () =
+      List.fold_left
+        (fun acc (lineno, s) ->
+          Result.bind acc (fun () ->
+              match s with
+              | S_output name -> (
+                match Hashtbl.find_opt table name with
+                | Some id ->
+                  Netlist.set_output t id ~load:out_load;
+                  Ok ()
+                | None ->
+                  Error (Printf.sprintf "line %d: OUTPUT(%s) never defined" lineno name))
+              | S_gate (_, "DFF", [ d ], _, _) -> (
+                (* the DFF input is a pseudo primary output *)
+                match Hashtbl.find_opt table d with
+                | Some id ->
+                  Netlist.set_output t id ~load:out_load;
+                  Ok ()
+                | None -> Error (Printf.sprintf "line %d: DFF input %s undefined" lineno d))
+              | S_gate (_, "DFF", _, _, _) ->
+                Error (Printf.sprintf "line %d: DFF takes one input" lineno)
+              | S_input _ | S_gate _ -> Ok ()))
+        (Ok ()) statements
+    in
+    Result.bind sources_result (fun () ->
+        Result.bind (build_ready ()) (fun () ->
+            Result.bind (outputs_result ()) (fun () ->
+                match Netlist.validate t with
+                | Ok () ->
+                  let names = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+                  Ok (t, List.sort compare names)
+                | Error msg -> Error ("invalid netlist after parse: " ^ msg))))
+
+let parse_file tech ?out_load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse tech ?out_load text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let to_string ?(names = []) t =
+  let cmin = (Netlist.tech t).Pops_process.Tech.cmin in
+  let name_of_tbl = Hashtbl.create 64 in
+  List.iter (fun (name, id) -> Hashtbl.replace name_of_tbl id name) names;
+  let name_of id =
+    match Hashtbl.find_opt name_of_tbl id with
+    | Some n -> n
+    | None -> Printf.sprintf "n%d" id
+  in
+  let buf = Buffer.create 1024 in
+  let annotations n =
+    let parts = ref [] in
+    if n.Netlist.wire > 1e-9 then
+      parts := Printf.sprintf "wire=%.3f" n.Netlist.wire :: !parts;
+    if Float.abs (n.Netlist.cin -. cmin) > 1e-9 then
+      parts := Printf.sprintf "cin=%.3f" n.Netlist.cin :: !parts;
+    if !parts = [] then "" else " # " ^ String.concat " " !parts
+  in
+  List.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (name_of id)))
+    (Netlist.inputs t);
+  List.iter
+    (fun (id, _) -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (name_of id)))
+    (Netlist.outputs t);
+  List.iter
+    (fun id ->
+      let n = Netlist.node t id in
+      match n.Netlist.kind with
+      | Netlist.Primary_input -> ()
+      | Netlist.Cell kind ->
+        let args = Array.to_list (Array.map name_of n.Netlist.fanins) in
+        let line op = Printf.sprintf "%s = %s(%s)%s\n" (name_of id) op
+            (String.concat ", " args) (annotations n) in
+        (match kind with
+        | Gk.Inv -> Buffer.add_string buf (line "NOT")
+        | Gk.Buf -> Buffer.add_string buf (line "BUFF")
+        | Gk.Nand _ -> Buffer.add_string buf (line "NAND")
+        | Gk.Nor _ -> Buffer.add_string buf (line "NOR")
+        | Gk.Xor2 -> Buffer.add_string buf (line "XOR")
+        | Gk.Xnor2 -> Buffer.add_string buf (line "XNOR")
+        | Gk.Aoi21 -> Buffer.add_string buf (line "AOI21")
+        | Gk.Oai21 -> Buffer.add_string buf (line "OAI21")
+        | Gk.Aoi22 -> Buffer.add_string buf (line "AOI22")
+        | Gk.Oai22 -> Buffer.add_string buf (line "OAI22")))
+    (List.filter
+       (fun id ->
+         match (Netlist.node t id).Netlist.kind with
+         | Netlist.Cell _ -> true
+         | Netlist.Primary_input -> false)
+       (Netlist.topological_order t));
+  Buffer.contents buf
+
+let write_file ?names t path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?names t))

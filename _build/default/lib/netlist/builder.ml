@@ -1,0 +1,74 @@
+module Gk = Pops_cell.Gate_kind
+
+let inverter_chain tech ~n ~out_load =
+  assert (n >= 1);
+  let t = Netlist.create tech in
+  let input = Netlist.add_input t in
+  let rec build prev i =
+    if i = n then prev
+    else
+      let g = Netlist.add_gate t Gk.Inv [| prev |] in
+      build g (i + 1)
+  in
+  let last = build input 0 in
+  Netlist.set_output t last ~load:out_load;
+  t
+
+(* ISCAS'85 c17: all NAND2.
+     n10 = NAND(i1, i3)        n11 = NAND(i3, i4)
+     n16 = NAND(i2, n11)       n19 = NAND(n11, i5)
+     o22 = NAND(n10, n16)      o23 = NAND(n16, n19)  *)
+let c17 tech =
+  let t = Netlist.create tech in
+  let i1 = Netlist.add_input t in
+  let i2 = Netlist.add_input t in
+  let i3 = Netlist.add_input t in
+  let i4 = Netlist.add_input t in
+  let i5 = Netlist.add_input t in
+  let n10 = Netlist.add_gate t (Gk.Nand 2) [| i1; i3 |] in
+  let n11 = Netlist.add_gate t (Gk.Nand 2) [| i3; i4 |] in
+  let n16 = Netlist.add_gate t (Gk.Nand 2) [| i2; n11 |] in
+  let n19 = Netlist.add_gate t (Gk.Nand 2) [| n11; i5 |] in
+  let o22 = Netlist.add_gate t (Gk.Nand 2) [| n10; n16 |] in
+  let o23 = Netlist.add_gate t (Gk.Nand 2) [| n16; n19 |] in
+  Netlist.set_output t o22 ~load:10.;
+  Netlist.set_output t o23 ~load:10.;
+  t
+
+(* Full adder, NAND/XOR mapping:
+     x = a XOR b;  s = x XOR c
+     cout = NAND(NAND(a,b), NAND(x,c))    [= ab + xc] *)
+let ripple_carry_adder tech ~bits ~out_load =
+  assert (bits >= 1);
+  let t = Netlist.create tech in
+  let a = Array.init bits (fun _ -> Netlist.add_input t) in
+  let b = Array.init bits (fun _ -> Netlist.add_input t) in
+  let cin = Netlist.add_input t in
+  let carry = ref cin in
+  let sums =
+    Array.init bits (fun i ->
+        let x = Netlist.add_gate t Gk.Xor2 [| a.(i); b.(i) |] in
+        let s = Netlist.add_gate t Gk.Xor2 [| x; !carry |] in
+        let g1 = Netlist.add_gate t (Gk.Nand 2) [| a.(i); b.(i) |] in
+        let g2 = Netlist.add_gate t (Gk.Nand 2) [| x; !carry |] in
+        let cout = Netlist.add_gate t (Gk.Nand 2) [| g1; g2 |] in
+        carry := cout;
+        s)
+  in
+  Array.iter (fun s -> Netlist.set_output t s ~load:out_load) sums;
+  Netlist.set_output t !carry ~load:out_load;
+  t
+
+let adder_reference ~bits inputs =
+  assert (Array.length inputs = (2 * bits) + 1);
+  let a i = inputs.(i) and b i = inputs.(bits + i) in
+  let cin = inputs.(2 * bits) in
+  let sums = Array.make (bits + 1) false in
+  let carry = ref cin in
+  for i = 0 to bits - 1 do
+    let x = a i <> b i in
+    sums.(i) <- x <> !carry;
+    carry := (a i && b i) || (x && !carry)
+  done;
+  sums.(bits) <- !carry;
+  sums

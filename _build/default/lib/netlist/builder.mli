@@ -1,0 +1,18 @@
+(** Structural netlist builders for examples and tests. *)
+
+val inverter_chain : Pops_process.Tech.t -> n:int -> out_load:float -> Netlist.t
+(** [n] inverters in series, one primary input, one loaded output. *)
+
+val c17 : Pops_process.Tech.t -> Netlist.t
+(** The ISCAS'85 c17 benchmark — the one circuit small enough to encode
+    verbatim: 5 inputs, 6 NAND2 gates, 2 outputs. *)
+
+val ripple_carry_adder : Pops_process.Tech.t -> bits:int -> out_load:float -> Netlist.t
+(** A [bits]-wide ripple-carry adder from XOR2/NAND2 cells (the classic
+    9-gate-per-bit mapping): inputs [a0..a(n-1), b0..b(n-1), cin],
+    outputs [s0..s(n-1), cout].  The paper's "Adder16" workload. *)
+
+val adder_reference : bits:int -> bool array -> bool array
+(** Bit-level reference for {!ripple_carry_adder}: given the inputs in
+    the adder's primary-input order, the expected outputs in its
+    primary-output order.  Used to verify the structural construction. *)

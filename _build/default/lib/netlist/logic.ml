@@ -1,0 +1,169 @@
+module Gk = Pops_cell.Gate_kind
+
+let values_of_vector t inputs =
+  let input_ids = Netlist.inputs t in
+  if Array.length inputs <> List.length input_ids then
+    invalid_arg "Logic.eval: input vector length mismatch";
+  let values = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.replace values id inputs.(i)) input_ids;
+  let order = Netlist.topological_order t in
+  List.iter
+    (fun id ->
+      let n = Netlist.node t id in
+      match n.Netlist.kind with
+      | Netlist.Primary_input -> ()
+      | Netlist.Cell kind ->
+        let args = Array.map (Hashtbl.find values) n.Netlist.fanins in
+        Hashtbl.replace values id (Gk.eval kind args))
+    order;
+  values
+
+let eval t inputs =
+  let values = values_of_vector t inputs in
+  List.map (fun (id, _) -> (id, Hashtbl.find values id)) (Netlist.outputs t)
+
+let eval_packed t inputs =
+  let input_ids = Netlist.inputs t in
+  if Array.length inputs <> List.length input_ids then
+    invalid_arg "Logic.eval_packed: input vector length mismatch";
+  let values = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.replace values id inputs.(i)) input_ids;
+  let word kind (args : int64 array) =
+    let land_all () = Array.fold_left Int64.logand Int64.minus_one args in
+    let lor_all () = Array.fold_left Int64.logor Int64.zero args in
+    match kind with
+    | Gk.Inv -> Int64.lognot args.(0)
+    | Gk.Buf -> args.(0)
+    | Gk.Nand _ -> Int64.lognot (land_all ())
+    | Gk.Nor _ -> Int64.lognot (lor_all ())
+    | Gk.Aoi21 ->
+      Int64.lognot (Int64.logor (Int64.logand args.(0) args.(1)) args.(2))
+    | Gk.Oai21 ->
+      Int64.lognot (Int64.logand (Int64.logor args.(0) args.(1)) args.(2))
+    | Gk.Aoi22 ->
+      Int64.lognot
+        (Int64.logor (Int64.logand args.(0) args.(1)) (Int64.logand args.(2) args.(3)))
+    | Gk.Oai22 ->
+      Int64.lognot
+        (Int64.logand (Int64.logor args.(0) args.(1)) (Int64.logor args.(2) args.(3)))
+    | Gk.Xor2 -> Int64.logxor args.(0) args.(1)
+    | Gk.Xnor2 -> Int64.lognot (Int64.logxor args.(0) args.(1))
+  in
+  List.iter
+    (fun id ->
+      let n = Netlist.node t id in
+      match n.Netlist.kind with
+      | Netlist.Primary_input -> ()
+      | Netlist.Cell kind ->
+        let args = Array.map (Hashtbl.find values) n.Netlist.fanins in
+        Hashtbl.replace values id (word kind args))
+    (Netlist.topological_order t);
+  List.map (fun (id, _) -> (id, Hashtbl.find values id)) (Netlist.outputs t)
+
+let eval_node t inputs id =
+  let values = values_of_vector t inputs in
+  match Hashtbl.find_opt values id with
+  | Some v -> v
+  | None -> invalid_arg "Logic.eval_node: unknown node"
+
+let exhaustive_limit = 12
+
+let vector_to_string v =
+  String.concat "" (List.map (fun b -> if b then "1" else "0") (Array.to_list v))
+
+let equivalent ?(vectors = 512) ?(seed = 0x5EEDL) a b =
+  let n_in = Netlist.input_count a in
+  if n_in <> Netlist.input_count b then Error "input counts differ"
+  else if List.length (Netlist.outputs a) <> List.length (Netlist.outputs b) then
+    Error "output counts differ"
+  else begin
+    (* compare 64 vectors per evaluation; on mismatch, name the first
+       offending vector for diagnosis *)
+    let check_words words =
+      let oa = List.map snd (eval_packed a words)
+      and ob = List.map snd (eval_packed b words) in
+      let diff =
+        List.fold_left2 (fun acc x y -> Int64.logor acc (Int64.logxor x y))
+          Int64.zero oa ob
+      in
+      if diff = Int64.zero then Ok ()
+      else begin
+        (* find the lowest differing bit position *)
+        let rec first_bit j =
+          if Int64.logand (Int64.shift_right_logical diff j) 1L = 1L then j
+          else first_bit (j + 1)
+        in
+        let j = first_bit 0 in
+        let v =
+          Array.init n_in (fun i ->
+              Int64.logand (Int64.shift_right_logical words.(i) j) 1L = 1L)
+        in
+        Error (Printf.sprintf "mismatch on %s" (vector_to_string v))
+      end
+    in
+    let rec check_all = function
+      | [] -> Ok ()
+      | w :: rest ->
+        (match check_words w with Ok () -> check_all rest | Error _ as e -> e)
+    in
+    if n_in <= exhaustive_limit then begin
+      (* exhaustive in packed chunks of 64 patterns *)
+      let total = 1 lsl n_in in
+      let chunks = (total + 63) / 64 in
+      check_all
+        (List.init chunks (fun c ->
+             let base = c * 64 in
+             Array.init n_in (fun i ->
+                 let w = ref Int64.zero in
+                 for j = 0 to 63 do
+                   let pat = base + j in
+                   if pat < total && pat land (1 lsl i) <> 0 then
+                     w := Int64.logor !w (Int64.shift_left 1L j)
+                 done;
+                 !w)))
+    end
+    else begin
+      let rng = Pops_util.Rng.create seed in
+      let words = (vectors + 63) / 64 in
+      check_all
+        (List.init words (fun _ -> Array.init n_in (fun _ -> Pops_util.Rng.int64 rng)))
+    end
+  end
+
+let probabilities t input_prob =
+  let probs = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace probs id input_prob) (Netlist.inputs t);
+  List.iter
+    (fun id ->
+      let n = Netlist.node t id in
+      match n.Netlist.kind with
+      | Netlist.Primary_input -> ()
+      | Netlist.Cell kind ->
+        let arity = Gk.arity kind in
+        let fanin_p = Array.map (Hashtbl.find probs) n.Netlist.fanins in
+        (* enumerate input combinations; arities are <= 4 so this is
+           cheap and exact under the independence approximation *)
+        let p = ref 0. in
+        for pat = 0 to (1 lsl arity) - 1 do
+          let args = Array.init arity (fun i -> pat land (1 lsl i) <> 0) in
+          if Gk.eval kind args then begin
+            let weight = ref 1. in
+            Array.iteri
+              (fun i b -> weight := !weight *. (if b then fanin_p.(i) else 1. -. fanin_p.(i)))
+              args;
+            p := !p +. !weight
+          end
+        done;
+        Hashtbl.replace probs id !p)
+    (Netlist.topological_order t);
+  probs
+
+let signal_probabilities t ?(input_prob = 0.5) () = probabilities t input_prob
+
+let signal_probability t ?(input_prob = 0.5) id =
+  ignore (Netlist.node t id);
+  Hashtbl.find (probabilities t input_prob) id
+
+let switching_activity t ?input_prob id =
+  let p = signal_probability t ?input_prob id in
+  2. *. p *. (1. -. p)

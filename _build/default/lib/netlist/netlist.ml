@@ -1,0 +1,321 @@
+module Gk = Pops_cell.Gate_kind
+
+type node_kind = Primary_input | Cell of Gk.t
+
+type node = {
+  id : int;
+  mutable kind : node_kind;
+  mutable fanins : int array;
+  mutable fanouts : int list;
+  mutable cin : float;
+  mutable wire : float;
+}
+
+type t = {
+  tech : Pops_process.Tech.t;
+  mutable nodes : node option array;
+  mutable next_id : int;
+  mutable input_ids : int list;  (* reversed *)
+  mutable output_loads : (int * float) list;  (* reversed designation order *)
+}
+
+let create tech =
+  { tech; nodes = Array.make 64 None; next_id = 0; input_ids = []; output_loads = [] }
+
+let tech t = t.tech
+
+let grow t =
+  if t.next_id >= Array.length t.nodes then begin
+    let bigger = Array.make (2 * Array.length t.nodes) None in
+    Array.blit t.nodes 0 bigger 0 (Array.length t.nodes);
+    t.nodes <- bigger
+  end
+
+let node_exists t id = id >= 0 && id < t.next_id && t.nodes.(id) <> None
+
+let node t id =
+  if not (node_exists t id) then
+    invalid_arg (Printf.sprintf "Netlist.node: unknown id %d" id);
+  match t.nodes.(id) with Some n -> n | None -> assert false
+
+let alloc t kind fanins cin wire =
+  grow t;
+  let id = t.next_id in
+  let n = { id; kind; fanins; fanouts = []; cin; wire } in
+  t.nodes.(id) <- Some n;
+  t.next_id <- id + 1;
+  (* fanout lists hold each consumer once, even when it reads the same
+     source on several pins *)
+  Array.iter
+    (fun f ->
+      let src = node t f in
+      if not (List.mem id src.fanouts) then src.fanouts <- id :: src.fanouts)
+    fanins;
+  id
+
+let add_input ?name t =
+  ignore name;
+  let id = alloc t Primary_input [||] 0. 0. in
+  t.input_ids <- id :: t.input_ids;
+  id
+
+let add_gate ?cin ?(wire = 0.) t kind fanins =
+  let cin = Option.value cin ~default:t.tech.Pops_process.Tech.cmin in
+  if Array.length fanins <> Gk.arity kind then
+    invalid_arg
+      (Printf.sprintf "Netlist.add_gate: %s expects %d fanins, got %d" (Gk.name kind)
+         (Gk.arity kind) (Array.length fanins));
+  Array.iter
+    (fun f ->
+      if not (node_exists t f) then
+        invalid_arg (Printf.sprintf "Netlist.add_gate: unknown fanin %d" f))
+    fanins;
+  if cin <= 0. then invalid_arg "Netlist.add_gate: cin <= 0";
+  alloc t (Cell kind) (Array.copy fanins) cin wire
+
+let set_output t id ~load =
+  ignore (node t id);
+  if load < 0. then invalid_arg "Netlist.set_output: negative load";
+  if List.mem_assoc id t.output_loads then
+    t.output_loads <-
+      List.map (fun (i, l) -> if i = id then (i, load) else (i, l)) t.output_loads
+  else t.output_loads <- (id, load) :: t.output_loads
+
+let inputs t = List.rev t.input_ids
+let outputs t = List.rev t.output_loads
+
+let gate_ids t =
+  let acc = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    match t.nodes.(id) with
+    | Some n -> (match n.kind with Cell _ -> acc := id :: !acc | Primary_input -> ())
+    | None -> ()
+  done;
+  !acc
+
+let gate_count t = List.length (gate_ids t)
+let input_count t = List.length t.input_ids
+
+let set_cin t id cin =
+  let n = node t id in
+  (match n.kind with
+  | Primary_input -> invalid_arg "Netlist.set_cin: primary input"
+  | Cell _ -> ());
+  if cin <= 0. then invalid_arg "Netlist.set_cin: cin <= 0";
+  n.cin <- cin
+
+let set_wire t id wire =
+  if wire < 0. then invalid_arg "Netlist.set_wire: negative";
+  (node t id).wire <- wire
+
+let set_fanin t id ~pin new_src =
+  let n = node t id in
+  if pin < 0 || pin >= Array.length n.fanins then invalid_arg "Netlist.set_fanin: pin";
+  ignore (node t new_src);
+  let old_src = n.fanins.(pin) in
+  if old_src <> new_src then begin
+    n.fanins.(pin) <- new_src;
+    (* remove one occurrence of id from old_src's fanouts, unless another
+       pin still reads old_src *)
+    if not (Array.exists (fun f -> f = old_src) n.fanins) then
+      (node t old_src).fanouts <-
+        List.filter (fun f -> f <> id) (node t old_src).fanouts;
+    let tgt = node t new_src in
+    if not (List.mem id tgt.fanouts) then tgt.fanouts <- id :: tgt.fanouts
+  end
+
+let replace_kind t id kind =
+  let n = node t id in
+  (match n.kind with
+  | Primary_input -> invalid_arg "Netlist.replace_kind: primary input"
+  | Cell old ->
+    if Gk.arity old <> Gk.arity kind then
+      invalid_arg "Netlist.replace_kind: arity mismatch");
+  n.kind <- Cell kind
+
+let rewire_fanouts t ~from_ ~to_ ~except =
+  let src = node t from_ in
+  let consumers = List.filter (fun c -> not (List.mem c except)) src.fanouts in
+  List.iter
+    (fun c ->
+      let cn = node t c in
+      Array.iteri (fun pin f -> if f = from_ then set_fanin t cn.id ~pin to_) cn.fanins)
+    consumers;
+  (* move primary-output designation, keeping its position so the
+     output order (and thus logic-equivalence comparisons) is stable *)
+  if List.mem_assoc from_ t.output_loads then
+    t.output_loads <-
+      List.map (fun (i, l) -> if i = from_ then (to_, l) else (i, l)) t.output_loads
+
+let delete_gate t id =
+  let n = node t id in
+  if n.fanouts <> [] then invalid_arg "Netlist.delete_gate: has consumers";
+  if List.mem_assoc id t.output_loads then
+    invalid_arg "Netlist.delete_gate: is a primary output";
+  Array.iter
+    (fun f ->
+      if node_exists t f then
+        (node t f).fanouts <- List.filter (fun x -> x <> id) (node t f).fanouts)
+    n.fanins;
+  t.nodes.(id) <- None
+
+let live_ids t =
+  let acc = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    if t.nodes.(id) <> None then acc := id :: !acc
+  done;
+  !acc
+
+let topological_order t =
+  let ids = live_ids t in
+  let indegree = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      (* count distinct fan-in ids: a gate may read one source on several
+         pins, but that source appears once in the fanout list *)
+      let live_fanins =
+        Array.to_list (node t id).fanins
+        |> List.filter (node_exists t)
+        |> List.sort_uniq compare
+      in
+      Hashtbl.replace indegree id (List.length live_fanins))
+    ids;
+  let queue = Queue.create () in
+  List.iter (fun id -> if Hashtbl.find indegree id = 0 then Queue.add id queue) ids;
+  let order = ref [] and seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    incr seen;
+    List.iter
+      (fun c ->
+        if node_exists t c then begin
+          let d = Hashtbl.find indegree c - 1 in
+          Hashtbl.replace indegree c d;
+          if d = 0 then Queue.add c queue
+        end)
+      (node t id).fanouts
+  done;
+  if !seen <> List.length ids then failwith "Netlist.topological_order: cycle";
+  List.rev !order
+
+let depth t =
+  let d = Hashtbl.create 64 in
+  let order = topological_order t in
+  let result = ref 0 in
+  List.iter
+    (fun id ->
+      let n = node t id in
+      let level =
+        match n.kind with
+        | Primary_input -> 0
+        | Cell _ ->
+          1
+          + Array.fold_left
+              (fun acc f -> max acc (Option.value ~default:0 (Hashtbl.find_opt d f)))
+              0 n.fanins
+      in
+      Hashtbl.replace d id level;
+      result := max !result level)
+    order;
+  !result
+
+let load_on t id =
+  let n = node t id in
+  (* count pins, not consumers: a gate reading this net on several pins
+     presents its input capacitance once per pin *)
+  let fanout_cap =
+    List.fold_left
+      (fun acc c ->
+        let cn = node t c in
+        let pins =
+          Array.fold_left (fun k f -> if f = id then k + 1 else k) 0 cn.fanins
+        in
+        acc +. (float_of_int pins *. cn.cin))
+      0. n.fanouts
+  in
+  let terminal =
+    match List.assoc_opt id t.output_loads with Some l -> l | None -> 0.
+  in
+  fanout_cap +. n.wire +. terminal
+
+let validate t =
+  let ids = live_ids t in
+  let check_node id =
+    let n = node t id in
+    let arity_ok =
+      match n.kind with
+      | Primary_input -> Array.length n.fanins = 0
+      | Cell kind -> Array.length n.fanins = Gk.arity kind
+    in
+    if not arity_ok then Error (Printf.sprintf "node %d: arity mismatch" id)
+    else if Array.exists (fun f -> not (node_exists t f)) n.fanins then
+      Error (Printf.sprintf "node %d: dangling fanin" id)
+    else if
+      Array.exists (fun f -> not (List.mem id (node t f).fanouts)) n.fanins
+    then Error (Printf.sprintf "node %d: fanout list out of sync" id)
+    else if List.exists (fun c -> not (node_exists t c)) n.fanouts then
+      Error (Printf.sprintf "node %d: dangling fanout" id)
+    else if
+      List.exists
+        (fun c -> not (Array.exists (fun f -> f = id) (node t c).fanins))
+        n.fanouts
+    then Error (Printf.sprintf "node %d: fanout without matching fanin" id)
+    else if (match n.kind with Cell _ -> n.cin <= 0. | Primary_input -> false) then
+      Error (Printf.sprintf "node %d: non-positive cin" id)
+    else Ok ()
+  in
+  let rec all = function
+    | [] -> Ok ()
+    | id :: rest -> ( match check_node id with Ok () -> all rest | Error _ as e -> e)
+  in
+  match all ids with
+  | Error _ as e -> e
+  | Ok () -> (
+    match topological_order t with
+    | (_ : int list) -> Ok ()
+    | exception Failure msg -> Error msg)
+
+let kind_histogram t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      match (node t id).kind with
+      | Cell kind ->
+        let key = Gk.name kind in
+        let prev = Option.value ~default:(kind, 0) (Hashtbl.find_opt tbl key) in
+        Hashtbl.replace tbl key (kind, snd prev + 1)
+      | Primary_input -> ())
+    (gate_ids t);
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (Gk.name a) (Gk.name b))
+
+let total_area t lib =
+  List.fold_left
+    (fun acc id ->
+      let n = node t id in
+      match n.kind with
+      | Cell kind ->
+        acc +. Pops_cell.Cell.area (Pops_cell.Library.find lib kind) ~cin:n.cin
+      | Primary_input -> acc)
+    0. (gate_ids t)
+
+let copy t =
+  {
+    t with
+    nodes =
+      Array.map
+        (Option.map (fun n ->
+             { n with fanins = Array.copy n.fanins; fanouts = n.fanouts }))
+        t.nodes;
+  }
+
+let pp_stats ppf t =
+  Format.fprintf ppf "@[<v>netlist: %d inputs, %d gates, %d outputs, depth %d@ "
+    (input_count t) (gate_count t)
+    (List.length t.output_loads)
+    (depth t);
+  List.iter
+    (fun (kind, count) -> Format.fprintf ppf "%s: %d@ " (Gk.name kind) count)
+    (kind_histogram t);
+  Format.fprintf ppf "@]"

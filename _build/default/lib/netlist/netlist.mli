@@ -1,0 +1,99 @@
+(** Mutable gate-level netlists.
+
+    A netlist is a DAG of nodes: primary inputs and cell instances.  Each
+    cell node carries its gate kind, ordered fan-ins, a per-input input
+    capacitance (the sizing), and an extra wire capacitance on its
+    output.  Primary outputs are designated nodes with a terminal load.
+
+    The structure is mutable because the transforms (buffering,
+    De Morgan) rewrite it in place; {!validate} re-checks the invariants
+    after surgery and the logic/timing layers only consume validated
+    netlists. *)
+
+type node_kind = Primary_input | Cell of Pops_cell.Gate_kind.t
+
+type node = private {
+  id : int;
+  mutable kind : node_kind;
+  mutable fanins : int array;  (** ordered; empty for inputs *)
+  mutable fanouts : int list;  (** derived, kept consistent *)
+  mutable cin : float;  (** input capacitance per input pin, fF *)
+  mutable wire : float;  (** extra capacitance on the output net, fF *)
+}
+
+type t
+
+val create : Pops_process.Tech.t -> t
+val tech : t -> Pops_process.Tech.t
+
+val add_input : ?name:string -> t -> int
+(** New primary input node; returns its id. *)
+
+val add_gate : ?cin:float -> ?wire:float -> t -> Pops_cell.Gate_kind.t -> int array -> int
+(** [add_gate t kind fanins] adds a cell node ([cin] defaults to the
+    process minimum).
+    @raise Invalid_argument on arity mismatch or unknown fan-in ids. *)
+
+val set_output : t -> int -> load:float -> unit
+(** Mark a node as primary output with the given terminal load (fF);
+    calling again updates the load. *)
+
+val node : t -> int -> node
+(** @raise Invalid_argument on an unknown or deleted id. *)
+
+val node_exists : t -> int -> bool
+
+val inputs : t -> int list
+(** Primary input ids in creation order. *)
+
+val outputs : t -> (int * float) list
+(** Primary output ids with terminal loads, in designation order. *)
+
+val gate_ids : t -> int list
+(** All live cell-node ids, ascending. *)
+
+val gate_count : t -> int
+val input_count : t -> int
+
+val set_cin : t -> int -> float -> unit
+(** Resize a gate.  @raise Invalid_argument on inputs or bad sizes. *)
+
+val set_wire : t -> int -> float -> unit
+(** Set the extra wire capacitance on a node's output (fF, >= 0). *)
+
+val set_fanin : t -> int -> pin:int -> int -> unit
+(** Rewire one fan-in pin (fanout lists are updated). *)
+
+val replace_kind : t -> int -> Pops_cell.Gate_kind.t -> unit
+(** Change a gate's kind.  @raise Invalid_argument if the arity differs. *)
+
+val rewire_fanouts : t -> from_:int -> to_:int -> except:int list -> unit
+(** Point every fan-out pin reading [from_] (except the listed consumer
+    ids) at [to_]; primary-output designations on [from_] move too. *)
+
+val delete_gate : t -> int -> unit
+(** Remove a node with no fan-outs.
+    @raise Invalid_argument if consumers remain or it is an output. *)
+
+val topological_order : t -> int list
+(** All live nodes, inputs first.  @raise Failure on a cycle. *)
+
+val depth : t -> int
+(** Longest input-to-output path in gate counts. *)
+
+val load_on : t -> int -> float
+(** Capacitive load on a node's output: fan-out input capacitances +
+    wire + terminal load if it is a primary output. *)
+
+val validate : t -> (unit, string) result
+(** Full invariant check: arities, dangling ids, fanin/fanout symmetry,
+    acyclicity, positive sizes. *)
+
+val kind_histogram : t -> (Pops_cell.Gate_kind.t * int) list
+val total_area : t -> Pops_cell.Library.t -> float
+(** Total transistor width [Sigma W] over all gates, um. *)
+
+val copy : t -> t
+(** Deep copy (transforms mutate; benchmarks compare variants). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+module Gk = Pops_cell.Gate_kind
+
+let insert_buffer ?cin1 ?cin2 t ~after =
+  let b1 = Netlist.add_gate ?cin:cin1 t Gk.Inv [| after |] in
+  let b2 = Netlist.add_gate ?cin:cin2 t Gk.Inv [| b1 |] in
+  (* move all original consumers (and any output designation) to b2; the
+     first buffer inverter keeps reading the original node *)
+  Netlist.rewire_fanouts t ~from_:after ~to_:b2 ~except:[ b1 ];
+  (b1, b2)
+
+let insert_buffer_for ?cin1 ?cin2 t ~after ~only =
+  let b1 = Netlist.add_gate ?cin:cin1 t Gk.Inv [| after |] in
+  let b2 = Netlist.add_gate ?cin:cin2 t Gk.Inv [| b1 |] in
+  List.iter
+    (fun c ->
+      let cn = Netlist.node t c in
+      Array.iteri
+        (fun pin f -> if f = after then Netlist.set_fanin t c ~pin b2)
+        cn.Netlist.fanins)
+    only;
+  (b1, b2)
+
+let de_morgan t id =
+  let n = Netlist.node t id in
+  match n.Netlist.kind with
+  | Netlist.Primary_input -> Error "primary input"
+  | Netlist.Cell kind -> (
+    match Gk.de_morgan_dual kind with
+    | None -> Error (Printf.sprintf "%s has no De Morgan dual" (Gk.name kind))
+    | Some dual ->
+      (* invert (or absorb) each fan-in *)
+      Array.iteri
+        (fun pin src ->
+          let src_node = Netlist.node t src in
+          let absorbable =
+            match src_node.Netlist.kind with
+            | Netlist.Cell Gk.Inv ->
+              src_node.Netlist.fanouts = [ id ]
+              && not (List.mem_assoc src (Netlist.outputs t))
+            | Netlist.Cell
+                ( Gk.Buf | Gk.Nand _ | Gk.Nor _ | Gk.Aoi21 | Gk.Oai21 | Gk.Aoi22
+                | Gk.Oai22 | Gk.Xor2 | Gk.Xnor2 )
+            | Netlist.Primary_input -> false
+          in
+          if absorbable then begin
+            (* skip the inverter: read its own source directly *)
+            let upstream = src_node.Netlist.fanins.(0) in
+            Netlist.set_fanin t id ~pin upstream;
+            Netlist.delete_gate t src
+          end
+          else begin
+            let inv = Netlist.add_gate t Gk.Inv [| src |] in
+            Netlist.set_fanin t id ~pin inv
+          end)
+        n.Netlist.fanins;
+      Netlist.replace_kind t id dual;
+      (* output inverter restores the function; consumers move to it *)
+      let out_inv = Netlist.add_gate t Gk.Inv [| id |] in
+      Netlist.rewire_fanouts t ~from_:id ~to_:out_inv ~except:[ out_inv ];
+      Ok out_inv)
+
+let cleanup_inverter_pairs t =
+  let removed = ref 0 in
+  let is_inv id =
+    match (Netlist.node t id).Netlist.kind with
+    | Netlist.Cell Gk.Inv -> true
+    | Netlist.Cell
+        ( Gk.Buf | Gk.Nand _ | Gk.Nor _ | Gk.Aoi21 | Gk.Oai21 | Gk.Aoi22 | Gk.Oai22
+        | Gk.Xor2 | Gk.Xnor2 )
+    | Netlist.Primary_input -> false
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let candidates =
+      List.filter
+        (fun id ->
+          Netlist.node_exists t id && is_inv id
+          && (not (List.mem_assoc id (Netlist.outputs t)))
+          &&
+          let src = (Netlist.node t id).Netlist.fanins.(0) in
+          is_inv src)
+        (Netlist.gate_ids t)
+    in
+    List.iter
+      (fun second ->
+        if Netlist.node_exists t second then begin
+          let first = (Netlist.node t second).Netlist.fanins.(0) in
+          if
+            Netlist.node_exists t first && is_inv first
+            && not (List.mem_assoc second (Netlist.outputs t))
+          then begin
+            let origin = (Netlist.node t first).Netlist.fanins.(0) in
+            Netlist.rewire_fanouts t ~from_:second ~to_:origin ~except:[];
+            if (Netlist.node t second).Netlist.fanouts = [] then begin
+              Netlist.delete_gate t second;
+              incr removed;
+              if
+                (Netlist.node t first).Netlist.fanouts = []
+                && not (List.mem_assoc first (Netlist.outputs t))
+              then begin
+                Netlist.delete_gate t first;
+                incr removed
+              end;
+              progress := true
+            end
+          end
+        end)
+      candidates
+  done;
+  !removed

@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Array Float Mosfet Pops_cell Pops_delay Pops_process Pops_util Printf Waveform

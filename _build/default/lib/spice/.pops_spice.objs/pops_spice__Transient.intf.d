@@ -1,0 +1,1 @@
+lib/spice/transient.mli: Pops_delay Pops_process

@@ -1,0 +1,26 @@
+type params = { vth : float; k : float; alpha : float; vd0_coeff : float }
+
+let nmos (tech : Pops_process.Tech.t) =
+  { vth = tech.vtn; k = tech.kn; alpha = tech.alpha; vd0_coeff = 0.64 }
+
+let pmos (tech : Pops_process.Tech.t) =
+  {
+    vth = tech.vtp;
+    k = Pops_process.Tech.kp tech;
+    (* holes are less velocity-saturated: closer to the square law *)
+    alpha = Float.min 2. (tech.alpha +. 0.25);
+    vd0_coeff = 0.75;
+  }
+
+let current p ~w ~vgs ~vds =
+  if vgs <= p.vth || vds <= 0. || w <= 0. then 0.
+  else
+    let vov = vgs -. p.vth in
+    let idsat = p.k *. w *. (vov ** p.alpha) in
+    let vd0 = p.vd0_coeff *. (vov ** (p.alpha /. 2.)) in
+    if vds >= vd0 then idsat
+    else
+      let r = vds /. vd0 in
+      idsat *. r *. (2. -. r)
+
+let stack_width ~factor w ~n = w /. (1. +. (factor *. float_of_int (n - 1)))

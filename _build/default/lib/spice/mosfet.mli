@@ -1,0 +1,32 @@
+(** Alpha-power-law MOSFET model (Sakurai–Newton).
+
+    The transient simulator needs a transistor I–V law that is
+    {e independent} of the closed-form delay model it validates: here the
+    drain current is the nonlinear alpha-power law
+
+    [Idsat = k * W * (Vgs - Vth)^alpha]
+
+    with a linear region below the saturation voltage
+    [Vd0 = vd0_coeff * (Vgs - Vth)^(alpha/2)].  Velocity saturation makes
+    [alpha ~ 1.3] at 0.25 um (long-channel square law would be 2). *)
+
+type params = {
+  vth : float;  (** threshold, V *)
+  k : float;  (** transconductance, uA/um at 1 V overdrive *)
+  alpha : float;
+  vd0_coeff : float;  (** saturation-voltage coefficient *)
+}
+
+val nmos : Pops_process.Tech.t -> params
+val pmos : Pops_process.Tech.t -> params
+
+val current : params -> w:float -> vgs:float -> vds:float -> float
+(** Drain current in uA for a device of width [w] um; 0 below threshold;
+    [vgs] and [vds] are magnitudes (caller handles polarity). *)
+
+val stack_width : factor:float -> float -> n:int -> float
+(** Effective single-device width of an [n]-high series stack of
+    [w]-wide devices: [w / (1 + factor * (n-1))].  Use
+    {!Pops_cell.Cell.stack_factor_n} / [stack_factor_p] for the factor —
+    the same physical statement (N stacks soften under velocity
+    saturation, P stacks do not) that the analytical weights encode. *)

@@ -1,0 +1,187 @@
+module Path = Pops_delay.Path
+module Edge = Pops_delay.Edge
+module Cell = Pops_cell.Cell
+module Gk = Pops_cell.Gate_kind
+
+type result = {
+  stage_delays : float array;
+  stage_transitions : float array;
+  total_delay : float;
+}
+
+type stage_devices = {
+  w_n_eff : float;  (** effective pulldown width after stack reduction, um *)
+  w_p_eff : float;  (** effective pullup width, um *)
+  c_m : float;  (** coupling capacitance, fF *)
+  inverting : bool;
+}
+
+let devices_of_stage (tech : Pops_process.Tech.t) (st : Path.stage) ~cin ~edge_out =
+  let cell = st.Path.cell in
+  let kind = cell.Cell.kind in
+  let win = cin /. tech.cg_per_um in
+  let wn = win /. (1. +. cell.Cell.k) in
+  let wp = cell.Cell.k *. win /. (1. +. cell.Cell.k) in
+  let w_n_eff =
+    Mosfet.stack_width ~factor:Cell.stack_factor_n wn ~n:(Gk.series_n kind)
+  in
+  let w_p_eff =
+    Mosfet.stack_width ~factor:Cell.stack_factor_p wp ~n:(Gk.series_p kind)
+  in
+  let c_m = Pops_delay.Model.coupling_cap cell ~edge_out ~cin in
+  { w_n_eff; w_p_eff; c_m; inverting = Gk.inverting kind }
+
+(* Integrate one stage: input waveform vin, output settles to the rail
+   opposite its start.  Returns the sampled output waveform. *)
+let integrate_stage (tech : Pops_process.Tech.t) devices ~c_load ~vin ~edge_out ~steps =
+  let vdd = tech.vdd in
+  let nmos = Mosfet.nmos tech and pmos = Mosfet.pmos tech in
+  let v_start, v_target =
+    match edge_out with Edge.Falling -> (vdd, 0.) | Edge.Rising -> (0., vdd)
+  in
+  let c_node = c_load +. devices.c_m in
+  (* drive-time estimate for the integration window *)
+  let i_drive =
+    match edge_out with
+    | Edge.Falling -> Mosfet.current nmos ~w:devices.w_n_eff ~vgs:vdd ~vds:(vdd /. 2.)
+    | Edge.Rising -> Mosfet.current pmos ~w:devices.w_p_eff ~vgs:vdd ~vds:(vdd /. 2.)
+  in
+  let i_drive = Float.max 1e-3 i_drive in
+  let t_drive = 1000. *. c_node *. vdd /. i_drive in
+  let t0 = Waveform.t_start vin in
+  let simulate window =
+    let dt = window /. float_of_int steps in
+    let samples = Array.make (steps + 1) v_start in
+    (* control voltages: for a non-inverting (behavioural) stage the
+       internal inversion is folded in by swapping the control sense *)
+    let control t =
+      let v = Waveform.value vin t in
+      if devices.inverting then v else vdd -. v
+    in
+    let deriv t vout =
+      let vc = control t in
+      let i_down =
+        Mosfet.current nmos ~w:devices.w_n_eff ~vgs:vc ~vds:(Float.max 0. vout)
+      in
+      let i_up =
+        Mosfet.current pmos ~w:devices.w_p_eff ~vgs:(vdd -. vc)
+          ~vds:(Float.max 0. (vdd -. vout))
+      in
+      let miller =
+        let dvin =
+          if devices.inverting then Waveform.slope vin t else -.Waveform.slope vin t
+        in
+        devices.c_m *. dvin
+      in
+      (((i_up -. i_down) /. 1000.) +. miller) /. c_node
+    in
+    let v = ref v_start in
+    for i = 0 to steps - 1 do
+      let t = t0 +. (dt *. float_of_int i) in
+      let k1 = deriv t !v in
+      let k2 = deriv (t +. (dt /. 2.)) (!v +. (dt *. k1 /. 2.)) in
+      let k3 = deriv (t +. (dt /. 2.)) (!v +. (dt *. k2 /. 2.)) in
+      let k4 = deriv (t +. dt) (!v +. (dt *. k3)) in
+      v := !v +. (dt /. 6. *. (k1 +. (2. *. k2) +. (2. *. k3) +. k4));
+      v := Pops_util.Numerics.clamp ~lo:(-0.5) ~hi:(vdd +. 0.5) !v;
+      samples.(i + 1) <- !v
+    done;
+    (Waveform.create ~t0 ~dt samples, !v)
+  in
+  (* settled = at the target rail, or past it in the drive direction
+     (Miller injection can overshoot the rail and the model has no
+     reverse-conduction path to bring it back exactly) *)
+  let settled v_final =
+    match edge_out with
+    | Edge.Rising -> v_final >= v_target -. (0.05 *. vdd)
+    | Edge.Falling -> v_final <= v_target +. (0.05 *. vdd)
+  in
+  let rec attempt window tries =
+    let wave, v_final = simulate window in
+    if settled v_final then wave
+    else if tries > 0 then attempt (window *. 3.) (tries - 1)
+    else
+      failwith
+        (Printf.sprintf "Transient: stage did not settle (v=%.2f, target=%.2f)"
+           v_final v_target)
+  in
+  attempt (Waveform.t_end vin -. t0 +. (10. *. t_drive)) 2
+
+let simulate_path ?(steps_per_stage = 2000) (path : Path.t) sizing =
+  let tech = path.Path.tech in
+  let vdd = tech.vdd in
+  let x = Path.clamp_sizing path sizing in
+  let n = Path.length path in
+  let loads = Path.loads path x in
+  let dt0 = Float.max 0.05 (path.Path.input_slope /. 200.) in
+  let input =
+    match path.Path.input_edge with
+    | Edge.Rising ->
+      Waveform.ramp ~t0:0. ~duration:path.Path.input_slope ~v_from:0. ~v_to:vdd ~dt:dt0
+    | Edge.Falling ->
+      Waveform.ramp ~t0:0. ~duration:path.Path.input_slope ~v_from:vdd ~v_to:0. ~dt:dt0
+  in
+  let stage_delays = Array.make n 0. in
+  let stage_transitions = Array.make n 0. in
+  let vin = ref input in
+  let in_edge = ref path.Path.input_edge in
+  for i = 0 to n - 1 do
+    let edge_out = path.Path.edges.(i) in
+    let devices = devices_of_stage tech path.Path.stages.(i) ~cin:x.(i) ~edge_out in
+    let vout =
+      integrate_stage tech devices ~c_load:loads.(i) ~vin:!vin ~edge_out
+        ~steps:steps_per_stage
+    in
+    let mid = vdd /. 2. in
+    let t_in =
+      Waveform.crossing !vin ~level:mid ~rising:(Edge.equal !in_edge Edge.Rising)
+    in
+    let t_out =
+      Waveform.crossing vout ~level:mid ~rising:(Edge.equal edge_out Edge.Rising)
+    in
+    (match (t_in, t_out) with
+    | Some a, Some b -> stage_delays.(i) <- b -. a
+    | Some _, None | None, Some _ | None, None ->
+      failwith "Transient: missing 50% crossing");
+    (match
+       Waveform.transition_time vout ~vdd ~rising:(Edge.equal edge_out Edge.Rising)
+     with
+    | Some tr -> stage_transitions.(i) <- tr
+    | None -> failwith "Transient: missing transition measurement");
+    vin := vout;
+    in_edge := edge_out
+  done;
+  let t_first =
+    Waveform.crossing input ~level:(vdd /. 2.)
+      ~rising:(Edge.equal path.Path.input_edge Edge.Rising)
+  in
+  let t_last =
+    Waveform.crossing !vin ~level:(vdd /. 2.)
+      ~rising:(Edge.equal path.Path.edges.(n - 1) Edge.Rising)
+  in
+  let total_delay =
+    match (t_first, t_last) with
+    | Some a, Some b -> b -. a
+    | Some _, None | None, Some _ | None, None ->
+      failwith "Transient: missing path crossing"
+  in
+  { stage_delays; stage_transitions; total_delay }
+
+let simulate_path_worst ?steps_per_stage path sizing =
+  let r1 = simulate_path ?steps_per_stage path sizing in
+  let flipped = Path.with_input_edge path (Edge.flip path.Path.input_edge) in
+  let r2 = simulate_path ?steps_per_stage flipped sizing in
+  if r1.total_delay >= r2.total_delay then r1 else r2
+
+let fo4 tech =
+  let lib = Pops_cell.Library.make ~kinds:[ Gk.Inv ] tech in
+  let path =
+    Path.of_kinds ~lib ~c_out:(64. *. tech.Pops_process.Tech.cmin)
+      [ Gk.Inv; Gk.Inv; Gk.Inv ]
+  in
+  let cmin = tech.Pops_process.Tech.cmin in
+  let sizing = [| cmin; 4. *. cmin; 16. *. cmin |] in
+  let r1 = simulate_path path sizing in
+  let flipped = Path.with_input_edge path (Edge.flip path.Path.input_edge) in
+  let r2 = simulate_path flipped sizing in
+  0.5 *. (r1.stage_delays.(1) +. r2.stage_delays.(1))

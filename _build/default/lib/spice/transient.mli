@@ -1,0 +1,41 @@
+(** Gate-level transient simulation of a sized path — the HSPICE
+    stand-in.
+
+    Each stage is simulated as a static-CMOS stage: the switching input
+    ramps (the previous stage's simulated output waveform), the pull-up
+    and pull-down networks conduct per the alpha-power law (including the
+    short-circuit interval where both are on), series stacks are reduced
+    to effective widths, and the input-to-output coupling capacitance
+    injects the Miller current.  The output node ODE
+
+    [(C_L + C_M) dVout/dt = I_pullup - I_pulldown + C_M dVin/dt]
+
+    is integrated with fixed-step RK4.  Delays are measured at the 50%
+    crossings and transitions as scaled 20–80% intervals, exactly as a
+    SPICE deck would.
+
+    The simulator shares the process parameters with the analytical model
+    but none of its equations: eq. (1)–(3) are linear closed forms, this
+    is a nonlinear I–V integration.  Agreement between the two is the
+    validation the paper performs against HSPICE. *)
+
+type result = {
+  stage_delays : float array;  (** 50%-to-50% per stage, ps *)
+  stage_transitions : float array;  (** scaled 20–80% output transitions, ps *)
+  total_delay : float;  (** input 50% to final output 50%, ps *)
+}
+
+val simulate_path :
+  ?steps_per_stage:int -> Pops_delay.Path.t -> float array -> result
+(** [simulate_path path sizing] drives the path with a ramp of the path's
+    [input_slope] and polarity and propagates stage by stage.
+    [steps_per_stage] (default 2000) controls integration resolution.
+    @raise Failure if a stage output never settles (diagnostic, should
+    not happen on valid paths). *)
+
+val simulate_path_worst : ?steps_per_stage:int -> Pops_delay.Path.t -> float array -> result
+(** {!simulate_path} for both input polarities, returning the slower. *)
+
+val fo4 : Pops_process.Tech.t -> float
+(** Simulated FO4 inverter delay (both edges averaged) — used to check
+    the calibration of the analytical time unit [tau]. *)

@@ -1,0 +1,56 @@
+type t = { t0 : float; dt : float; samples : float array }
+
+let create ~t0 ~dt samples =
+  if Array.length samples = 0 then invalid_arg "Waveform.create: empty";
+  if dt <= 0. then invalid_arg "Waveform.create: dt <= 0";
+  { t0; dt; samples }
+
+let ramp ~t0 ~duration ~v_from ~v_to ~dt =
+  let n = max 2 (int_of_float (ceil (duration /. dt))) in
+  let samples =
+    Array.init (n + 2) (fun i ->
+        if i = 0 then v_from
+        else if i > n then v_to
+        else v_from +. ((v_to -. v_from) *. float_of_int (i - 1) /. float_of_int (n - 1)))
+  in
+  (* first sample sits one dt before the ramp foot *)
+  { t0 = t0 -. dt; dt; samples }
+
+let t_start w = w.t0
+let t_end w = w.t0 +. (w.dt *. float_of_int (Array.length w.samples - 1))
+
+let value w t =
+  let n = Array.length w.samples in
+  let pos = (t -. w.t0) /. w.dt in
+  if pos <= 0. then w.samples.(0)
+  else if pos >= float_of_int (n - 1) then w.samples.(n - 1)
+  else
+    let i = int_of_float pos in
+    let frac = pos -. float_of_int i in
+    ((1. -. frac) *. w.samples.(i)) +. (frac *. w.samples.(i + 1))
+
+let slope w t =
+  let h = w.dt /. 2. in
+  (value w (t +. h) -. value w (t -. h)) /. (2. *. h)
+
+let crossing w ~level ~rising =
+  let n = Array.length w.samples in
+  let rec go i =
+    if i >= n - 1 then None
+    else
+      let a = w.samples.(i) and b = w.samples.(i + 1) in
+      let crossed = if rising then a <= level && b > level else a >= level && b < level in
+      if crossed then
+        let frac = (level -. a) /. (b -. a) in
+        Some (w.t0 +. (w.dt *. (float_of_int i +. frac)))
+      else go (i + 1)
+  in
+  go 0
+
+let transition_time w ~vdd ~rising =
+  let lo = 0.2 *. vdd and hi = 0.8 *. vdd in
+  let t_lo = crossing w ~level:(if rising then lo else hi) ~rising in
+  let t_hi = crossing w ~level:(if rising then hi else lo) ~rising in
+  match (t_lo, t_hi) with
+  | Some a, Some b when b > a -> Some ((b -. a) /. 0.6)
+  | Some _, Some _ | Some _, None | None, Some _ | None, None -> None

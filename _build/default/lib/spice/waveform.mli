@@ -1,0 +1,31 @@
+(** Sampled voltage waveforms for the transient simulator.
+
+    A waveform is a uniformly sampled trace starting at [t0] with step
+    [dt]; values before the first sample hold the first value, values
+    after the last hold the last (DC settling). *)
+
+type t
+
+val create : t0:float -> dt:float -> float array -> t
+(** @raise Invalid_argument on an empty sample array or [dt <= 0.]. *)
+
+val ramp : t0:float -> duration:float -> v_from:float -> v_to:float -> dt:float -> t
+(** Saturated linear ramp from [v_from] to [v_to] over [duration] ps,
+    padded with one flat sample on each side. *)
+
+val value : t -> float -> float
+(** Linear interpolation, clamped at both ends. *)
+
+val slope : t -> float -> float
+(** Finite-difference slope (V/ps) at a time. *)
+
+val t_start : t -> float
+val t_end : t -> float
+
+val crossing : t -> level:float -> rising:bool -> float option
+(** First time the waveform crosses [level] in the given direction
+    (linear interpolation between samples). *)
+
+val transition_time : t -> vdd:float -> rising:bool -> float option
+(** 20%–80% crossing interval scaled to the full swing (divided by 0.6) —
+    comparable to the analytical model's extrapolated transition time. *)

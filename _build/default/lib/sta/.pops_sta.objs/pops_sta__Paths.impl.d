@@ -1,0 +1,1 @@
+lib/sta/paths.ml: Array Float Hashtbl List Obj Pops_cell Pops_delay Pops_netlist Pops_process Printf String Timing

@@ -1,0 +1,1 @@
+lib/sta/power.ml: Hashtbl List Pops_cell Pops_netlist Pops_process

@@ -1,0 +1,1 @@
+lib/sta/power.mli: Pops_cell Pops_netlist

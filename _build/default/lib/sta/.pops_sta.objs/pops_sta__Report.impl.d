@@ -1,0 +1,1 @@
+lib/sta/report.ml: Format Hashtbl List Pops_cell Pops_delay Pops_netlist Pops_util Timing

@@ -1,0 +1,1 @@
+lib/sta/report.mli: Pops_cell Pops_delay Pops_netlist Timing

@@ -1,0 +1,1 @@
+lib/sta/timing.ml: Array Hashtbl List Option Pops_cell Pops_delay Pops_netlist Pops_process

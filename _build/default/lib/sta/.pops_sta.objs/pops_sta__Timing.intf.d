@@ -1,0 +1,1 @@
+lib/sta/timing.mli: Pops_cell Pops_delay Pops_netlist

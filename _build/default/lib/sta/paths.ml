@@ -1,0 +1,210 @@
+module Netlist = Pops_netlist.Netlist
+module Gk = Pops_cell.Gate_kind
+module Edge = Pops_delay.Edge
+module Path = Pops_delay.Path
+module Model = Pops_delay.Model
+
+type extracted = { nodes : int list; path : Path.t }
+
+let is_gate t id =
+  match (Netlist.node t id).Netlist.kind with
+  | Netlist.Cell _ -> true
+  | Netlist.Primary_input -> false
+
+let extract ?input_slope ~lib t nodes =
+  let nodes = List.filter (is_gate t) nodes in
+  if nodes = [] then invalid_arg "Paths.extract: no gates in path";
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      let nb = Netlist.node t b in
+      if not (Array.exists (fun f -> f = a) nb.Netlist.fanins) then
+        invalid_arg
+          (Printf.sprintf "Paths.extract: %d does not drive %d" a b);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check nodes;
+  let tech = Netlist.tech t in
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  let stage_of i id =
+    let node = Netlist.node t id in
+    let kind =
+      match node.Netlist.kind with
+      | Netlist.Cell k -> k
+      | Netlist.Primary_input -> assert false
+    in
+    let cell = Pops_cell.Library.find lib kind in
+    let total_load = Netlist.load_on t id in
+    let branch =
+      if i = n - 1 then 0.
+      else
+        let next = Netlist.node t arr.(i + 1) in
+        Float.max 0. (total_load -. next.Netlist.cin)
+    in
+    { Path.cell; branch }
+  in
+  let stages = List.mapi stage_of nodes in
+  let c_out =
+    let last_load = Netlist.load_on t arr.(n - 1) in
+    Float.max last_load (0.5 *. tech.Pops_process.Tech.cmin)
+  in
+  let drive_cin = (Netlist.node t arr.(0)).Netlist.cin in
+  let path = Path.make ?input_slope ~drive_cin ~tech ~c_out stages in
+  { nodes; path }
+
+(* edge-agnostic per-gate delay estimate (nominal input slope, worst
+   output edge) used as the additive metric for path enumeration *)
+let delay_estimates ~lib t =
+  let tech = Netlist.tech t in
+  let tau_in = 2. *. tech.Pops_process.Tech.tau in
+  let est = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      let n = Netlist.node t id in
+      match n.Netlist.kind with
+      | Netlist.Primary_input -> Hashtbl.replace est id 0.
+      | Netlist.Cell kind ->
+        let cell = Pops_cell.Library.find lib kind in
+        let cload =
+          Netlist.load_on t id +. Pops_cell.Cell.cpar cell ~cin:n.Netlist.cin
+        in
+        let d edge_out =
+          fst (Model.stage_delay cell ~edge_out ~tau_in ~cin:n.Netlist.cin ~cload)
+        in
+        Hashtbl.replace est id (Float.max (d Edge.Rising) (d Edge.Falling)))
+    (Netlist.topological_order t);
+  est
+
+let critical ?input_slope ~lib t =
+  let timing = Timing.analyze ?input_slope ~lib t in
+  extract ?input_slope ~lib t (Timing.critical_path timing)
+
+module Pq = struct
+  (* tiny max-priority queue on (priority, payload) *)
+  type 'a t = { mutable heap : (float * 'a) array; mutable size : int }
+
+  let create () = { heap = Array.make 64 (0., Obj.magic 0); size = 0 }
+
+  let swap q i j =
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(j);
+    q.heap.(j) <- tmp
+
+  let push q prio v =
+    if q.size >= Array.length q.heap then begin
+      let bigger = Array.make (2 * Array.length q.heap) q.heap.(0) in
+      Array.blit q.heap 0 bigger 0 q.size;
+      q.heap <- bigger
+    end;
+    q.heap.(q.size) <- (prio, v);
+    let i = ref q.size in
+    q.size <- q.size + 1;
+    while !i > 0 && fst q.heap.((!i - 1) / 2) < fst q.heap.(!i) do
+      swap q !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop q =
+    if q.size = 0 then None
+    else begin
+      let top = q.heap.(0) in
+      q.size <- q.size - 1;
+      q.heap.(0) <- q.heap.(q.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let largest = ref !i in
+        if l < q.size && fst q.heap.(l) > fst q.heap.(!largest) then largest := l;
+        if r < q.size && fst q.heap.(r) > fst q.heap.(!largest) then largest := r;
+        if !largest <> !i then begin
+          swap q !i !largest;
+          i := !largest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let k_worst ?(k = 5) ?input_slope ~lib t =
+  let est = delay_estimates ~lib t in
+  (* longest-suffix bound per node under the estimate metric *)
+  let suffix = Hashtbl.create 64 in
+  let order = List.rev (Netlist.topological_order t) in
+  List.iter
+    (fun id ->
+      let n = Netlist.node t id in
+      let best =
+        List.fold_left
+          (fun acc c ->
+            Float.max acc (Hashtbl.find est c +. Hashtbl.find suffix c))
+          0. n.Netlist.fanouts
+      in
+      Hashtbl.replace suffix id best)
+    order;
+  let is_output id = List.mem_assoc id (Netlist.outputs t) in
+  let q = Pq.create () in
+  List.iter
+    (fun pi -> Pq.push q (Hashtbl.find suffix pi) (0., [ pi ]))
+    (Netlist.inputs t);
+  let results = ref [] and n_results = ref 0 and pops = ref 0 in
+  let want = 3 * k in
+  let rec search () =
+    if !n_results >= want || !pops > 200_000 then ()
+    else
+      match Pq.pop q with
+      | None -> ()
+      | Some (_, (d, rev_nodes)) ->
+        incr pops;
+        let head = List.hd rev_nodes in
+        let node = Netlist.node t head in
+        if is_output head then begin
+          results := List.rev rev_nodes :: !results;
+          incr n_results
+        end;
+        List.iter
+          (fun c ->
+            let d' = d +. Hashtbl.find est c in
+            Pq.push q (d' +. Hashtbl.find suffix c) (d', c :: rev_nodes))
+          node.Netlist.fanouts;
+        search ()
+  in
+  search ();
+  (* re-rank candidates by exact extracted path delay; deduplicate on the
+     gate-only node list (two raw paths may share every gate and differ
+     only in the primary input) *)
+  let seen = Hashtbl.create 16 in
+  let extracted =
+    List.filter_map
+      (fun nodes ->
+        match extract ?input_slope ~lib t nodes with
+        | e ->
+          let key = String.concat "," (List.map string_of_int e.nodes) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.replace seen key ();
+            Some e
+          end
+        | exception Invalid_argument _ -> None)
+      (List.rev !results)
+  in
+  let with_delay =
+    List.map
+      (fun e ->
+        let sizing =
+          Array.of_list
+            (List.map (fun id -> (Netlist.node t id).Netlist.cin) e.nodes)
+        in
+        (Path.delay_worst e.path sizing, e))
+      extracted
+  in
+  List.sort (fun (d1, _) (d2, _) -> compare d2 d1) with_delay
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map snd
+
+let apply_sizing t nodes sizing =
+  if List.length nodes <> Array.length sizing then
+    invalid_arg "Paths.apply_sizing: length mismatch";
+  List.iteri (fun i id -> Netlist.set_cin t id sizing.(i)) nodes

@@ -1,0 +1,41 @@
+(** Path selection and extraction — the "PS" of POPS.
+
+    The optimizer works on {e bounded combinational paths}; this module
+    extracts them from netlists: the critical path, or the K most
+    critical paths (paper ref. [11]), each converted to a
+    {!Pops_delay.Path.t} whose per-stage branch loads are the off-path
+    fan-out capacitances of the real circuit.  After optimization,
+    {!apply_sizing} writes the gate sizes back into the netlist. *)
+
+type extracted = {
+  nodes : int list;  (** gate ids along the path, source side first *)
+  path : Pops_delay.Path.t;  (** the bounded-path view *)
+}
+
+val extract :
+  ?input_slope:float -> lib:Pops_cell.Library.t ->
+  Pops_netlist.Netlist.t -> int list -> extracted
+(** [extract ~lib t nodes] builds the bounded path through the given
+    gate ids (a primary-input head is dropped automatically): stage [i]'s
+    branch load is everything node [i] drives except the next on-path
+    gate; the terminal load is everything the last node drives plus its
+    output load.
+    @raise Invalid_argument if the ids are not a connected gate chain. *)
+
+val critical :
+  ?input_slope:float -> lib:Pops_cell.Library.t ->
+  Pops_netlist.Netlist.t -> extracted
+(** {!extract} on the STA critical path. *)
+
+val k_worst :
+  ?k:int -> ?input_slope:float -> lib:Pops_cell.Library.t ->
+  Pops_netlist.Netlist.t -> extracted list
+(** The [k] (default 5) most critical {e distinct} input-to-output paths
+    by STA delay, worst first, found by best-first enumeration with
+    longest-suffix pruning. *)
+
+val apply_sizing : Pops_netlist.Netlist.t -> int list -> float array -> unit
+(** [apply_sizing t nodes sizing] writes the path sizing back into the
+    netlist (entry 0 included — the extracted path's drive stage is a
+    real gate).
+    @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,41 @@
+module Netlist = Pops_netlist.Netlist
+module Logic = Pops_netlist.Logic
+
+type report = {
+  dynamic_uw : float;
+  leakage_uw : float;
+  switched_cap : float;
+  area : float;
+  per_node : (int * float) list;
+}
+
+let analyze ?(freq_mhz = 100.) ?input_prob ~lib t =
+  let tech = Netlist.tech t in
+  let vdd = tech.Pops_process.Tech.vdd in
+  let node_cap id =
+    let n = Netlist.node t id in
+    let cpar =
+      match n.Netlist.kind with
+      | Netlist.Cell kind ->
+        Pops_cell.Cell.cpar (Pops_cell.Library.find lib kind) ~cin:n.Netlist.cin
+      | Netlist.Primary_input -> 0.
+    in
+    Netlist.load_on t id +. cpar
+  in
+  let ids = Netlist.inputs t @ Netlist.gate_ids t in
+  let probs = Logic.signal_probabilities t ?input_prob () in
+  let per_node =
+    List.map
+      (fun id ->
+        let p1 = Hashtbl.find probs id in
+        let activity = 2. *. p1 *. (1. -. p1) in
+        let cap = node_cap id in
+        (* fF * V^2 * MHz = nW -> uW *)
+        (id, activity *. cap *. vdd *. vdd *. freq_mhz /. 1000.))
+      ids
+  in
+  let dynamic_uw = List.fold_left (fun acc (_, p) -> acc +. p) 0. per_node in
+  let switched_cap = dynamic_uw *. 1000. /. (vdd *. vdd *. freq_mhz) in
+  let area = Netlist.total_area t lib in
+  let leakage_uw = tech.Pops_process.Tech.i_leak_per_um *. area *. vdd /. 1000. in
+  { dynamic_uw; leakage_uw; switched_cap; area; per_node }

@@ -1,0 +1,137 @@
+module Netlist = Pops_netlist.Netlist
+module Gk = Pops_cell.Gate_kind
+module Edge = Pops_delay.Edge
+module Model = Pops_delay.Model
+
+type arrival = { time : float; slope : float; from_ : (int * Edge.t) option }
+
+type t = {
+  netlist : Netlist.t;
+  lib : Pops_cell.Library.t;
+  rise : (int, arrival) Hashtbl.t;
+  fall : (int, arrival) Hashtbl.t;
+}
+
+let table t = function Edge.Rising -> t.rise | Edge.Falling -> t.fall
+
+let arrival t id edge =
+  match Hashtbl.find_opt (table t edge) id with
+  | Some a -> a
+  | None -> raise Not_found
+
+(* input edges that can cause the given output edge *)
+let causing_input_edges kind edge_out =
+  match kind with
+  | Gk.Xnor2 | Gk.Xor2 -> [ Edge.Rising; Edge.Falling ]
+  | Gk.Inv | Gk.Nand _ | Gk.Nor _ | Gk.Aoi21 | Gk.Oai21 | Gk.Aoi22 | Gk.Oai22 ->
+    [ Edge.flip edge_out ]
+  | Gk.Buf -> [ edge_out ]
+
+let analyze ?input_slope ?(input_arrival = 0.) ~lib netlist =
+  let tech = Netlist.tech netlist in
+  let input_slope =
+    Option.value input_slope ~default:(2. *. tech.Pops_process.Tech.tau)
+  in
+  let t = { netlist; lib; rise = Hashtbl.create 64; fall = Hashtbl.create 64 } in
+  let order = Netlist.topological_order netlist in
+  List.iter
+    (fun id ->
+      let n = Netlist.node netlist id in
+      match n.Netlist.kind with
+      | Netlist.Primary_input ->
+        let a = { time = input_arrival; slope = input_slope; from_ = None } in
+        Hashtbl.replace t.rise id a;
+        Hashtbl.replace t.fall id a
+      | Netlist.Cell kind ->
+        let cell = Pops_cell.Library.find lib kind in
+        let cload =
+          Netlist.load_on netlist id +. Pops_cell.Cell.cpar cell ~cin:n.Netlist.cin
+        in
+        let eval edge_out =
+          let best = ref None in
+          List.iter
+            (fun edge_in ->
+              Array.iter
+                (fun fanin ->
+                  match Hashtbl.find_opt (table t edge_in) fanin with
+                  | None -> ()
+                  | Some src ->
+                    let d, tau_out =
+                      Model.stage_delay cell ~edge_out ~tau_in:src.slope
+                        ~cin:n.Netlist.cin ~cload
+                    in
+                    let cand =
+                      {
+                        time = src.time +. d;
+                        slope = tau_out;
+                        from_ = Some (fanin, edge_in);
+                      }
+                    in
+                    (match !best with
+                    | Some b when b.time >= cand.time -> ()
+                    | Some _ | None -> best := Some cand))
+                n.Netlist.fanins)
+            (causing_input_edges kind edge_out);
+          !best
+        in
+        (match eval Edge.Rising with
+        | Some a -> Hashtbl.replace t.rise id a
+        | None -> ());
+        (match eval Edge.Falling with
+        | Some a -> Hashtbl.replace t.fall id a
+        | None -> ()))
+    order;
+  t
+
+let node_worst t id =
+  match (Hashtbl.find_opt t.rise id, Hashtbl.find_opt t.fall id) with
+  | Some r, Some f -> if r.time >= f.time then (Edge.Rising, r) else (Edge.Falling, f)
+  | Some r, None -> (Edge.Rising, r)
+  | None, Some f -> (Edge.Falling, f)
+  | None, None -> raise Not_found
+
+let critical_endpoint t =
+  let best = ref None in
+  List.iter
+    (fun (id, _) ->
+      match node_worst t id with
+      | edge, a -> (
+        match !best with
+        | Some (_, _, b) when b.time >= a.time -> ()
+        | Some _ | None -> best := Some (id, edge, a))
+      | exception Not_found -> ())
+    (Netlist.outputs t.netlist);
+  !best
+
+let critical_delay t =
+  match critical_endpoint t with Some (_, _, a) -> a.time | None -> 0.
+
+let backtrack t id edge =
+  let rec go id edge acc =
+    let acc = id :: acc in
+    match (arrival t id edge).from_ with
+    | None -> acc
+    | Some (src, src_edge) -> go src src_edge acc
+  in
+  go id edge []
+
+let critical_path t =
+  match critical_endpoint t with
+  | Some (id, edge, _) -> backtrack t id edge
+  | None -> []
+
+let path_through t id =
+  let edge, _ = node_worst t id in
+  backtrack t id edge
+
+let min_clock_period ?setup t =
+  let setup =
+    match setup with
+    | Some s -> s
+    | None -> (Netlist.tech t.netlist).Pops_process.Tech.tau
+  in
+  critical_delay t +. setup
+
+let slack t ~tc id =
+  let _, a = node_worst t id in
+  tc -. a.time

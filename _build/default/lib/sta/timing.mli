@@ -1,0 +1,58 @@
+(** Static timing analysis over a sized netlist.
+
+    Arrival times and output transition times are propagated in
+    topological order using the closed-form delay model (eqs. 1–3),
+    separately for rising and falling node transitions.  Each gate
+    evaluates every fan-in: the fan-in's arrival plus the stage delay
+    computed with the gate's size, its total output load and the
+    fan-in's transition time; the worst result per output edge wins and
+    remembers which fan-in produced it (for path backtracking).
+
+    Inverting cells map a rising input to a falling output and vice
+    versa; XOR-class cells propagate both input edges to both output
+    edges (conservative). *)
+
+type arrival = {
+  time : float;  (** worst arrival, ps *)
+  slope : float;  (** transition time of that worst event, ps *)
+  from_ : (int * Pops_delay.Edge.t) option;
+      (** fan-in node and its edge producing the worst arrival;
+          [None] at primary inputs *)
+}
+
+type t
+(** Timing annotation of one netlist under one sizing state. *)
+
+val analyze :
+  ?input_slope:float -> ?input_arrival:float ->
+  lib:Pops_cell.Library.t -> Pops_netlist.Netlist.t -> t
+(** Run STA.  [input_slope] defaults to [2 * tau]; [input_arrival] to 0
+    for every primary input. *)
+
+val arrival : t -> int -> Pops_delay.Edge.t -> arrival
+(** Worst arrival of the given edge at a node's output.
+    @raise Not_found for unknown nodes. *)
+
+val node_worst : t -> int -> Pops_delay.Edge.t * arrival
+(** Worst arrival over both edges at a node. *)
+
+val critical_delay : t -> float
+(** Worst arrival over all primary outputs and edges. *)
+
+val critical_path : t -> int list
+(** Node ids (primary input included) of the critical path, source
+    first. *)
+
+val path_through : t -> int -> int list
+(** Critical path constrained to end at the given node. *)
+
+val min_clock_period : ?setup:float -> t -> float
+(** Minimum clock period for a netlist whose registers were split into
+    pseudo primary inputs/outputs (as {!Pops_netlist.Bench_io} does for
+    [DFF]s): the worst input-to-output arrival plus a setup time
+    (default: one process [tau]). *)
+
+val slack : t -> tc:float -> int -> float
+(** [tc - worst arrival at node] — positive means timing met at that
+    node for constraint [tc] (a path-level required-time view; the
+    protocol operates on extracted paths, this is for reporting). *)

@@ -1,0 +1,111 @@
+exception No_bracket of string
+
+let bisect ?(caller = "bisect") ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then
+    raise (No_bracket (Printf.sprintf "%s: f(%g)=%g, f(%g)=%g" caller lo flo hi fhi))
+  else
+    let rec loop lo hi flo iter =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo < tol || iter >= max_iter then mid
+      else
+        let fmid = f mid in
+        if fmid = 0. then mid
+        else if flo *. fmid < 0. then loop lo mid flo (iter + 1)
+        else loop mid hi fmid (iter + 1)
+    in
+    loop (min lo hi) (max lo hi) flo 0
+
+let newton ?(tol = 1e-12) ?(max_iter = 60) ~f ~df ~x0 () =
+  let rec loop x iter =
+    if iter >= max_iter then None
+    else
+      let fx = f x in
+      if Float.abs fx < tol then Some x
+      else
+        let d = df x in
+        if Float.abs d < 1e-300 then None
+        else
+          let x' = x -. (fx /. d) in
+          if not (Float.is_finite x') then None
+          else if Float.abs (x' -. x) < tol *. (1. +. Float.abs x') then Some x'
+          else loop x' (iter + 1)
+  in
+  loop x0 0
+
+let golden_ratio = (sqrt 5. -. 1.) /. 2.
+
+let golden_section_min ?(tol = 1e-10) ?(max_iter = 200) ~f ~lo ~hi () =
+  let rec loop a b x1 x2 f1 f2 iter =
+    if b -. a < tol || iter >= max_iter then
+      let xm = 0.5 *. (a +. b) in
+      (xm, f xm)
+    else if f1 < f2 then
+      let b = x2 and x2 = x1 and f2 = f1 in
+      let x1 = b -. (golden_ratio *. (b -. a)) in
+      loop a b x1 x2 (f x1) f2 (iter + 1)
+    else
+      let a = x1 and x1 = x2 and f1 = f2 in
+      let x2 = a +. (golden_ratio *. (b -. a)) in
+      loop a b x1 x2 f1 (f x2) (iter + 1)
+  in
+  let a = min lo hi and b = max lo hi in
+  let x1 = b -. (golden_ratio *. (b -. a)) in
+  let x2 = a +. (golden_ratio *. (b -. a)) in
+  loop a b x1 x2 (f x1) (f x2) 0
+
+let fixed_point ?(tol = 1e-9) ?(max_iter = 500) ~step ~distance x0 =
+  let rec loop x iter =
+    let x' = step x in
+    if distance x x' < tol || iter + 1 >= max_iter then (x', iter + 1)
+    else loop x' (iter + 1)
+  in
+  loop x0 0
+
+let fixed_point_trace ?(tol = 1e-9) ?(max_iter = 500) ~step ~distance x0 =
+  let rec loop x iter acc =
+    let x' = step x in
+    let acc = x' :: acc in
+    if distance x x' < tol || iter + 1 >= max_iter then List.rev acc
+    else loop x' (iter + 1) acc
+  in
+  loop x0 0 [ x0 ]
+
+let gradient ~f ?(h = 1e-5) x =
+  let n = Array.length x in
+  let g = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let xi = x.(i) in
+    let step = h *. Float.max 1. (Float.abs xi) in
+    x.(i) <- xi +. step;
+    let fp = f x in
+    x.(i) <- xi -. step;
+    let fm = f x in
+    x.(i) <- xi;
+    g.(i) <- (fp -. fm) /. (2. *. step)
+  done;
+  g
+
+let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0. x
+
+let distance_inf a b =
+  assert (Array.length a = Array.length b);
+  let d = ref 0. in
+  Array.iteri (fun i ai -> d := Float.max !d (Float.abs (ai -. b.(i)))) a;
+  !d
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+
+let close ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let linspace a b n =
+  assert (n >= 2);
+  let h = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (float_of_int i *. h))
+
+let logspace a b n =
+  assert (a > 0. && b > 0.);
+  Array.map exp (linspace (log a) (log b) n)

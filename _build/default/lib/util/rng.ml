@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let of_string s =
+  (* FNV-1a, 64-bit *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  create !h
+
+(* SplitMix64 output function (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let split t = create (int64 t)
+
+let float t bound =
+  assert (bound > 0.);
+  (* 53 high bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  let u = Int64.to_float bits /. 9007199254740992. in
+  u *. bound
+
+let int t bound =
+  assert (bound > 0);
+  (* keep 62 bits so Int64.to_int cannot wrap to a negative value *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let range t lo hi = lo +. float t (hi -. lo)
+
+let log_range t lo hi =
+  assert (0. < lo && lo < hi);
+  exp (range t (log lo) (log hi))
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let weighted_pick t choices =
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0. choices in
+  assert (total > 0.);
+  let target = float t total in
+  let rec go i acc =
+    let x, w = choices.(i) in
+    let acc = acc +. w in
+    if target < acc || i = Array.length choices - 1 then x else go (i + 1) acc
+  in
+  go 0 0.

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Benchmarks and the synthetic circuit generator must be reproducible
+    across runs and machines, so we do not use [Stdlib.Random].  The state
+    is explicit; splitting produces statistically independent streams, used
+    to give each generated benchmark circuit its own stream. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed. *)
+
+val of_string : string -> t
+(** [of_string s] seeds a generator from the FNV-1a hash of [s]; used to
+    derive a circuit's stream from its name. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new independent generator. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. [bound > 0.]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)]. [bound > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val range : t -> float -> float -> float
+(** [range t lo hi] draws uniformly from [\[lo, hi)]. *)
+
+val log_range : t -> float -> float -> float
+(** [log_range t lo hi] draws log-uniformly from [\[lo, hi)];
+    requires [0. < lo < hi]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted_pick : t -> ('a * float) array -> 'a
+(** [weighted_pick t choices] draws proportionally to the (positive)
+    weights. *)

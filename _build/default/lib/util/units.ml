@@ -1,0 +1,16 @@
+let ps_of_ns x = x *. 1000.
+let ns_of_ps x = x /. 1000.
+let ff_of_pf x = x *. 1000.
+let pf_of_ff x = x /. 1000.
+
+let pp_time ppf t =
+  if Float.abs t >= 1000. then Format.fprintf ppf "%.3f ns" (ns_of_ps t)
+  else Format.fprintf ppf "%.1f ps" t
+
+let pp_cap ppf c =
+  if Float.abs c >= 1000. then Format.fprintf ppf "%.3f pF" (pf_of_ff c)
+  else Format.fprintf ppf "%.2f fF" c
+
+let pp_width ppf w = Format.fprintf ppf "%.2f um" w
+
+let pp_percent ppf r = Format.fprintf ppf "%+.1f%%" (r *. 100.)

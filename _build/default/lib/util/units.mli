@@ -1,0 +1,28 @@
+(** Unit conventions and formatting.
+
+    Internal units throughout the code base:
+    - time: picoseconds (ps)
+    - capacitance: femtofarads (fF)
+    - voltage: volts (V)
+    - current: microamps (uA)  — so that uA / fF = V / ps holds exactly
+    - transistor width / area: micrometers (um) of gate width
+
+    These are the natural magnitudes of a 0.25 um process, keeping all
+    numbers near 1 and the ODE integration well conditioned. *)
+
+val ps_of_ns : float -> float
+val ns_of_ps : float -> float
+val ff_of_pf : float -> float
+val pf_of_ff : float -> float
+
+val pp_time : Format.formatter -> float -> unit
+(** Prints a time in ps with an adaptive unit (ps or ns). *)
+
+val pp_cap : Format.formatter -> float -> unit
+(** Prints a capacitance in fF with an adaptive unit (fF or pF). *)
+
+val pp_width : Format.formatter -> float -> unit
+(** Prints a transistor width in um. *)
+
+val pp_percent : Format.formatter -> float -> unit
+(** Prints a ratio as a signed percentage, e.g. [0.13 -> "+13.0%"]. *)

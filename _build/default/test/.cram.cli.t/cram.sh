@@ -1,0 +1,14 @@
+  $ pops tmin --gates inv,nand2,nor3,inv --cout 80
+  $ pops tmin --gates inv,frobnicator
+  $ pops size
+  $ pops flimit | head -8
+  $ pops size --gates inv,inv,inv --cout 40 --tc 10
+  $ cat > tiny.bench <<'BENCH'
+  > INPUT(a)
+  > INPUT(b)
+  > OUTPUT(y)
+  > n1 = NAND(a, b)
+  > y = NOT(n1)
+  > BENCH
+  $ pops bench-file tiny.bench --out tiny_out.bench
+  $ cat tiny_out.bench

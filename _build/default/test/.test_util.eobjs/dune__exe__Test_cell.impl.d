@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Float Format List Pops_cell Pops_delay Pops_process Pops_util QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Float Pops_cell Pops_flow Pops_netlist Pops_process Pops_sta Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Float Fun Hashtbl Int64 List Pops_cell Pops_netlist Pops_process Pops_util Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Float Format Pops_cell Pops_core Pops_delay Pops_process Pops_spice Pops_util Printf QCheck QCheck_alcotest Random

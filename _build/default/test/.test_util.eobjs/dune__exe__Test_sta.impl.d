@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Float List Option Pops_amps Pops_cell Pops_circuits Pops_core Pops_delay Pops_netlist Pops_process Pops_sta Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Format Fun Gen Hashtbl List Option Pops_util QCheck QCheck_alcotest Random String

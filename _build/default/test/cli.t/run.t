@@ -1,0 +1,73 @@
+The delay bounds of a custom path are deterministic:
+
+  $ pops tmin --gates inv,nand2,nor3,inv --cout 80
+  custom path [inv,nand2,nor3,inv]: 4 stages
+  Tmax (all gates at minimum drive) = 709.3 ps
+  Tmin (link-equation optimum)      = 435.3 ps
+  area at Tmin                      = 53.0 um
+  +-------+-------+----------+-------------+
+  | stage | gate  | cin (fF) | branch (fF) |
+  +-------+-------+----------+-------------+
+  |     0 | inv   |     2.80 |        0.00 |
+  |     1 | nand2 |     9.04 |        0.00 |
+  |     2 | nor3  |    19.99 |        0.00 |
+  |     3 | inv   |    17.28 |        0.00 |
+  +-------+-------+----------+-------------+
+  
+
+Unknown gates are rejected with the known list:
+
+  $ pops tmin --gates inv,frobnicator
+  pops: unknown gate in "inv,frobnicator" (known: inv, buf, nand2, nand3, nand4, nor2, nor3, nor4, aoi21, oai21, aoi22, oai22, xor2, xnor2)
+  [1]
+
+A path is required:
+
+  $ pops size
+  pops: a path is required: --circuit <name> or --gates <list>
+  [1]
+
+Library characterisation (Table 2's metric):
+
+  $ pops flimit | head -8
+  buffer-insertion fan-out limits (driver: inv)
+  +-------+--------+
+  | gate  | Flimit |
+  +-------+--------+
+  | inv   |    9.1 |
+  | nand2 |    6.1 |
+  | nand3 |    4.5 |
+  | nand4 |    3.6 |
+
+An infeasible constraint reports Tmin and points at the protocol:
+
+  $ pops size --gates inv,inv,inv --cout 40 --tc 10
+  custom path [inv,inv,inv]: sizing for Tc = 10.0 ps
+  INFEASIBLE: Tc is below the minimum achievable delay (191.7 ps).
+  Use `pops protocol' to apply structure modification.
+  [1]
+
+A .bench netlist file round-trips through analysis:
+
+  $ cat > tiny.bench <<'BENCH'
+  > INPUT(a)
+  > INPUT(b)
+  > OUTPUT(y)
+  > n1 = NAND(a, b)
+  > y = NOT(n1)
+  > BENCH
+
+  $ pops bench-file tiny.bench --out tiny_out.bench
+  netlist: 2 inputs, 2 gates, 1 outputs, depth 2
+  inv: 1
+  nand2: 1
+  
+  STA critical delay: 156.2 ps
+  wrote tiny_out.bench (with cin/wire annotations)
+
+  $ cat tiny_out.bench
+  INPUT(a)
+  INPUT(b)
+  OUTPUT(y)
+  n1 = NAND(a, b)
+  y = NOT(n1)
