@@ -30,8 +30,6 @@ type report = {
   equivalence : (unit, string) result;
 }
 
-let critical_delay ~lib t = Timing.critical_delay (Timing.analyze ~lib t)
-
 (* Map one path-level protocol decision back onto the netlist.  Sizing is
    a direct write-back; structural moves go through the logic-preserving
    Transform surgeries at the node the stage index points to.  After a
@@ -92,8 +90,8 @@ let apply_decision t (nodes : int array) (r : Protocol.report) =
   (!buffers, !rewrites)
 
 (* size the current critical path for tc (best effort below Tmin) *)
-let size_critical ~lib ~tc t =
-  let ex = Paths.critical ~lib t in
+let size_critical ~lib ~tc ~timing t =
+  let ex = Paths.critical ~timing ~lib t in
   let sizing =
     match Sens.size_for_constraint ex.Paths.path ~tc with
     | Ok r -> r.Sens.sizing
@@ -105,12 +103,16 @@ let size_critical ~lib ~tc t =
 
 let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib ~tc t =
   let reference = Netlist.copy t in
-  let initial_delay = critical_delay ~lib t in
+  (* one persistent analysis for the whole run: every query after an
+     edit re-propagates only the touched fan-out cone (Timing.update)
+     instead of re-running STA from scratch each round *)
+  let timing = Timing.analyze ~lib t in
+  let initial_delay = Timing.critical_delay timing in
   let initial_area = Netlist.total_area t lib in
   let buffers_added = ref 0 and rewrites_total = ref 0 in
   let iterations = ref [] in
   let rec loop round prev_delay =
-    let d = critical_delay ~lib t in
+    let d = Timing.critical_delay timing in
     if d <= tc *. (1. +. 1e-6) +. 0.02 then Met
     else if round > max_rounds then Budget_exhausted
     else if round > 1 && d >= prev_delay -. (0.001 *. prev_delay) then No_progress
@@ -141,12 +143,12 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
           end)
         worst;
       (* after surgery the indices moved: re-size the fresh critical path *)
-      if !structural_change then size_critical ~lib ~tc t;
+      if !structural_change then size_critical ~lib ~tc ~timing t;
       loop (round + 1) d
     end
   in
   let outcome = loop 1 Float.infinity in
-  let final_delay = critical_delay ~lib t in
+  let final_delay = Timing.critical_delay timing in
   {
     outcome;
     initial_delay;

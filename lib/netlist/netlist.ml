@@ -11,24 +11,74 @@ type node = {
   mutable wire : float;
 }
 
+(* Incremental caches.
+
+   [load_cache] memoises {!load_on} per node: a mutator that changes what
+   a net drives invalidates (sets to nan) only the touched nets, and the
+   next query recomputes the value with exactly the same fold as a cold
+   computation — so cached and from-scratch loads are bit-identical and
+   never drift.
+
+   [level] caches each node's topological level (inputs at 0, a gate one
+   above its deepest fan-in).  Structural mutators patch levels locally
+   by re-propagating over the touched fan-out cone; a suspected cycle
+   (level exceeding the live-node count) defers to a full Kahn rebuild,
+   which is also what reports cycles.  [topo_cache] is a by-level order
+   derived from the levels, invalidated on structural edits.
+
+   [dirty_log] is an append-only log of node ids whose local timing
+   (own delay or driving load) may have changed; observers such as
+   [Pops_sta.Timing] keep a cursor into it and re-propagate only from the
+   logged nodes (see docs/performance.md). *)
 type t = {
   tech : Pops_process.Tech.t;
   mutable nodes : node option array;
   mutable next_id : int;
   mutable input_ids : int list;  (* reversed *)
   mutable output_loads : (int * float) list;  (* reversed designation order *)
+  mutable load_cache : float array;  (* nan = stale *)
+  mutable level : int array;
+  mutable levels_valid : bool;
+  mutable topo_cache : int list option;
+  mutable n_live : int;
+  mutable n_gates : int;
+  mutable dirty_log : int array;
+  mutable dirty_len : int;
 }
 
 let create tech =
-  { tech; nodes = Array.make 64 None; next_id = 0; input_ids = []; output_loads = [] }
+  {
+    tech;
+    nodes = Array.make 64 None;
+    next_id = 0;
+    input_ids = [];
+    output_loads = [];
+    load_cache = Array.make 64 Float.nan;
+    level = Array.make 64 0;
+    levels_valid = true;
+    topo_cache = Some [];
+    n_live = 0;
+    n_gates = 0;
+    dirty_log = Array.make 64 0;
+    dirty_len = 0;
+  }
 
 let tech t = t.tech
+let id_bound t = t.next_id
+let live_count t = t.n_live
 
 let grow t =
   if t.next_id >= Array.length t.nodes then begin
-    let bigger = Array.make (2 * Array.length t.nodes) None in
+    let cap = 2 * Array.length t.nodes in
+    let bigger = Array.make cap None in
     Array.blit t.nodes 0 bigger 0 (Array.length t.nodes);
-    t.nodes <- bigger
+    t.nodes <- bigger;
+    let loads = Array.make cap Float.nan in
+    Array.blit t.load_cache 0 loads 0 (Array.length t.load_cache);
+    t.load_cache <- loads;
+    let levels = Array.make cap 0 in
+    Array.blit t.level 0 levels 0 (Array.length t.level);
+    t.level <- levels
   end
 
 let node_exists t id = id >= 0 && id < t.next_id && t.nodes.(id) <> None
@@ -38,19 +88,202 @@ let node t id =
     invalid_arg (Printf.sprintf "Netlist.node: unknown id %d" id);
   match t.nodes.(id) with Some n -> n | None -> assert false
 
+(* --- dirty log ------------------------------------------------------ *)
+
+let revision t = t.dirty_len
+
+let mark_dirty t id =
+  if t.dirty_len >= Array.length t.dirty_log then begin
+    let bigger = Array.make (2 * Array.length t.dirty_log) 0 in
+    Array.blit t.dirty_log 0 bigger 0 t.dirty_len;
+    t.dirty_log <- bigger
+  end;
+  t.dirty_log.(t.dirty_len) <- id;
+  t.dirty_len <- t.dirty_len + 1
+
+let dirty_since t cursor =
+  if cursor < 0 || cursor > t.dirty_len then
+    invalid_arg "Netlist.dirty_since: bad cursor";
+  let acc = ref [] in
+  for i = t.dirty_len - 1 downto cursor do
+    acc := t.dirty_log.(i) :: !acc
+  done;
+  !acc
+
+let invalidate_load t id = if id < t.next_id then t.load_cache.(id) <- Float.nan
+
+(* mark every distinct fan-in source of [n]: their driven load changed *)
+let touch_fanin_loads t (n : node) =
+  Array.iteri
+    (fun i f ->
+      let dup = ref false in
+      for j = 0 to i - 1 do
+        if n.fanins.(j) = f then dup := true
+      done;
+      if not !dup then begin
+        invalidate_load t f;
+        mark_dirty t f
+      end)
+    n.fanins
+
+(* --- levels and order ----------------------------------------------- *)
+
+let live_ids t =
+  let acc = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    if t.nodes.(id) <> None then acc := id :: !acc
+  done;
+  !acc
+
+(* full Kahn rebuild: the fallback when local level patching bailed out,
+   and the only place a cycle is diagnosed *)
+let rebuild_levels t =
+  let indegree = Array.make (max 1 t.next_id) 0 in
+  let ids = live_ids t in
+  List.iter
+    (fun id ->
+      (* count distinct fan-in ids: a gate may read one source on several
+         pins, but that source appears once in the fanout list *)
+      let n = node t id in
+      let deg = ref 0 in
+      Array.iteri
+        (fun i f ->
+          if node_exists t f then begin
+            let dup = ref false in
+            for j = 0 to i - 1 do
+              if n.fanins.(j) = f then dup := true
+            done;
+            if not !dup then incr deg
+          end)
+        n.fanins;
+      indegree.(id) <- !deg)
+    ids;
+  let queue = Queue.create () in
+  List.iter
+    (fun id ->
+      if indegree.(id) = 0 then begin
+        t.level.(id) <- 0;
+        Queue.add id queue
+      end)
+    ids;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    incr seen;
+    let n = node t id in
+    let lvl =
+      match n.kind with
+      | Primary_input -> 0
+      | Cell _ ->
+        1
+        + Array.fold_left
+            (fun acc f -> if node_exists t f then max acc t.level.(f) else acc)
+            0 n.fanins
+    in
+    t.level.(id) <- lvl;
+    List.iter
+      (fun c ->
+        if node_exists t c then begin
+          indegree.(c) <- indegree.(c) - 1;
+          if indegree.(c) = 0 then Queue.add c queue
+        end)
+      n.fanouts
+  done;
+  if !seen <> t.n_live then failwith "Netlist.topological_order: cycle";
+  t.levels_valid <- true
+
+let ensure_levels t = if not t.levels_valid then rebuild_levels t
+
+let compute_level t (n : node) =
+  match n.kind with
+  | Primary_input -> 0
+  | Cell _ ->
+    1
+    + Array.fold_left
+        (fun acc f -> if node_exists t f then max acc t.level.(f) else acc)
+        0 n.fanins
+
+(* re-propagate levels over the fan-out cone of [id] while they change;
+   if a level climbs past the live-node count something is cyclic, so
+   defer to the full rebuild (which raises) *)
+let patch_levels_from t id =
+  if t.levels_valid then begin
+    let queue = Queue.create () in
+    Queue.add id queue;
+    while t.levels_valid && not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      if node_exists t x then begin
+        let n = node t x in
+        let lvl = compute_level t n in
+        if lvl > t.n_live then t.levels_valid <- false
+        else if lvl <> t.level.(x) then begin
+          t.level.(x) <- lvl;
+          List.iter (fun c -> Queue.add c queue) n.fanouts
+        end
+      end
+    done
+  end
+
+let level t id =
+  ignore (node t id);
+  ensure_levels t;
+  t.level.(id)
+
+let structural_change t = t.topo_cache <- None
+
+let topological_order t =
+  match t.topo_cache with
+  | Some order -> order
+  | None ->
+    ensure_levels t;
+    let order =
+      List.stable_sort
+        (fun a b -> compare (t.level.(a), a) (t.level.(b), b))
+        (live_ids t)
+    in
+    t.topo_cache <- Some order;
+    order
+
+let depth t =
+  ensure_levels t;
+  let d = ref 0 in
+  for id = 0 to t.next_id - 1 do
+    if t.nodes.(id) <> None then d := max !d t.level.(id)
+  done;
+  !d
+
+(* --- construction --------------------------------------------------- *)
+
 let alloc t kind fanins cin wire =
   grow t;
   let id = t.next_id in
   let n = { id; kind; fanins; fanouts = []; cin; wire } in
   t.nodes.(id) <- Some n;
   t.next_id <- id + 1;
+  t.n_live <- t.n_live + 1;
+  (match kind with Cell _ -> t.n_gates <- t.n_gates + 1 | Primary_input -> ());
   (* fanout lists hold each consumer once, even when it reads the same
-     source on several pins *)
-  Array.iter
-    (fun f ->
-      let src = node t f in
-      if not (List.mem id src.fanouts) then src.fanouts <- id :: src.fanouts)
+     source on several pins; dedup scans the (tiny) fanin prefix instead
+     of the source's whole fanout list *)
+  Array.iteri
+    (fun i f ->
+      let dup = ref false in
+      for j = 0 to i - 1 do
+        if fanins.(j) = f then dup := true
+      done;
+      if not !dup then begin
+        let src = node t f in
+        src.fanouts <- id :: src.fanouts;
+        invalidate_load t f;
+        mark_dirty t f
+      end)
     fanins;
+  t.load_cache.(id) <- Float.nan;
+  if t.levels_valid then t.level.(id) <- compute_level t n;
+  (* a fresh node has no consumers, so appending keeps any cached order
+     valid — but keep it simple and let the next query re-derive it *)
+  structural_change t;
+  mark_dirty t id;
   id
 
 let add_input ?name t =
@@ -79,7 +312,9 @@ let set_output t id ~load =
   if List.mem_assoc id t.output_loads then
     t.output_loads <-
       List.map (fun (i, l) -> if i = id then (i, load) else (i, l)) t.output_loads
-  else t.output_loads <- (id, load) :: t.output_loads
+  else t.output_loads <- (id, load) :: t.output_loads;
+  invalidate_load t id;
+  mark_dirty t id
 
 let inputs t = List.rev t.input_ids
 let outputs t = List.rev t.output_loads
@@ -93,8 +328,10 @@ let gate_ids t =
   done;
   !acc
 
-let gate_count t = List.length (gate_ids t)
+let gate_count t = t.n_gates
 let input_count t = List.length t.input_ids
+
+(* --- mutators ------------------------------------------------------- *)
 
 let set_cin t id cin =
   let n = node t id in
@@ -102,11 +339,22 @@ let set_cin t id cin =
   | Primary_input -> invalid_arg "Netlist.set_cin: primary input"
   | Cell _ -> ());
   if cin <= 0. then invalid_arg "Netlist.set_cin: cin <= 0";
-  n.cin <- cin
+  if cin <> n.cin then begin
+    n.cin <- cin;
+    (* the load this gate presents to its drivers changed; its own stage
+       delay changed too (cin is its drive strength) *)
+    touch_fanin_loads t n;
+    mark_dirty t id
+  end
 
 let set_wire t id wire =
   if wire < 0. then invalid_arg "Netlist.set_wire: negative";
-  (node t id).wire <- wire
+  let n = node t id in
+  if wire <> n.wire then begin
+    n.wire <- wire;
+    invalidate_load t id;
+    mark_dirty t id
+  end
 
 let set_fanin t id ~pin new_src =
   let n = node t id in
@@ -120,8 +368,21 @@ let set_fanin t id ~pin new_src =
     if not (Array.exists (fun f -> f = old_src) n.fanins) then
       (node t old_src).fanouts <-
         List.filter (fun f -> f <> id) (node t old_src).fanouts;
-    let tgt = node t new_src in
-    if not (List.mem id tgt.fanouts) then tgt.fanouts <- id :: tgt.fanouts
+    (* the consumer is already listed when another pin reads new_src *)
+    let pins_on_new =
+      Array.fold_left (fun k f -> if f = new_src then k + 1 else k) 0 n.fanins
+    in
+    if pins_on_new = 1 then begin
+      let tgt = node t new_src in
+      tgt.fanouts <- id :: tgt.fanouts
+    end;
+    invalidate_load t old_src;
+    invalidate_load t new_src;
+    mark_dirty t old_src;
+    mark_dirty t new_src;
+    mark_dirty t id;
+    structural_change t;
+    patch_levels_from t id
   end
 
 let replace_kind t id kind =
@@ -131,7 +392,8 @@ let replace_kind t id kind =
   | Cell old ->
     if Gk.arity old <> Gk.arity kind then
       invalid_arg "Netlist.replace_kind: arity mismatch");
-  n.kind <- Cell kind
+  n.kind <- Cell kind;
+  mark_dirty t id
 
 let rewire_fanouts t ~from_ ~to_ ~except =
   let src = node t from_ in
@@ -143,9 +405,14 @@ let rewire_fanouts t ~from_ ~to_ ~except =
     consumers;
   (* move primary-output designation, keeping its position so the
      output order (and thus logic-equivalence comparisons) is stable *)
-  if List.mem_assoc from_ t.output_loads then
+  if List.mem_assoc from_ t.output_loads then begin
     t.output_loads <-
-      List.map (fun (i, l) -> if i = from_ then (to_, l) else (i, l)) t.output_loads
+      List.map (fun (i, l) -> if i = from_ then (to_, l) else (i, l)) t.output_loads;
+    invalidate_load t from_;
+    invalidate_load t to_;
+    mark_dirty t from_;
+    mark_dirty t to_
+  end
 
 let delete_gate t id =
   let n = node t id in
@@ -154,90 +421,46 @@ let delete_gate t id =
     invalid_arg "Netlist.delete_gate: is a primary output";
   Array.iter
     (fun f ->
-      if node_exists t f then
-        (node t f).fanouts <- List.filter (fun x -> x <> id) (node t f).fanouts)
+      if node_exists t f then begin
+        (node t f).fanouts <- List.filter (fun x -> x <> id) (node t f).fanouts;
+        invalidate_load t f;
+        mark_dirty t f
+      end)
     n.fanins;
-  t.nodes.(id) <- None
+  t.nodes.(id) <- None;
+  t.n_live <- t.n_live - 1;
+  (match n.kind with Cell _ -> t.n_gates <- t.n_gates - 1 | Primary_input -> ());
+  structural_change t;
+  mark_dirty t id
 
-let live_ids t =
-  let acc = ref [] in
-  for id = t.next_id - 1 downto 0 do
-    if t.nodes.(id) <> None then acc := id :: !acc
-  done;
-  !acc
-
-let topological_order t =
-  let ids = live_ids t in
-  let indegree = Hashtbl.create 64 in
-  List.iter
-    (fun id ->
-      (* count distinct fan-in ids: a gate may read one source on several
-         pins, but that source appears once in the fanout list *)
-      let live_fanins =
-        Array.to_list (node t id).fanins
-        |> List.filter (node_exists t)
-        |> List.sort_uniq compare
-      in
-      Hashtbl.replace indegree id (List.length live_fanins))
-    ids;
-  let queue = Queue.create () in
-  List.iter (fun id -> if Hashtbl.find indegree id = 0 then Queue.add id queue) ids;
-  let order = ref [] and seen = ref 0 in
-  while not (Queue.is_empty queue) do
-    let id = Queue.pop queue in
-    order := id :: !order;
-    incr seen;
-    List.iter
-      (fun c ->
-        if node_exists t c then begin
-          let d = Hashtbl.find indegree c - 1 in
-          Hashtbl.replace indegree c d;
-          if d = 0 then Queue.add c queue
-        end)
-      (node t id).fanouts
-  done;
-  if !seen <> List.length ids then failwith "Netlist.topological_order: cycle";
-  List.rev !order
-
-let depth t =
-  let d = Hashtbl.create 64 in
-  let order = topological_order t in
-  let result = ref 0 in
-  List.iter
-    (fun id ->
-      let n = node t id in
-      let level =
-        match n.kind with
-        | Primary_input -> 0
-        | Cell _ ->
-          1
-          + Array.fold_left
-              (fun acc f -> max acc (Option.value ~default:0 (Hashtbl.find_opt d f)))
-              0 n.fanins
-      in
-      Hashtbl.replace d id level;
-      result := max !result level)
-    order;
-  !result
+(* --- loads ----------------------------------------------------------- *)
 
 let load_on t id =
   let n = node t id in
-  (* count pins, not consumers: a gate reading this net on several pins
-     presents its input capacitance once per pin *)
-  let fanout_cap =
-    List.fold_left
-      (fun acc c ->
-        let cn = node t c in
-        let pins =
-          Array.fold_left (fun k f -> if f = id then k + 1 else k) 0 cn.fanins
-        in
-        acc +. (float_of_int pins *. cn.cin))
-      0. n.fanouts
-  in
-  let terminal =
-    match List.assoc_opt id t.output_loads with Some l -> l | None -> 0.
-  in
-  fanout_cap +. n.wire +. terminal
+  let cached = t.load_cache.(id) in
+  if Float.is_nan cached then begin
+    (* count pins, not consumers: a gate reading this net on several pins
+       presents its input capacitance once per pin *)
+    let fanout_cap =
+      List.fold_left
+        (fun acc c ->
+          let cn = node t c in
+          let pins =
+            Array.fold_left (fun k f -> if f = id then k + 1 else k) 0 cn.fanins
+          in
+          acc +. (float_of_int pins *. cn.cin))
+        0. n.fanouts
+    in
+    let terminal =
+      match List.assoc_opt id t.output_loads with Some l -> l | None -> 0.
+    in
+    let load = fanout_cap +. n.wire +. terminal in
+    t.load_cache.(id) <- load;
+    load
+  end
+  else cached
+
+(* --- validation ------------------------------------------------------ *)
 
 let validate t =
   let ids = live_ids t in
@@ -308,6 +531,12 @@ let copy t =
         (Option.map (fun n ->
              { n with fanins = Array.copy n.fanins; fanouts = n.fanouts }))
         t.nodes;
+    load_cache = Array.copy t.load_cache;
+    level = Array.copy t.level;
+    (* the copy starts its own edit history: observers of the original
+       must not see the copy's edits and vice versa *)
+    dirty_log = Array.make 64 0;
+    dirty_len = 0;
   }
 
 let pp_stats ppf t =

@@ -8,7 +8,16 @@
     The structure is mutable because the transforms (buffering,
     De Morgan) rewrite it in place; {!validate} re-checks the invariants
     after surgery and the logic/timing layers only consume validated
-    netlists. *)
+    netlists.
+
+    The netlist maintains incremental caches so the timing hot path is
+    cheap: per-node output loads ({!load_on} is O(1) on unchanged nets),
+    per-node topological levels (patched locally by structural edits),
+    and an append-only {e dirty log} of nodes whose local timing may have
+    changed.  Observers ({!Pops_sta.Timing}) keep a cursor into the log
+    via {!revision}/{!dirty_since} and re-propagate arrivals only from
+    the logged nodes.  See [docs/performance.md] for the invalidation
+    protocol. *)
 
 type node_kind = Primary_input | Cell of Pops_cell.Gate_kind.t
 
@@ -76,14 +85,40 @@ val delete_gate : t -> int -> unit
     @raise Invalid_argument if consumers remain or it is an output. *)
 
 val topological_order : t -> int list
-(** All live nodes, inputs first.  @raise Failure on a cycle. *)
+(** All live nodes, inputs first (cached; rebuilt from the level cache
+    after structural edits).  @raise Failure on a cycle. *)
 
 val depth : t -> int
 (** Longest input-to-output path in gate counts. *)
 
+val level : t -> int -> int
+(** Cached topological level of a node: 0 for primary inputs, one above
+    the deepest fan-in for gates.  Every edge goes from a strictly lower
+    to a strictly higher level, so processing nodes in level order is a
+    valid propagation order.  @raise Failure on a cycle. *)
+
 val load_on : t -> int -> float
 (** Capacitive load on a node's output: fan-out input capacitances +
-    wire + terminal load if it is a primary output. *)
+    wire + terminal load if it is a primary output.  Cached; mutators
+    invalidate only the nets they touch and the value is recomputed (with
+    the identical fold, so bit-identical) on the next query. *)
+
+val revision : t -> int
+(** Monotone edit counter: the current length of the dirty log.  Equal
+    revisions mean no timing-relevant mutation happened in between. *)
+
+val dirty_since : t -> int -> int list
+(** [dirty_since t cursor] returns the ids logged by mutators since
+    [cursor] (a previous {!revision} result), oldest first.  Ids may
+    repeat and may refer to since-deleted nodes.
+    @raise Invalid_argument on a cursor outside [0..revision t]. *)
+
+val id_bound : t -> int
+(** Exclusive upper bound on all node ids ever allocated (dense-array
+    sizing for id-indexed observers). *)
+
+val live_count : t -> int
+(** Number of live nodes (inputs + gates). *)
 
 val validate : t -> (unit, string) result
 (** Full invariant check: arities, dangling ids, fanin/fanout symmetry,

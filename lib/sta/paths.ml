@@ -54,16 +54,17 @@ let extract ?input_slope ~lib t nodes =
   { nodes; path }
 
 (* edge-agnostic per-gate delay estimate (nominal input slope, worst
-   output edge) used as the additive metric for path enumeration *)
+   output edge) used as the additive metric for path enumeration; dense
+   array indexed by node id *)
 let delay_estimates ~lib t =
   let tech = Netlist.tech t in
   let tau_in = 2. *. tech.Pops_process.Tech.tau in
-  let est = Hashtbl.create 64 in
+  let est = Array.make (Netlist.id_bound t) 0. in
   List.iter
     (fun id ->
       let n = Netlist.node t id in
       match n.Netlist.kind with
-      | Netlist.Primary_input -> Hashtbl.replace est id 0.
+      | Netlist.Primary_input -> est.(id) <- 0.
       | Netlist.Cell kind ->
         let cell = Pops_cell.Library.find lib kind in
         let cload =
@@ -72,12 +73,18 @@ let delay_estimates ~lib t =
         let d edge_out =
           fst (Model.stage_delay cell ~edge_out ~tau_in ~cin:n.Netlist.cin ~cload)
         in
-        Hashtbl.replace est id (Float.max (d Edge.Rising) (d Edge.Falling)))
+        est.(id) <- Float.max (d Edge.Rising) (d Edge.Falling))
     (Netlist.topological_order t);
   est
 
-let critical ?input_slope ~lib t =
-  let timing = Timing.analyze ?input_slope ~lib t in
+let critical ?input_slope ?timing ~lib t =
+  let timing =
+    match timing with
+    | Some tm ->
+      Timing.update tm;
+      tm
+    | None -> Timing.analyze ?input_slope ~lib t
+  in
   extract ?input_slope ~lib t (Timing.critical_path timing)
 
 module Pq = struct
@@ -131,23 +138,24 @@ end
 let k_worst ?(k = 5) ?input_slope ~lib t =
   let est = delay_estimates ~lib t in
   (* longest-suffix bound per node under the estimate metric *)
-  let suffix = Hashtbl.create 64 in
+  let suffix = Array.make (Netlist.id_bound t) 0. in
   let order = List.rev (Netlist.topological_order t) in
   List.iter
     (fun id ->
       let n = Netlist.node t id in
       let best =
         List.fold_left
-          (fun acc c ->
-            Float.max acc (Hashtbl.find est c +. Hashtbl.find suffix c))
+          (fun acc c -> Float.max acc (est.(c) +. suffix.(c)))
           0. n.Netlist.fanouts
       in
-      Hashtbl.replace suffix id best)
+      suffix.(id) <- best)
     order;
-  let is_output id = List.mem_assoc id (Netlist.outputs t) in
+  let output_flag = Array.make (Netlist.id_bound t) false in
+  List.iter (fun (id, _) -> output_flag.(id) <- true) (Netlist.outputs t);
+  let is_output id = output_flag.(id) in
   let q = Pq.create () in
   List.iter
-    (fun pi -> Pq.push q (Hashtbl.find suffix pi) (0., [ pi ]))
+    (fun pi -> Pq.push q suffix.(pi) (0., [ pi ]))
     (Netlist.inputs t);
   let results = ref [] and n_results = ref 0 and pops = ref 0 in
   let want = 3 * k in
@@ -166,8 +174,8 @@ let k_worst ?(k = 5) ?input_slope ~lib t =
         end;
         List.iter
           (fun c ->
-            let d' = d +. Hashtbl.find est c in
-            Pq.push q (d' +. Hashtbl.find suffix c) (d', c :: rev_nodes))
+            let d' = d +. est.(c) in
+            Pq.push q (d' +. suffix.(c)) (d', c :: rev_nodes))
           node.Netlist.fanouts;
         search ()
   in

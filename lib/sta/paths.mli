@@ -23,9 +23,12 @@ val extract :
     @raise Invalid_argument if the ids are not a connected gate chain. *)
 
 val critical :
-  ?input_slope:float -> lib:Pops_cell.Library.t ->
+  ?input_slope:float -> ?timing:Timing.t -> lib:Pops_cell.Library.t ->
   Pops_netlist.Netlist.t -> extracted
-(** {!extract} on the STA critical path. *)
+(** {!extract} on the STA critical path.  Pass [timing] (an analysis of
+    the same netlist) to reuse it incrementally — it is brought up to
+    date with {!Timing.update} instead of re-running {!Timing.analyze}
+    from scratch. *)
 
 val k_worst :
   ?k:int -> ?input_slope:float -> lib:Pops_cell.Library.t ->

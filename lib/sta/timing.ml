@@ -5,19 +5,32 @@ module Model = Pops_delay.Model
 
 type arrival = { time : float; slope : float; from_ : (int * Edge.t) option }
 
+(* Arrivals live in dense arrays indexed by node id; [time = nan] means
+   no arrival is known for that (node, edge).  Provenance is packed as
+   [2 * src + edge_bit], -1 for a primary input.  [cursor] is this
+   analysis' position in the netlist's dirty log: queries first fold the
+   log back in through {!update}, re-propagating only while arrivals
+   actually change. *)
 type t = {
   netlist : Netlist.t;
   lib : Pops_cell.Library.t;
-  rise : (int, arrival) Hashtbl.t;
-  fall : (int, arrival) Hashtbl.t;
+  input_slope : float;
+  input_arrival : float;
+  mutable cap : int;  (* arrays valid for ids < cap *)
+  mutable rise_time : float array;
+  mutable rise_slope : float array;
+  mutable rise_from : int array;
+  mutable fall_time : float array;
+  mutable fall_slope : float array;
+  mutable fall_from : int array;
+  mutable cursor : int;
 }
 
-let table t = function Edge.Rising -> t.rise | Edge.Falling -> t.fall
-
-let arrival t id edge =
-  match Hashtbl.find_opt (table t edge) id with
-  | Some a -> a
-  | None -> raise Not_found
+let edge_bit = function Edge.Rising -> 0 | Edge.Falling -> 1
+let pack_from src edge = (2 * src) + edge_bit edge
+let unpack_from = function
+  | -1 -> None
+  | p -> Some (p / 2, if p land 1 = 0 then Edge.Rising else Edge.Falling)
 
 (* input edges that can cause the given output edge *)
 let causing_input_edges kind edge_out =
@@ -27,70 +40,230 @@ let causing_input_edges kind edge_out =
     [ Edge.flip edge_out ]
   | Gk.Buf -> [ edge_out ]
 
+let grow t =
+  let bound = Netlist.id_bound t.netlist in
+  if bound > t.cap then begin
+    let cap = max bound (2 * t.cap) in
+    let grow_f a = Array.append a (Array.make (cap - t.cap) Float.nan) in
+    let grow_i a = Array.append a (Array.make (cap - t.cap) (-1)) in
+    t.rise_time <- grow_f t.rise_time;
+    t.rise_slope <- grow_f t.rise_slope;
+    t.rise_from <- grow_i t.rise_from;
+    t.fall_time <- grow_f t.fall_time;
+    t.fall_slope <- grow_f t.fall_slope;
+    t.fall_from <- grow_i t.fall_from;
+    t.cap <- cap
+  end
+
+let clear_node t id =
+  t.rise_time.(id) <- Float.nan;
+  t.rise_slope.(id) <- Float.nan;
+  t.rise_from.(id) <- -1;
+  t.fall_time.(id) <- Float.nan;
+  t.fall_slope.(id) <- Float.nan;
+  t.fall_from.(id) <- -1
+
+(* recompute both edges of one node from its fan-ins' stored arrivals;
+   identical arithmetic and tie-breaking to a from-scratch pass, so a
+   node whose inputs did not change reproduces its arrival bit for bit *)
+let eval_node t id =
+  let n = Netlist.node t.netlist id in
+  match n.Netlist.kind with
+  | Netlist.Primary_input ->
+    let a = (t.input_arrival, t.input_slope, -1) in
+    (Some a, Some a)
+  | Netlist.Cell kind ->
+    let cell = Pops_cell.Library.find t.lib kind in
+    let cload =
+      Netlist.load_on t.netlist id +. Pops_cell.Cell.cpar cell ~cin:n.Netlist.cin
+    in
+    let eval edge_out =
+      let best = ref None in
+      List.iter
+        (fun edge_in ->
+          let src_time, src_slope =
+            match edge_in with
+            | Edge.Rising -> (t.rise_time, t.rise_slope)
+            | Edge.Falling -> (t.fall_time, t.fall_slope)
+          in
+          Array.iter
+            (fun fanin ->
+              if not (Float.is_nan src_time.(fanin)) then begin
+                let d, tau_out =
+                  Model.stage_delay cell ~edge_out ~tau_in:src_slope.(fanin)
+                    ~cin:n.Netlist.cin ~cload
+                in
+                let time = src_time.(fanin) +. d in
+                match !best with
+                | Some (bt, _, _) when bt >= time -> ()
+                | Some _ | None ->
+                  best := Some (time, tau_out, pack_from fanin edge_in)
+              end)
+            n.Netlist.fanins)
+        (causing_input_edges kind edge_out);
+      !best
+    in
+    (eval Edge.Rising, eval Edge.Falling)
+
+(* store one edge's result; returns true when time or slope moved (the
+   only components downstream consumers read) *)
+let store_edge times slopes froms id = function
+  | None ->
+    let changed = not (Float.is_nan times.(id)) in
+    times.(id) <- Float.nan;
+    slopes.(id) <- Float.nan;
+    froms.(id) <- -1;
+    changed
+  | Some (time, slope, from) ->
+    let changed =
+      Float.is_nan times.(id) || times.(id) <> time || slopes.(id) <> slope
+    in
+    times.(id) <- time;
+    slopes.(id) <- slope;
+    froms.(id) <- from;
+    changed
+
+let store_node t id (rise, fall) =
+  let r = store_edge t.rise_time t.rise_slope t.rise_from id rise in
+  let f = store_edge t.fall_time t.fall_slope t.fall_from id fall in
+  r || f
+
+(* min-heap of node ids keyed by topological level: popping in level
+   order guarantees a node is re-evaluated only after all its dirty
+   fan-ins settled *)
+module Heap = struct
+  type t = { mutable a : (int * int) array; mutable size : int }
+
+  let create () = { a = Array.make 64 (0, 0); size = 0 }
+
+  let push h key v =
+    if h.size >= Array.length h.a then begin
+      let bigger = Array.make (2 * Array.length h.a) (0, 0) in
+      Array.blit h.a 0 bigger 0 h.size;
+      h.a <- bigger
+    end;
+    h.a.(h.size) <- (key, v);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while
+      !i > 0
+      && fst h.a.((!i - 1) / 2) > fst h.a.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.size <- h.size - 1;
+      h.a.(0) <- h.a.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.a.(l) < fst h.a.(!smallest) then smallest := l;
+        if r < h.size && fst h.a.(r) < fst h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.a.(!i) in
+          h.a.(!i) <- h.a.(!smallest);
+          h.a.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some (snd top)
+    end
+end
+
+let update t =
+  let nl = t.netlist in
+  let rev = Netlist.revision nl in
+  if rev <> t.cursor then begin
+    let dirty = Netlist.dirty_since nl t.cursor in
+    t.cursor <- rev;
+    grow t;
+    let heap = Heap.create () in
+    let queued = Hashtbl.create 64 in
+    let enqueue id =
+      if (not (Hashtbl.mem queued id)) && Netlist.node_exists nl id then begin
+        Hashtbl.replace queued id ();
+        Heap.push heap (Netlist.level nl id) id
+      end
+    in
+    List.iter
+      (fun id ->
+        if Netlist.node_exists nl id then enqueue id else clear_node t id)
+      dirty;
+    let rec drain () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some id ->
+        Hashtbl.remove queued id;
+        if store_node t id (eval_node t id) then
+          List.iter enqueue (Netlist.node nl id).Netlist.fanouts;
+        drain ()
+    in
+    drain ()
+  end
+
 let analyze ?input_slope ?(input_arrival = 0.) ~lib netlist =
   let tech = Netlist.tech netlist in
   let input_slope =
     Option.value input_slope ~default:(2. *. tech.Pops_process.Tech.tau)
   in
-  let t = { netlist; lib; rise = Hashtbl.create 64; fall = Hashtbl.create 64 } in
-  let order = Netlist.topological_order netlist in
+  let cap = max 64 (Netlist.id_bound netlist) in
+  let t =
+    {
+      netlist;
+      lib;
+      input_slope;
+      input_arrival;
+      cap;
+      rise_time = Array.make cap Float.nan;
+      rise_slope = Array.make cap Float.nan;
+      rise_from = Array.make cap (-1);
+      fall_time = Array.make cap Float.nan;
+      fall_slope = Array.make cap Float.nan;
+      fall_from = Array.make cap (-1);
+      cursor = Netlist.revision netlist;
+    }
+  in
   List.iter
-    (fun id ->
-      let n = Netlist.node netlist id in
-      match n.Netlist.kind with
-      | Netlist.Primary_input ->
-        let a = { time = input_arrival; slope = input_slope; from_ = None } in
-        Hashtbl.replace t.rise id a;
-        Hashtbl.replace t.fall id a
-      | Netlist.Cell kind ->
-        let cell = Pops_cell.Library.find lib kind in
-        let cload =
-          Netlist.load_on netlist id +. Pops_cell.Cell.cpar cell ~cin:n.Netlist.cin
-        in
-        let eval edge_out =
-          let best = ref None in
-          List.iter
-            (fun edge_in ->
-              Array.iter
-                (fun fanin ->
-                  match Hashtbl.find_opt (table t edge_in) fanin with
-                  | None -> ()
-                  | Some src ->
-                    let d, tau_out =
-                      Model.stage_delay cell ~edge_out ~tau_in:src.slope
-                        ~cin:n.Netlist.cin ~cload
-                    in
-                    let cand =
-                      {
-                        time = src.time +. d;
-                        slope = tau_out;
-                        from_ = Some (fanin, edge_in);
-                      }
-                    in
-                    (match !best with
-                    | Some b when b.time >= cand.time -> ()
-                    | Some _ | None -> best := Some cand))
-                n.Netlist.fanins)
-            (causing_input_edges kind edge_out);
-          !best
-        in
-        (match eval Edge.Rising with
-        | Some a -> Hashtbl.replace t.rise id a
-        | None -> ());
-        (match eval Edge.Falling with
-        | Some a -> Hashtbl.replace t.fall id a
-        | None -> ()))
-    order;
+    (fun id -> ignore (store_node t id (eval_node t id)))
+    (Netlist.topological_order netlist);
   t
 
+let arrival t id edge =
+  update t;
+  if id < 0 || id >= t.cap then raise Not_found;
+  let times, slopes, froms =
+    match edge with
+    | Edge.Rising -> (t.rise_time, t.rise_slope, t.rise_from)
+    | Edge.Falling -> (t.fall_time, t.fall_slope, t.fall_from)
+  in
+  if Float.is_nan times.(id) then raise Not_found;
+  { time = times.(id); slope = slopes.(id); from_ = unpack_from froms.(id) }
+
 let node_worst t id =
-  match (Hashtbl.find_opt t.rise id, Hashtbl.find_opt t.fall id) with
-  | Some r, Some f -> if r.time >= f.time then (Edge.Rising, r) else (Edge.Falling, f)
-  | Some r, None -> (Edge.Rising, r)
-  | None, Some f -> (Edge.Falling, f)
-  | None, None -> raise Not_found
+  update t;
+  if id < 0 || id >= t.cap then raise Not_found;
+  let r = t.rise_time.(id) and f = t.fall_time.(id) in
+  match (Float.is_nan r, Float.is_nan f) with
+  | false, false ->
+    if r >= f then (Edge.Rising, arrival t id Edge.Rising)
+    else (Edge.Falling, arrival t id Edge.Falling)
+  | false, true -> (Edge.Rising, arrival t id Edge.Rising)
+  | true, false -> (Edge.Falling, arrival t id Edge.Falling)
+  | true, true -> raise Not_found
 
 let critical_endpoint t =
+  update t;
   let best = ref None in
   List.iter
     (fun (id, _) ->

@@ -10,7 +10,17 @@
 
     Inverting cells map a rising input to a falling output and vice
     versa; XOR-class cells propagate both input edges to both output
-    edges (conservative). *)
+    edges (conservative).
+
+    The analysis is {e incremental}: arrivals live in dense arrays
+    indexed by node id, and a {!t} remembers its position in the
+    netlist's dirty log.  After netlist mutations, {!update} (called
+    automatically by every query) pops a level-ordered worklist seeded
+    with the dirtied nodes and re-propagates rise/fall arrivals only
+    while they actually change — a re-evaluated node whose inputs did
+    not move reproduces its arrival bit for bit and stops the wave.
+    Keep one [t] alive across an edit loop instead of re-running
+    {!analyze} per round. *)
 
 type arrival = {
   time : float;  (** worst arrival, ps *)
@@ -26,8 +36,18 @@ type t
 val analyze :
   ?input_slope:float -> ?input_arrival:float ->
   lib:Pops_cell.Library.t -> Pops_netlist.Netlist.t -> t
-(** Run STA.  [input_slope] defaults to [2 * tau]; [input_arrival] to 0
-    for every primary input. *)
+(** Run STA from scratch.  [input_slope] defaults to [2 * tau];
+    [input_arrival] to 0 for every primary input. *)
+
+val update : t -> unit
+(** Fold the netlist edits since the last analysis/update back into the
+    arrival arrays: seeds a worklist with the dirty-log entries, pops it
+    in topological-level order and re-evaluates nodes, propagating to
+    fan-outs only when an arrival's time or slope actually changed.
+    Results are bit-identical to a fresh {!analyze} of the mutated
+    netlist.  All query functions call this implicitly; it is exposed
+    for benchmarks and for forcing the propagation cost at a chosen
+    point. *)
 
 val arrival : t -> int -> Pops_delay.Edge.t -> arrival
 (** Worst arrival of the given edge at a node's output.
