@@ -39,6 +39,10 @@ module Table = Pops_util.Table
 let tech = Tech.cmos025
 let lib = Library.make tech
 
+(* --smoke: cut iteration counts so CI can exercise every code path in
+   seconds; numbers produced under smoke are not recorded trajectories *)
+let smoke = ref false
+
 let ns x = x /. 1000.
 let pct a b = if b = 0. then 0. else 100. *. (b -. a) /. b
 
@@ -994,6 +998,166 @@ let sta_incr () =
      Every incremental state was asserted bit-identical to a cold analysis.\n"
 
 (* ----------------------------------------------------------------- *)
+(* parallel: domain-pool fan-out — speedup and determinism            *)
+(* (BENCH_parallel.json).  Each kernel runs at 1, 2, 4 and N domains  *)
+(* (N = recommended_domain_count); the result fingerprint must be     *)
+(* bit-identical across all counts or the experiment aborts.          *)
+(* ----------------------------------------------------------------- *)
+
+type par_record = {
+  pr_kernel : string;
+  pr_circuit : string;
+  pr_domains : int;
+  pr_ns_per_op : float;
+  pr_speedup : float;
+}
+
+let par_records : par_record list ref = ref []
+
+let write_parallel_json () =
+  match !par_records with
+  | [] -> ()
+  | records ->
+    let file = "BENCH_parallel.json" in
+    let oc = open_out file in
+    Printf.fprintf oc "{\"host_cores\": %d, \"results\": [\n"
+      (Domain.recommended_domain_count ());
+    let records = List.rev records in
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "  {\"kernel\": %S, \"circuit\": %S, \"domains\": %d, \
+           \"ns_per_op\": %.6g, \"speedup\": %.6g}%s\n"
+          r.pr_kernel r.pr_circuit r.pr_domains r.pr_ns_per_op r.pr_speedup
+          (if i = List.length records - 1 then "" else ","))
+      records;
+    output_string oc "]}\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d records)\n%!" file (List.length records)
+
+let parallel_bench () =
+  let host = Domain.recommended_domain_count () in
+  let counts = List.sort_uniq compare [ 1; 2; 4; host ] in
+  let t = Table.create
+      ~title:(Printf.sprintf
+                "parallel - domain-pool fan-out (host reports %d core%s)"
+                host (if host = 1 then "" else "s"))
+      [ ("kernel", Table.Left); ("circuit", Table.Left);
+        ("domains", Table.Right); ("time (ms)", Table.Right);
+        ("speedup", Table.Right); ("results", Table.Left) ]
+  in
+  (* run [f] at every domain count: the 1-domain run sets the reference
+     fingerprint and time; every other count must reproduce the
+     fingerprint exactly (the pool's ordered-reduction contract) *)
+  let sweep ~kernel ~circuit ~runs ~fingerprint f =
+    let reference = ref None in
+    List.iter
+      (fun d ->
+        Pops_util.Pool.set_default_size d;
+        let fp = fingerprint (f ()) in
+        let ms = median_time_ms ~runs f in
+        let speedup, identical =
+          match !reference with
+          | None ->
+            reference := Some (fp, ms);
+            (1.0, true)
+          | Some (fp0, ms0) ->
+            if fp <> fp0 then
+              failwith
+                (Printf.sprintf "parallel: %s/%s diverges at %d domains"
+                   kernel circuit d);
+            (ms0 /. ms, true)
+        in
+        ignore identical;
+        par_records :=
+          { pr_kernel = kernel; pr_circuit = circuit; pr_domains = d;
+            pr_ns_per_op = ms *. 1e6; pr_speedup = speedup }
+          :: !par_records;
+        Table.add_row t
+          [ kernel; circuit; string_of_int d;
+            Table.cell_f ~decimals:2 ms;
+            Printf.sprintf "%.2fx" speedup; "bit-identical" ])
+      counts
+  in
+  (* kernel 1: Flow rounds — K worst paths run the protocol concurrently
+     against round-start snapshots (Flow.optimize phase 2) *)
+  let flow_circuit = if !smoke then "fpd" else "c880" in
+  let flow_profile = Option.get (Profiles.find flow_circuit) in
+  let flow_base = fst (Profiles.circuit tech flow_profile) in
+  let flow_tc =
+    0.8 *. Timing.critical_delay (Timing.analyze ~lib (Netlist.copy flow_base))
+  in
+  let flow_fingerprint (r : Pops_flow.Flow.report) =
+    Printf.sprintf "%s|%h|%h|%d|%d|%d"
+      (match r.Pops_flow.Flow.outcome with
+      | Pops_flow.Flow.Met -> "met"
+      | Pops_flow.Flow.No_progress -> "no-progress"
+      | Pops_flow.Flow.Budget_exhausted -> "budget")
+      r.Pops_flow.Flow.final_delay r.Pops_flow.Flow.final_area
+      r.Pops_flow.Flow.buffers_added r.Pops_flow.Flow.rewrites
+      (List.length r.Pops_flow.Flow.iterations)
+  in
+  sweep ~kernel:"flow_rounds" ~circuit:flow_circuit
+    ~runs:(if !smoke then 1 else 3) ~fingerprint:flow_fingerprint
+    (fun () ->
+      Pops_flow.Flow.optimize
+        ~max_rounds:(if !smoke then 3 else 12)
+        ~k_paths:4 ~lib ~tc:flow_tc (Netlist.copy flow_base));
+  (* kernel 2: protocol candidates — sizing / buffering / restructuring
+     evaluated concurrently per path (Protocol.run) *)
+  let protocol_suite =
+    List.filter_map Profiles.find
+      (if !smoke then [ "fpd"; "c432"; "c880" ]
+       else [ "c432"; "c880"; "c1355"; "c1908" ])
+  in
+  let protocol_fingerprint reports =
+    String.concat ";"
+      (List.map
+         (fun (r : Protocol.report) ->
+           Printf.sprintf "%s|%h|%h"
+             (Protocol.strategy_to_string r.Protocol.strategy)
+             r.Protocol.delay r.Protocol.area)
+         reports)
+  in
+  sweep ~kernel:"protocol_candidates" ~circuit:"path-suite"
+    ~runs:(if !smoke then 1 else 3) ~fingerprint:protocol_fingerprint
+    (fun () ->
+      List.map
+        (fun (p : Profiles.t) ->
+          let path = extracted_path p in
+          let b = bounds_of p in
+          Protocol.run ~lib ~tc:(1.1 *. b.Bounds.tmin) path)
+        protocol_suite);
+  (* kernel 3: AMPS restarts — split-seeded random restarts reduced in
+     restart order (Random_search.minimum_delay) *)
+  let amps_profile =
+    Option.get (Profiles.find (if !smoke then "c432" else "c1908"))
+  in
+  let amps_path = extracted_path amps_profile in
+  let amps_restarts = if !smoke then 4 else 8 in
+  let amps_fingerprint (r : Pops_amps.Random_search.result) =
+    Printf.sprintf "%h|%h|%d|%s"
+      r.Pops_amps.Random_search.delay r.Pops_amps.Random_search.area
+      r.Pops_amps.Random_search.evaluations
+      (String.concat ","
+         (Array.to_list
+            (Array.map (Printf.sprintf "%h") r.Pops_amps.Random_search.sizing)))
+  in
+  sweep ~kernel:"amps_restarts" ~circuit:amps_profile.Profiles.name
+    ~runs:(if !smoke then 1 else 3) ~fingerprint:amps_fingerprint
+    (fun () ->
+      Pops_amps.Random_search.minimum_delay ~restarts:amps_restarts amps_path);
+  (* leave the pool at the host's natural size for later experiments *)
+  Pops_util.Pool.set_default_size host;
+  Table.print t;
+  Printf.printf
+    "shape check: identical fingerprints at every domain count (the pool's\n\
+     ordered submission-index reduction); speedup approaches the core count\n\
+     on hosts that have them and stays ~1x on single-core machines, never\n\
+     changing a single bit of the result either way.\n";
+  write_parallel_json ()
+
+(* ----------------------------------------------------------------- *)
 (* Bechamel measurement of the kernels                                *)
 (* ----------------------------------------------------------------- *)
 
@@ -1063,11 +1227,13 @@ let experiments =
     ("table1", table1); ("table2", table2); ("table3", table3);
     ("fig6", fig6); ("fig8", fig8); ("table4", table4); ("ablation", ablation);
     ("flow", flow); ("margins", margins); ("sta_incr", sta_incr);
+    ("parallel", parallel_bench);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
+  if List.mem "--smoke" args then smoke := true;
   if List.mem "--list" args then
     List.iter (fun (name, _) -> print_endline name) experiments
   else if List.mem "--measure" args then begin

@@ -1,5 +1,6 @@
 module Path = Pops_delay.Path
 module Rng = Pops_util.Rng
+module Pool = Pops_util.Pool
 
 type result = {
   sizing : float array;
@@ -12,17 +13,23 @@ let minimum_delay ?(restarts = 8) ?steps ?(seed = 0x1AB5L) path =
   let n = Path.length path in
   (* longer paths need proportionally more moves to converge *)
   let steps = match steps with Some s -> s | None -> max 400 (60 * n) in
-  let rng = Rng.create seed in
-  let evaluations = ref 0 in
-  let delay_of x =
-    incr evaluations;
-    Path.delay_worst path x
-  in
   let cmin = path.Path.tech.Pops_process.Tech.cmin in
+  (* one split child per restart, derived sequentially up front: each
+     restart owns a reproducible stream, so the search result is the same
+     at any domain count and under any scheduling *)
+  let rng = Rng.create seed in
+  let restart_rngs = Array.make restarts rng in
+  for i = 0 to restarts - 1 do
+    restart_rngs.(i) <- snd (Rng.split rng)
+  done;
   (* deterministic per-gate polish: backward coordinate sweeps, each gate
      tried at a few multiplicative steps — the local refinement every
      industrial sizer runs after its global search *)
-  let polish x d =
+  let polish evaluations x d =
+    let delay_of x =
+      incr evaluations;
+      Path.delay_worst path x
+    in
     let x = ref x and d = ref d in
     for _ = 1 to 4 do
       for j = n - 1 downto 1 do
@@ -41,9 +48,15 @@ let minimum_delay ?(restarts = 8) ?steps ?(seed = 0x1AB5L) path =
     done;
     (!x, !d)
   in
-  let best = ref None in
-  for _ = 1 to restarts do
-    (* random initial sizing, log-uniform over two decades *)
+  (* one restart: random initial sizing (log-uniform over two decades)
+     followed by random multiplicative hill-climbing moves; each restart
+     counts its own evaluations *)
+  let restart rng =
+    let evaluations = ref 0 in
+    let delay_of x =
+      incr evaluations;
+      Path.delay_worst path x
+    in
     let x =
       ref
         (Path.clamp_sizing path
@@ -61,12 +74,28 @@ let minimum_delay ?(restarts = 8) ?steps ?(seed = 0x1AB5L) path =
         d := dy
       end
     done;
-    match !best with
-    | Some (db, _) when db <= !d -> ()
-    | Some _ | None -> best := Some (!d, !x)
-  done;
-  match !best with
-  | Some (d, x) ->
-    let x, d = polish x d in
-    { sizing = x; delay = d; area = Path.area path x; evaluations = !evaluations }
-  | None -> assert false
+    (!d, !x, !evaluations)
+  in
+  (* fan the restarts out, then reduce in submission order: the earliest
+     restart wins ties exactly as a sequential loop would *)
+  let best =
+    Pool.parallel_reduce ~map:restart
+      ~combine:(fun best (d, x, evals) ->
+        match best with
+        | Some (db, xb, total) ->
+          if db <= d then Some (db, xb, total + evals)
+          else Some (d, x, total + evals)
+        | None -> Some (d, x, evals))
+      ~init:None restart_rngs
+  in
+  match best with
+  | Some (d, x, evals) ->
+    let evaluations = ref evals in
+    let x, d = polish evaluations x d in
+    {
+      sizing = x;
+      delay = d;
+      area = Path.area path x;
+      evaluations = !evaluations;
+    }
+  | None -> invalid_arg "Random_search.minimum_delay: restarts < 1"

@@ -17,5 +17,8 @@ val minimum_delay :
   ?restarts:int -> ?steps:int -> ?seed:int64 -> Pops_delay.Path.t -> result
 (** [restarts] random starting points (default 8), [steps] hill-climbing
     moves each (default [60 * path length]); a deterministic coordinate
-    polish runs on the best point found.  Deterministic for a given
-    [seed] (default [0x1AB5L]). *)
+    polish runs on the best point found.  Each restart draws from its own
+    split stream ([Pops_util.Rng.split]) derived sequentially from [seed]
+    (default [0x1AB5L]) and the restarts run concurrently on the domain
+    pool, with the best-of reduction performed in restart order — the
+    result is bit-identical for a given seed at any [POPS_DOMAINS]. *)

@@ -32,9 +32,14 @@ let delay_buffered ?(style = Inverter_pair) ~lib ~driver ~gate ~gate_cin ~cload 
   (Path.delay_worst p x, x)
 
 (* Flimit is a pure function of (process, style, driver, gate); it is
-   queried once per path stage, so memoise it. *)
+   queried once per path stage, so memoise it.  The table is shared by
+   every pool domain evaluating buffer candidates, hence the lock; a
+   cache miss computes outside the lock (flimit is deterministic, so a
+   racing duplicate computation stores the same value). *)
 let flimit_cache : (string * string * string * string, float) Hashtbl.t =
   Hashtbl.create 64
+
+let flimit_lock = Mutex.create ()
 
 let flimit_uncached ?(style = Inverter_pair) ~lib ~driver ~gate () =
   let tech = Library.tech lib in
@@ -60,11 +65,19 @@ let flimit ?(style = Inverter_pair) ~lib ~driver ~gate () =
       Gk.name driver,
       Gk.name gate )
   in
-  match Hashtbl.find_opt flimit_cache key with
+  let cached =
+    Mutex.lock flimit_lock;
+    let r = Hashtbl.find_opt flimit_cache key in
+    Mutex.unlock flimit_lock;
+    r
+  in
+  match cached with
   | Some v -> v
   | None ->
     let v = flimit_uncached ~style ~lib ~driver ~gate () in
-    Hashtbl.add flimit_cache key v;
+    Mutex.lock flimit_lock;
+    if not (Hashtbl.mem flimit_cache key) then Hashtbl.add flimit_cache key v;
+    Mutex.unlock flimit_lock;
     v
 
 let characterize_library ?style ~lib ~driver kinds =

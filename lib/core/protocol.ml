@@ -138,28 +138,25 @@ let finalize ~tc ~bounds ~domain c =
 let run ?(allow_restructure = true) ~lib ~tc path =
   let bounds = Bounds.compute path in
   let domain = Domains.classify ~tmin:bounds.Bounds.tmin ~tc in
+  let sizing () = sizing_candidate path ~tc in
+  let buffers () = buffers_candidate ~lib path ~tc in
   let maybe_restructure () =
     if allow_restructure then restructure_candidate ~lib path ~tc else None
   in
-  let candidates =
+  (* each per-domain alternative is an independent closed-form solve over
+     the same immutable path, so evaluate them on the pool; the candidate
+     list keeps its submission order, which is what [pick_best]'s
+     min-area tie-breaking keys on — the choice is bit-identical at any
+     domain count *)
+  let generators =
     match domain with
-    | Domains.Weak -> [ sizing_candidate path ~tc ]
-    | Domains.Medium ->
-      [
-        sizing_candidate path ~tc;
-        buffers_candidate ~lib path ~tc;
-        maybe_restructure ();
-      ]
-    | Domains.Hard ->
-      [
-        sizing_candidate path ~tc;
-        buffers_candidate ~lib path ~tc;
-        maybe_restructure ();
-      ]
-    | Domains.Infeasible ->
-      [ buffers_candidate ~lib path ~tc; maybe_restructure () ]
+    | Domains.Weak -> [ sizing ]
+    | Domains.Medium | Domains.Hard -> [ sizing; buffers; maybe_restructure ]
+    | Domains.Infeasible -> [ buffers; maybe_restructure ]
   in
-  let candidates = List.filter_map Fun.id candidates in
+  let candidates =
+    List.filter_map Fun.id (Pops_util.Pool.map_list (fun gen -> gen ()) generators)
+  in
   match pick_best ~tc candidates with
   | Some best -> finalize ~tc ~bounds ~domain best
   | None -> finalize ~tc ~bounds ~domain (fastest_candidate ~lib path)

@@ -16,12 +16,14 @@ type solve_stats = { iterations : int; residual : float }
    j = n-1 .. 1 uses the freshly updated downstream size, exactly the
    paper's "backward from the output, where the terminal load is known"
    iteration. *)
-let sweep_counter = ref 0
+(* atomic: sweeps run concurrently on pool domains (protocol candidates,
+   Pareto sweeps) and the bench reads the counter for its cost columns *)
+let sweep_counter = Atomic.make 0
 
-let sweeps_performed () = !sweep_counter
+let sweeps_performed () = Atomic.get sweep_counter
 
 let sweep_variants ?(skip = fun _ -> false) (variants : (Path.t * float) list) ~a x =
-  incr sweep_counter;
+  Atomic.incr sweep_counter;
   let path = match variants with (p, _) :: _ -> p | [] -> invalid_arg "sweep" in
   let n = Path.length path in
   let tech = path.Path.tech in

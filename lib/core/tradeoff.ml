@@ -7,8 +7,13 @@ let curve ?(points = 40) ?(a_deep = 50.) path =
     let x = Sensitivity.solve_worst ~a path in
     { a; delay = Path.delay_worst path x; area = Path.area path x }
   in
+  (* every Pareto point is an independent fixed-point solve at its own
+     sensitivity, so fan the sweep out per point; the result list keeps
+     the magnitude order regardless of which domain solved which point *)
   let magnitudes = Pops_util.Numerics.logspace 1e-4 a_deep (points - 1) in
-  let sweep = Array.to_list (Array.map (fun m -> sample (-.m)) magnitudes) in
+  let sweep =
+    Array.to_list (Pops_util.Pool.parallel_map (fun m -> sample (-.m)) magnitudes)
+  in
   sample 0. :: sweep
 
 let sizing_vs_buffering ~lib ?points path =

@@ -28,6 +28,7 @@ type report = {
   buffers_added : int;
   rewrites : int;
   equivalence : (unit, string) result;
+  protocol_ms : float;
 }
 
 (* Map one path-level protocol decision back onto the netlist.  Sizing is
@@ -111,23 +112,55 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
   let initial_area = Netlist.total_area t lib in
   let buffers_added = ref 0 and rewrites_total = ref 0 in
   let iterations = ref [] in
+  let protocol_ms = ref 0. in
   let rec loop round prev_delay =
     let d = Timing.critical_delay timing in
     if d <= tc *. (1. +. 1e-6) +. 0.02 then Met
     else if round > max_rounds then Budget_exhausted
     else if round > 1 && d >= prev_delay -. (0.001 *. prev_delay) then No_progress
     else begin
+      (* Phase 1 (sequential): extract the K worst paths.  Each
+         [Paths.extracted] is an immutable snapshot — stage geometry,
+         branch loads and the sizes current at the start of the round —
+         fully decoupled from the mutable netlist. *)
       let worst = Paths.k_worst ~k:k_paths ~lib t in
+      let snapshots =
+        List.map
+          (fun (ex : Paths.extracted) ->
+            let sizing_now =
+              Array.of_list
+                (List.map
+                   (fun id -> (Netlist.node t id).Netlist.cin)
+                   ex.Paths.nodes)
+            in
+            (ex, sizing_now))
+          worst
+      in
+      (* Phase 2 (parallel): run the protocol on every violating path
+         concurrently.  The workers only read their snapshots, never the
+         netlist, so the decisions are a pure function of the round's
+         starting state — bit-identical at any domain count. *)
+      let t0 = Unix.gettimeofday () in
+      let decisions =
+        Pops_util.Pool.map_list
+          (fun ((ex : Paths.extracted), sizing_now) ->
+            if Path.delay_worst ex.Paths.path sizing_now > tc then
+              Some (Protocol.run ~allow_restructure ~lib ~tc ex.Paths.path)
+            else None)
+          snapshots
+      in
+      protocol_ms := !protocol_ms +. (1000. *. (Unix.gettimeofday () -. t0));
+      (* Phase 3 (sequential): apply the winners in submission order.
+         Conflicts between paths sharing gates resolve deterministically:
+         [apply_sizing_max] never shrinks, so a gate claimed by two paths
+         keeps the larger size; structural surgeries land in K-worst
+         order. *)
       let structural_change = ref false in
-      List.iter
-        (fun (ex : Paths.extracted) ->
-          (* skip paths that already meet timing under current sizes *)
-          let sizing_now =
-            Array.of_list
-              (List.map (fun id -> (Netlist.node t id).Netlist.cin) ex.Paths.nodes)
-          in
-          if Path.delay_worst ex.Paths.path sizing_now > tc then begin
-            let r = Protocol.run ~allow_restructure ~lib ~tc ex.Paths.path in
+      List.iter2
+        (fun ((ex : Paths.extracted), _) decision ->
+          match decision with
+          | None -> ()
+          | Some r ->
             let b, rw = apply_decision t (Array.of_list ex.Paths.nodes) r in
             buffers_added := !buffers_added + b;
             rewrites_total := !rewrites_total + rw;
@@ -139,9 +172,8 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
                 strategy = r.Protocol.strategy;
                 path_gates = List.length ex.Paths.nodes;
               }
-              :: !iterations
-          end)
-        worst;
+              :: !iterations)
+        snapshots decisions;
       (* after surgery the indices moved: re-size the fresh critical path *)
       if !structural_change then size_critical ~lib ~tc ~timing t;
       loop (round + 1) d
@@ -159,6 +191,7 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
     buffers_added = !buffers_added;
     rewrites = !rewrites_total;
     equivalence = Logic.equivalent reference t;
+    protocol_ms = !protocol_ms;
   }
 
 let outcome_to_string = function

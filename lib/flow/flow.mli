@@ -37,6 +37,9 @@ type report = {
   rewrites : int;  (** De Morgan rewrites applied *)
   equivalence : (unit, string) result;
       (** logic check of the final netlist against the input *)
+  protocol_ms : float;
+      (** wall-clock time spent in the per-round parallel protocol
+          fan-outs (the domain-pool phase), summed over all rounds *)
 }
 
 val optimize :

@@ -40,6 +40,10 @@ type t = {
   mutable level : int array;
   mutable levels_valid : bool;
   mutable topo_cache : int list option;
+  mutable level_counts : int array option;
+      (* suffix population: [counts.(l)] = live nodes at level >= l;
+         length depth + 2 (so the last entry is 0).  Rebuilt with the
+         topo cache; pure resizes keep it valid. *)
   mutable n_live : int;
   mutable n_gates : int;
   mutable dirty_log : int array;
@@ -57,6 +61,7 @@ let create tech =
     level = Array.make 64 0;
     levels_valid = true;
     topo_cache = Some [];
+    level_counts = None;
     n_live = 0;
     n_gates = 0;
     dirty_log = Array.make 64 0;
@@ -229,7 +234,9 @@ let level t id =
   ensure_levels t;
   t.level.(id)
 
-let structural_change t = t.topo_cache <- None
+let structural_change t =
+  t.topo_cache <- None;
+  t.level_counts <- None
 
 let topological_order t =
   match t.topo_cache with
@@ -244,13 +251,33 @@ let topological_order t =
     t.topo_cache <- Some order;
     order
 
-let depth t =
-  ensure_levels t;
-  let d = ref 0 in
-  for id = 0 to t.next_id - 1 do
-    if t.nodes.(id) <> None then d := max !d t.level.(id)
-  done;
-  !d
+let level_suffix_counts t =
+  match t.level_counts with
+  | Some c -> c
+  | None ->
+    ensure_levels t;
+    let d = ref 0 in
+    for id = 0 to t.next_id - 1 do
+      if t.nodes.(id) <> None then d := max !d t.level.(id)
+    done;
+    let counts = Array.make (!d + 2) 0 in
+    for id = 0 to t.next_id - 1 do
+      if t.nodes.(id) <> None then
+        counts.(t.level.(id)) <- counts.(t.level.(id)) + 1
+    done;
+    for l = !d - 1 downto 0 do
+      counts.(l) <- counts.(l) + counts.(l + 1)
+    done;
+    t.level_counts <- Some counts;
+    counts
+
+let depth t = Array.length (level_suffix_counts t) - 2
+
+let count_level_ge t l =
+  let counts = level_suffix_counts t in
+  if l <= 0 then counts.(0)
+  else if l >= Array.length counts then 0
+  else counts.(l)
 
 (* --- construction --------------------------------------------------- *)
 

@@ -89,7 +89,16 @@ val topological_order : t -> int list
     after structural edits).  @raise Failure on a cycle. *)
 
 val depth : t -> int
-(** Longest input-to-output path in gate counts. *)
+(** Longest input-to-output path in gate counts (cached alongside the
+    level population; pure resizes keep it valid). *)
+
+val count_level_ge : t -> int -> int
+(** [count_level_ge t l] is the number of live nodes whose topological
+    level is [>= l], in O(1) from a cached suffix-population table
+    (rebuilt lazily after structural edits).  Observers use it to bound
+    the worst-case fan-out cone of an edit at level [l]: on narrow, deep
+    circuits the bound is tight and lets {!Pops_sta.Timing.update} trade
+    its worklist for a straight-line sweep. *)
 
 val level : t -> int -> int
 (** Cached topological level of a node: 0 for primary inputs, one above

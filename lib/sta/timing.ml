@@ -181,6 +181,16 @@ module Heap = struct
     end
 end
 
+(* Fraction of the levelized order past which the event-driven worklist
+   is abandoned for a straight-line sweep, and the maximum average level
+   width at which the level-population cone bound is trusted.  On a deep
+   spine (width ~1) a mid-chain edit reaches half the design: paying
+   heap + dedup overhead per node there is slower than a plain pass over
+   the suffix of the topological order.  On wide circuits the bound
+   wildly overestimates the true cone, so the worklist stays. *)
+let cone_fallback_fraction = 0.6
+let narrow_width_limit = 8
+
 let update t =
   let nl = t.netlist in
   let rev = Netlist.revision nl in
@@ -188,28 +198,63 @@ let update t =
     let dirty = Netlist.dirty_since nl t.cursor in
     t.cursor <- rev;
     grow t;
-    let heap = Heap.create () in
-    let queued = Hashtbl.create 64 in
-    let enqueue id =
-      if (not (Hashtbl.mem queued id)) && Netlist.node_exists nl id then begin
-        Hashtbl.replace queued id ();
-        Heap.push heap (Netlist.level nl id) id
-      end
+    (* clear deleted entries up front; the survivors seed the wavefront *)
+    let lmin = ref max_int in
+    let live_dirty =
+      List.filter
+        (fun id ->
+          if Netlist.node_exists nl id then begin
+            let l = Netlist.level nl id in
+            if l < !lmin then lmin := l;
+            true
+          end
+          else begin
+            clear_node t id;
+            false
+          end)
+        dirty
     in
-    List.iter
-      (fun id ->
-        if Netlist.node_exists nl id then enqueue id else clear_node t id)
-      dirty;
-    let rec drain () =
-      match Heap.pop heap with
-      | None -> ()
-      | Some id ->
-        Hashtbl.remove queued id;
-        if store_node t id (eval_node t id) then
-          List.iter enqueue (Netlist.node nl id).Netlist.fanouts;
+    if live_dirty <> [] then begin
+      let live = Netlist.live_count nl in
+      let cone_bound = Netlist.count_level_ge nl !lmin in
+      let narrow = (Netlist.depth nl + 1) * narrow_width_limit >= live in
+      if
+        narrow
+        && float_of_int cone_bound
+           >= cone_fallback_fraction *. float_of_int live
+      then
+        (* Deep-spine fallback: re-evaluate every node at level >= lmin
+           straight off the levelized order.  Same evaluator, same order
+           as a cold analyze restricted to the suffix, so arrivals stay
+           bit-identical; nodes below lmin cannot have changed (dirt only
+           propagates downstream, i.e. to higher levels). *)
+        List.iter
+          (fun id ->
+            if Netlist.level nl id >= !lmin then
+              ignore (store_node t id (eval_node t id)))
+          (Netlist.topological_order nl)
+      else begin
+        let heap = Heap.create () in
+        let queued = Hashtbl.create 64 in
+        let enqueue id =
+          if (not (Hashtbl.mem queued id)) && Netlist.node_exists nl id then begin
+            Hashtbl.replace queued id ();
+            Heap.push heap (Netlist.level nl id) id
+          end
+        in
+        List.iter enqueue live_dirty;
+        let rec drain () =
+          match Heap.pop heap with
+          | None -> ()
+          | Some id ->
+            Hashtbl.remove queued id;
+            if store_node t id (eval_node t id) then
+              List.iter enqueue (Netlist.node nl id).Netlist.fanouts;
+            drain ()
+        in
         drain ()
-    in
-    drain ()
+      end
+    end
   end
 
 let analyze ?input_slope ?(input_arrival = 0.) ~lib netlist =

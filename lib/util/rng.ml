@@ -24,7 +24,12 @@ let int64 t =
   t.state <- Int64.add t.state gamma;
   mix t.state
 
-let split t = create (int64 t)
+(* SplitMix-style split: consume one draw from [t] (so the parent's
+   subsequent sequence is exactly what it was before this API returned a
+   pair) and seed the child from it.  Deriving one child per restart /
+   sweep point up front gives every parallel task its own reproducible
+   stream, independent of which domain runs it. *)
+let split t = (t, create (int64 t))
 
 let float t bound =
   assert (bound > 0.);

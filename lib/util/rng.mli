@@ -15,8 +15,14 @@ val of_string : string -> t
 (** [of_string s] seeds a generator from the FNV-1a hash of [s]; used to
     derive a circuit's stream from its name. *)
 
-val split : t -> t
-(** [split t] advances [t] and returns a new independent generator. *)
+val split : t -> t * t
+(** [split t] advances [t] by one draw and returns [(t, child)] where
+    [child] is a statistically independent generator seeded from that
+    draw (SplitMix-style).  The parent's own sequence after the split is
+    identical to what one plain {!int64} draw would have left, so
+    single-stream sequences for a given seed are unchanged; splitting
+    one child per parallel task up front makes results reproducible
+    independent of scheduling. *)
 
 val int64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -110,8 +110,19 @@ let test_rng_int_range () =
 
 let test_rng_split_independent () =
   let r = Rng.create 1L in
-  let s = Rng.split r in
-  Alcotest.(check bool) "split streams differ" true (Rng.int64 r <> Rng.int64 s)
+  let r', s = Rng.split r in
+  Alcotest.(check bool) "parent returned" true (r == r');
+  Alcotest.(check bool) "split streams differ" true (Rng.int64 r <> Rng.int64 s);
+  (* the parent stream after a split is the plain stream minus one draw *)
+  let a = Rng.create 42L and b = Rng.create 42L in
+  let _, _ = Rng.split a in
+  let (_ : int64) = Rng.int64 b in
+  Alcotest.(check int64) "parent sequence unchanged" (Rng.int64 b) (Rng.int64 a);
+  (* children are a pure function of the parent state, not of scheduling *)
+  let p1 = Rng.create 7L and p2 = Rng.create 7L in
+  let _, c1 = Rng.split p1 in
+  let _, c2 = Rng.split p2 in
+  Alcotest.(check int64) "split deterministic" (Rng.int64 c1) (Rng.int64 c2)
 
 let test_weighted_pick () =
   let r = Rng.create 3L in
