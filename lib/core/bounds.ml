@@ -7,14 +7,50 @@ type t = {
   beta_tmin : float;
 }
 
-let compute path =
+(* Characterising a path costs dozens of fixed-point solves (the Tmin
+   grid scan plus golden-section refinement), and the protocol asks for
+   the same path's bounds repeatedly — feasibility check, then the
+   constraint sizer, then reporting.  Memoize by the path's construction
+   uid: a Path.t is immutable and every edit/flip makes a fresh uid, so
+   a hit is always exact.  The table is mutex-guarded for the PR 2
+   domain pool; the solve itself runs outside the lock (a racing
+   duplicate compute is deterministic, so last-write-wins is fine) and
+   the table is reset at a small bound instead of evicting — path uids
+   are never reused, so stale entries are only a space concern. *)
+let cache : (int, t) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+let max_cached = 256
+
+let compute_uncached path =
   let x_min = Path.min_sizing path in
   let tmax = Path.delay_worst path x_min in
   let tmin, sizing_tmin, beta_tmin = Sensitivity.minimum_delay path in
   { tmin; tmax; sizing_tmin; beta_tmin }
 
+let compute path =
+  let key = Path.uid path in
+  let hit =
+    Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
+  in
+  match hit with
+  | Some b -> b
+  | None ->
+    let b = compute_uncached path in
+    Mutex.protect cache_lock (fun () ->
+        if Hashtbl.length cache >= max_cached then Hashtbl.reset cache;
+        Hashtbl.replace cache key b);
+    b
+
 let tmin path = (compute path).tmin
-let tmax path = Path.delay_worst path (Path.min_sizing path)
+
+let tmax path =
+  let key = Path.uid path in
+  let hit =
+    Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
+  in
+  match hit with
+  | Some b -> b.tmax
+  | None -> Path.delay_worst path (Path.min_sizing path)
 
 type trace_point = { sum_cin_ratio : float; delay : float }
 

@@ -21,9 +21,20 @@ type t = {
 }
 
 val compute : Pops_delay.Path.t -> t
+(** Memoized by {!Pops_delay.Path.uid}: a path value is immutable and
+    every structural edit or polarity flip constructs a fresh uid, so
+    repeated characterisations of the same path — feasibility check,
+    constraint sizing, reporting — pay the grid-scan solves once.
+    Thread-safe (the table is mutex-guarded; the solve itself runs
+    outside the lock). *)
 
 val tmin : Pops_delay.Path.t -> float
+(** [(compute path).tmin] — shares the cache. *)
+
 val tmax : Pops_delay.Path.t -> float
+(** The minimum-drive worst delay.  Served from the cache when the path
+    was already characterised, otherwise computed directly (two delay
+    evaluations) without triggering the full [Tmin] solve. *)
 
 type trace_point = {
   sum_cin_ratio : float;  (** [Sigma C_IN / C_REF] — Fig. 1's x axis *)

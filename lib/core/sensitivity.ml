@@ -7,121 +7,264 @@ type solve_stats = { iterations : int; residual : float }
 (* One backward Gauss-Seidel sweep of the link equations (eq. 6): solve
    dT/dx_j = a w_j for x_j with every other size frozen at its current
    value (see docs/model.md for the derivation), for a weighted
-   combination of path polarity variants (all sharing the same stage
-   geometry, differing only in per-stage coefficients).  For the
-   single-polarity objective pass one variant with weight 1; for the
-   balanced rise/fall objective pass both with weight 1/2 — the averaged
-   delay is itself a sum of per-stage terms, so the link equation keeps
-   its closed form with coefficient bundles averaged.  Processing
+   combination of the path's two polarity variants (same stage geometry,
+   per-stage coefficients from the compiled kernel's own/flip tables).
+   For the single-polarity objective the other weight is 0; for the
+   balanced rise/fall objective both are 1/2 — the averaged delay is
+   itself a sum of per-stage terms, so the link equation keeps its
+   closed form with coefficient bundles averaged.  Processing
    j = n-1 .. 1 uses the freshly updated downstream size, exactly the
    paper's "backward from the output, where the terminal load is known"
-   iteration. *)
+   iteration.
+
+   The sweep updates [x] in place and allocates nothing: every
+   coefficient is an unboxed read from the kernel's structure-of-arrays
+   tables ([v] pre-zeroed when the slope term is off, [m] when coupling
+   is off, so the closed form needs no option branches), and the squared
+   denominators are explicit multiplies. *)
 (* atomic: sweeps run concurrently on pool domains (protocol candidates,
    Pareto sweeps) and the bench reads the counter for its cost columns *)
 let sweep_counter = Atomic.make 0
 
 let sweeps_performed () = Atomic.get sweep_counter
 
-let sweep_variants ?(skip = fun _ -> false) (variants : (Path.t * float) list) ~a x =
+let no_skip _ = false
+
+let sweep_kernel (path : Path.t) ~w_own ~w_flip ~a ~skip x =
   Atomic.incr sweep_counter;
-  let path = match variants with (p, _) :: _ -> p | [] -> invalid_arg "sweep" in
-  let n = Path.length path in
-  let tech = path.Path.tech in
-  let tau = tech.Pops_process.Tech.tau in
-  let opts = path.Path.opts in
-  let x = Path.clamp_sizing path x in
+  let k = path.Path.kernel in
+  let n = k.Path.n in
+  let tau = path.Path.tech.Pops_process.Tech.tau in
   for j = n - 1 downto 1 do
     if not (skip j) then begin
       let next_j = if j = n - 1 then path.Path.c_out else x.(j + 1) in
-      let k_j = path.Path.stages.(j).Path.branch +. next_j in
-      let cell = path.Path.stages.(j).Path.cell in
+      let k_j = k.Path.kbranch.(j) +. next_j in
+      (* the two polarity contributions are spelled out (rather than
+         shared through a local function) so [num]/[den] stay unboxed:
+         a closure capturing them would heap-box every accumulation *)
       let num = ref 0. and den = ref 0. in
-      List.iter
-        (fun (variant, w) ->
-          let cj = Path.stage_coeffs variant j in
-          let cjm1 = Path.stage_coeffs variant (j - 1) in
-          let l_prev =
-            (cjm1.Path.p *. x.(j - 1))
-            +. path.Path.stages.(j - 1).Path.branch
-            +. x.(j)
-          in
-          let cm_prev = cjm1.Path.m *. x.(j - 1) in
-          let k1 =
-            if opts.Model.with_coupling then
-              1. +. (2. *. cm_prev *. cm_prev /. ((cm_prev +. l_prev) ** 2.))
-            else 1.
-          in
-          let slope_j = if opts.Model.with_slope then cj.Path.v else 0. in
-          let upstream = cjm1.Path.s *. tau /. (2. *. x.(j - 1)) *. (k1 +. slope_j) in
-          let l_j = (cj.Path.p *. x.(j)) +. k_j in
-          let cm_j = cj.Path.m *. x.(j) in
-          let e2 =
-            if opts.Model.with_coupling then
-              cj.Path.s *. tau *. k_j *. cj.Path.m *. cj.Path.m
-              /. ((cm_j +. l_j) ** 2.)
-            else 0.
-          in
-          let v_next =
-            if j + 1 < n && opts.Model.with_slope then
-              (Path.stage_coeffs variant (j + 1)).Path.v
-            else 0.
-          in
-          num := !num +. (w *. cj.Path.s *. (1. +. v_next));
-          den := !den +. (w *. (upstream -. e2)))
-        variants;
+      if w_own <> 0. then begin
+        let s = k.Path.s_own and v = k.Path.v_own and m = k.Path.m_own in
+        let l_prev = (k.Path.p.(j - 1) *. x.(j - 1)) +. k.Path.kbranch.(j - 1) +. x.(j) in
+        let cm_prev = m.(j - 1) *. x.(j - 1) in
+        let dp = cm_prev +. l_prev in
+        let k1 = 1. +. (2. *. cm_prev *. cm_prev /. (dp *. dp)) in
+        let upstream = s.(j - 1) *. tau /. (2. *. x.(j - 1)) *. (k1 +. v.(j)) in
+        let l_j = (k.Path.p.(j) *. x.(j)) +. k_j in
+        let cm_j = m.(j) *. x.(j) in
+        let dj = cm_j +. l_j in
+        let e2 = s.(j) *. tau *. k_j *. m.(j) *. m.(j) /. (dj *. dj) in
+        let v_next = if j + 1 < n then v.(j + 1) else 0. in
+        num := !num +. (w_own *. s.(j) *. (1. +. v_next));
+        den := !den +. (w_own *. (upstream -. e2))
+      end;
+      if w_flip <> 0. then begin
+        let s = k.Path.s_flip and v = k.Path.v_flip and m = k.Path.m_flip in
+        let l_prev = (k.Path.p.(j - 1) *. x.(j - 1)) +. k.Path.kbranch.(j - 1) +. x.(j) in
+        let cm_prev = m.(j - 1) *. x.(j - 1) in
+        let dp = cm_prev +. l_prev in
+        let k1 = 1. +. (2. *. cm_prev *. cm_prev /. (dp *. dp)) in
+        let upstream = s.(j - 1) *. tau /. (2. *. x.(j - 1)) *. (k1 +. v.(j)) in
+        let l_j = (k.Path.p.(j) *. x.(j)) +. k_j in
+        let cm_j = m.(j) *. x.(j) in
+        let dj = cm_j +. l_j in
+        let e2 = s.(j) *. tau *. k_j *. m.(j) *. m.(j) /. (dj *. dj) in
+        let v_next = if j + 1 < n then v.(j + 1) else 0. in
+        num := !num +. (w_flip *. s.(j) *. (1. +. v_next));
+        den := !den +. (w_flip *. (upstream -. e2))
+      end;
       (* the sensitivity target is per unit of WIDTH (eq. 5 with the
          paper's Sigma-W objective): dT/dW_j = a  <=>  dT/dx_j = a * w_j
          with w_j the stage's area-per-fF *)
-      let denom = !den -. (a *. Path.area_weight path j) in
-      let lo = Pops_cell.Cell.min_cin cell in
-      let hi = 4096. *. lo in
+      let denom = !den -. (a *. k.Path.aw.(j)) in
+      let lo = k.Path.lo.(j) and hi = k.Path.hi.(j) in
       x.(j) <-
         (if denom <= 1e-12 then hi
          else
            let x2 = tau *. k_j *. !num /. (2. *. denom) in
-           N.clamp ~lo ~hi (sqrt x2))
+           (* N.clamp, inlined so the floats stay unboxed in the loop *)
+           Float.min hi (Float.max lo (sqrt x2)))
+    end
+  done
+
+(* --- per-domain scratch ------------------------------------------- *)
+
+(* The fixed point needs a handful of working vectors (current and
+   previous iterate, the Aitken history and candidate).  One scratch
+   lives per domain (Domain.DLS), sized to the largest path seen there,
+   so repeated solves — the constraint bisection warm-starts dozens per
+   path — allocate nothing after the first.  The busy flag covers the
+   (currently impossible) re-entrant case by falling back to a fresh
+   scratch instead of corrupting the one in flight; tasks on the PR 2
+   domain pool each run on their own domain, so scratches are never
+   shared. *)
+type scratch = {
+  mutable cap : int;
+  mutable cur : float array;
+  mutable prev : float array;
+  mutable h0 : float array;
+  mutable h1 : float array;
+  mutable h2 : float array;
+  mutable cand : float array;
+  mutable cand_next : float array;
+  mutable busy : bool;
+}
+
+let make_scratch cap =
+  {
+    cap;
+    cur = Array.make cap 0.;
+    prev = Array.make cap 0.;
+    h0 = Array.make cap 0.;
+    h1 = Array.make cap 0.;
+    h2 = Array.make cap 0.;
+    cand = Array.make cap 0.;
+    cand_next = Array.make cap 0.;
+    busy = false;
+  }
+
+let scratch_key = Domain.DLS.new_key (fun () -> make_scratch 0)
+
+let with_scratch n f =
+  let sc = Domain.DLS.get scratch_key in
+  if sc.busy then f (make_scratch n)
+  else begin
+    if sc.cap < n then begin
+      let fresh = make_scratch (max n (2 * sc.cap)) in
+      fresh.busy <- sc.busy;
+      Domain.DLS.set scratch_key fresh;
+      sc.cap <- fresh.cap;
+      sc.cur <- fresh.cur;
+      sc.prev <- fresh.prev;
+      sc.h0 <- fresh.h0;
+      sc.h1 <- fresh.h1;
+      sc.h2 <- fresh.h2;
+      sc.cand <- fresh.cand;
+      sc.cand_next <- fresh.cand_next
+    end;
+    sc.busy <- true;
+    Fun.protect ~finally:(fun () -> sc.busy <- false) (fun () -> f sc)
+  end
+
+let dist_n n a b =
+  let d = ref 0. in
+  for i = 0 to n - 1 do
+    let x = Float.abs (a.(i) -. b.(i)) in
+    if x > !d then d := x
+  done;
+  !d
+
+(* --- the accelerated fixed point ----------------------------------- *)
+
+(* Plain mode ([accel = false]) replicates Numerics.fixed_point over the
+   clamp-then-sweep step exactly: same iterates bit for bit, same
+   iteration count, same stopping rule (max sizing change < tol, or
+   max_iter sweeps).
+
+   Accelerated mode additionally tries a component-wise Aitken Δ²
+   extrapolation after every three consecutive plain iterates.  The
+   candidate is accepted only if one sweep from it contracts strictly
+   better than the plain sequence's latest step (its residual is
+   smaller); otherwise it is discarded and the plain sequence continues
+   from its own, bitwise-untouched iterate — so when no candidate is
+   ever accepted the accelerated solver walks the exact plain
+   trajectory, just with extra (counted) probe sweeps.  Either way the
+   result satisfies the same residual-< tol contract; acceleration can
+   only change how many sweeps it takes to get there. *)
+let solve_weighted ~accel ~w_own ~w_flip ~a ~skip ~tol ~max_iter ~with_residual
+    path x0 =
+  let n = Path.length path in
+  with_scratch n @@ fun sc ->
+  let cur = sc.cur and prev = sc.prev in
+  Array.blit x0 0 cur 0 n;
+  let iter = ref 0 in
+  let converged = ref false in
+  let hist = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    Array.blit cur 0 prev 0 n;
+    Path.clamp_into path cur cur;
+    sweep_kernel path ~w_own ~w_flip ~a ~skip cur;
+    incr iter;
+    let d = dist_n n prev cur in
+    if d < tol then converged := true
+    else if accel then begin
+      let t = sc.h0 in
+      sc.h0 <- sc.h1;
+      sc.h1 <- sc.h2;
+      sc.h2 <- t;
+      Array.blit cur 0 sc.h2 0 n;
+      incr hist;
+      if !hist >= 3 && !iter < max_iter then begin
+        let cand = sc.cand and cand_next = sc.cand_next in
+        for i = 0 to n - 1 do
+          let x0i = sc.h0.(i) and x1i = sc.h1.(i) and x2i = sc.h2.(i) in
+          let dden = x2i -. (2. *. x1i) +. x0i in
+          let dx = x2i -. x1i in
+          let y = x2i -. (dx *. dx /. dden) in
+          cand.(i) <- (if Float.is_finite y then y else x2i)
+        done;
+        Path.clamp_into path cand cand;
+        Array.blit cand 0 cand_next 0 n;
+        sweep_kernel path ~w_own ~w_flip ~a ~skip cand_next;
+        incr iter;
+        let dc = dist_n n cand cand_next in
+        if dc < d then begin
+          Array.blit cand_next 0 cur 0 n;
+          if dc < tol then converged := true
+        end;
+        (* accepted or not, restart the history: Δ² needs three iterates
+           of a single geometric tail, and probing every window turned
+           out to burn more sweeps than the extra attempts recover *)
+        hist := 0
+      end
     end
   done;
-  x
-
-let sweep ?skip (path : Path.t) ~a x = sweep_variants ?skip [ (path, 1.) ] ~a x
+  let residual =
+    if not with_residual then Float.nan
+    else begin
+      Array.blit cur 0 sc.cand 0 n;
+      Path.clamp_into path sc.cand sc.cand;
+      sweep_kernel path ~w_own ~w_flip ~a ~skip sc.cand;
+      dist_n n cur sc.cand
+    end
+  in
+  (Array.sub cur 0 n, !iter, residual)
 
 let check_a a = if a > 0. then invalid_arg "Sensitivity: a must be <= 0."
 
-let solve ?(a = 0.) ?(frozen = []) ?x0 ?(tol = 1e-6) ?(max_iter = 300) path =
+let solve ?(accel = true) ?(a = 0.) ?(frozen = []) ?x0 ?(tol = 1e-6)
+    ?(max_iter = 300) path =
   check_a a;
   let x0 = Option.value x0 ~default:(Path.min_sizing path) in
-  let skip j = List.mem j frozen in
-  let x, iterations =
-    N.fixed_point ~tol ~max_iter ~step:(sweep ~skip path ~a) ~distance:N.distance_inf
-      x0
+  let skip = match frozen with [] -> no_skip | l -> fun j -> List.mem j l in
+  let x, iterations, residual =
+    solve_weighted ~accel ~w_own:1. ~w_flip:0. ~a ~skip ~tol ~max_iter
+      ~with_residual:true path x0
   in
-  let residual = N.distance_inf x (sweep ~skip path ~a x) in
   (x, { iterations; residual })
 
 (* Weighted two-polarity solve: [beta] is the weight of the path's own
    polarity (1 = pure own-polarity link equations, 0 = pure flipped,
    0.5 = balanced). *)
-let solve_beta ?(a = 0.) ?(frozen = []) ?x0 ~beta path =
+let solve_beta ?(accel = true) ?(a = 0.) ?(frozen = []) ?x0 ~beta path =
   check_a a;
   let x0 = Option.value x0 ~default:(Path.min_sizing path) in
-  let skip j = List.mem j frozen in
-  let flipped = Path.with_input_edge path (Pops_delay.Edge.flip path.Path.input_edge) in
-  let variants =
-    if beta >= 0.999 then [ (path, 1.) ]
-    else if beta <= 0.001 then [ (flipped, 1.) ]
-    else [ (path, beta); (flipped, 1. -. beta) ]
+  let skip = match frozen with [] -> no_skip | l -> fun j -> List.mem j l in
+  let w_own, w_flip =
+    if beta >= 0.999 then (1., 0.)
+    else if beta <= 0.001 then (0., 1.)
+    else (beta, 1. -. beta)
   in
-  let x, _ =
+  let x, _, _ =
     (* 1e-4 fF is ~0.004% of the minimum drive: far below anything the
        delay model can resolve, at roughly half the sweeps of 1e-6 *)
-    N.fixed_point ~tol:1e-4 ~max_iter:300
-      ~step:(sweep_variants ~skip variants ~a)
-      ~distance:N.distance_inf x0
+    solve_weighted ~accel ~w_own ~w_flip ~a ~skip ~tol:1e-4 ~max_iter:300
+      ~with_residual:false path x0
   in
   x
 
-let solve_worst ?a ?frozen ?x0 path = solve_beta ?a ?frozen ?x0 ~beta:0.5 path
+let solve_worst ?accel ?a ?frozen ?x0 path =
+  solve_beta ?accel ?a ?frozen ?x0 ~beta:0.5 path
 
 (* The minimum achievable worst-polarity delay: the minimax optimum may
    sit on either pure polarity or strictly between, so scan a small
@@ -155,11 +298,14 @@ let minimum_delay path =
 let solve_trace ?(a = 0.) ?(tol = 1e-6) ?(max_iter = 300) path =
   check_a a;
   let x0 = Path.min_sizing path in
-  let flipped = Path.with_input_edge path (Pops_delay.Edge.flip path.Path.input_edge) in
-  let variants = [ (path, 0.5); (flipped, 0.5) ] in
-  N.fixed_point_trace ~tol ~max_iter
-    ~step:(sweep_variants variants ~a)
-    ~distance:N.distance_inf x0
+  (* the plain (unaccelerated) balanced iteration: the trace reproduces
+     the paper's Fig. 1 trajectory, so no probe sweeps may appear in it *)
+  let step x =
+    let y = Path.clamp_sizing path x in
+    sweep_kernel path ~w_own:0.5 ~w_flip:0.5 ~a ~skip:no_skip y;
+    y
+  in
+  N.fixed_point_trace ~tol ~max_iter ~step ~distance:N.distance_inf x0
 
 let delay_of_a path a =
   let x = solve_worst ~a path in
@@ -175,12 +321,22 @@ type constraint_result = {
 let result_of path a sizing =
   { sizing; a; delay = Path.delay_worst path sizing; area = Path.area path sizing }
 
-(* For one polarity weight [beta]: bisect on [a] so the worst-polarity
+(* For one polarity weight [beta]: root-find on [a] so the worst-polarity
    delay meets [tc] at minimum area; returns the best feasible candidate
    seen, or [None] when even [a = 0] misses [tc] under this weighting.
-   The fixed point is warm-started from the previous iterate. *)
-let bisect_for_beta ~beta path ~tc =
-  let solve_at ?x0 a = solve_beta ~a ?x0 ~beta path in
+   The fixed point is warm-started from the previous iterate.
+
+   The bracket step is a safeguarded regula falsi on delay(a) - tc
+   (delay is monotone non-increasing in [a], so both bracket delays are
+   tracked): the secant point homes in on the constraint in a couple of
+   solves where plain bisection pays its full log2 schedule, and the
+   midpoint fallback fires whenever the secant step degenerates, pins to
+   an endpoint, or the previous step failed to halve the bracket — so
+   the worst case stays the bisection bound.  The stopping rules are
+   unchanged (60 iterations, relative bracket width, or a feasible delay
+   within 0.1% of the constraint). *)
+let bisect_for_beta ?accel ~beta path ~tc =
+  let solve_at ?x0 a = solve_beta ?accel ~a ?x0 ~beta path in
   let x0 = solve_at 0. in
   let d0 = Path.delay_worst path x0 in
   if d0 > tc then None
@@ -193,27 +349,40 @@ let bisect_for_beta ~beta path ~tc =
         else expand (a_lo *. 4.) x'
     in
     let a_lo, x_lo = expand (-1e-3) x0 in
-    let rec bisect a_lo a_hi x_prev best iter =
-      (* invariant: delay(a_hi) <= tc (feasible), delay(a_lo) >= tc
-         (or a_lo is the expansion cap); stop early once the feasible
-         delay is within 0.1% of the constraint — further tightening
-         cannot buy measurable area *)
+    let d_lo = Path.delay_worst path x_lo in
+    (* invariant: delay(a_hi) <= tc (feasible), delay(a_lo) >= tc
+       (or a_lo is the expansion cap) *)
+    let rec refine a_lo d_lo a_hi d_hi x_prev best iter force_bisect =
       if
         iter >= 60
         || a_hi -. a_lo < 1e-9 *. Float.max 1. (Float.abs a_lo)
         || best.delay >= tc *. 0.999
       then best
-      else
-        let a_mid = 0.5 *. (a_lo +. a_hi) in
+      else begin
+        let w = a_hi -. a_lo in
+        let a_mid =
+          if force_bisect then 0.5 *. (a_lo +. a_hi)
+          else
+            let f_lo = d_lo -. tc and f_hi = d_hi -. tc in
+            let denom = f_lo -. f_hi in
+            let a_int = a_lo +. (f_lo /. denom *. w) in
+            if
+              Float.is_finite a_int
+              && a_int > a_lo +. (0.01 *. w)
+              && a_int < a_hi -. (0.01 *. w)
+            then a_int
+            else 0.5 *. (a_lo +. a_hi)
+        in
         let x = solve_at ~x0:x_prev a_mid in
         let d = Path.delay_worst path x in
         if d <= tc then
           let cand = result_of path a_mid x in
           let best = if cand.area < best.area then cand else best in
-          bisect a_lo a_mid x best (iter + 1)
-        else bisect a_mid a_hi x best (iter + 1)
+          refine a_lo d_lo a_mid d x best (iter + 1) (a_mid -. a_lo > 0.5 *. w)
+        else refine a_mid d a_hi d_hi x best (iter + 1) (a_hi -. a_mid > 0.5 *. w)
+      end
     in
-    Some (bisect a_lo 0. x_lo (result_of path 0. x0) 0)
+    Some (refine a_lo d_lo 0. d0 x_lo (result_of path 0. x0) 0 false)
   end
 
 (* The constraint is on the worst polarity, so the minimum-area sizing

@@ -21,12 +21,25 @@
     negative. *)
 
 type solve_stats = {
-  iterations : int;  (** fixed-point sweeps performed *)
+  iterations : int;  (** fixed-point sweeps performed (probe sweeps included) *)
   residual : float;  (** final max sizing change, fF *)
 }
 
-val solve : ?a:float -> ?frozen:int list -> ?x0:float array -> ?tol:float ->
-  ?max_iter:int -> Pops_delay.Path.t -> float array * solve_stats
+(** All solvers run the backward Gauss–Seidel sweep directly on the
+    path's compiled {!Pops_delay.Path.kernel} tables with per-domain
+    scratch buffers, so a solve allocates only its result vector.
+
+    [?accel] (default [true]) enables Aitken Δ² extrapolation of the
+    fixed point: after every three plain iterates a component-wise Δ²
+    candidate is probed with one extra (counted) sweep and accepted only
+    if it contracts strictly better than the plain sequence; otherwise
+    the plain iterates continue bitwise-unchanged, so [~accel:false]
+    reproduces the unaccelerated trajectory exactly and acceleration can
+    only change how many sweeps convergence takes, not the contract the
+    result satisfies. *)
+
+val solve : ?accel:bool -> ?a:float -> ?frozen:int list -> ?x0:float array ->
+  ?tol:float -> ?max_iter:int -> Pops_delay.Path.t -> float array * solve_stats
 (** [solve ~a path] returns the sizing satisfying eq. (5) with sensitivity
     [a] (default [0.], i.e. minimum delay), entries clamped to the
     available drive range.  Stages listed in [frozen] keep their [x0]
@@ -34,8 +47,8 @@ val solve : ?a:float -> ?frozen:int list -> ?x0:float array -> ?tol:float ->
     where only the buffer may be sized.
     @raise Invalid_argument if [a > 0.]. *)
 
-val solve_worst : ?a:float -> ?frozen:int list -> ?x0:float array ->
-  Pops_delay.Path.t -> float array
+val solve_worst : ?accel:bool -> ?a:float -> ?frozen:int list ->
+  ?x0:float array -> Pops_delay.Path.t -> float array
 (** Like {!solve} but for the balanced rise/fall objective
     {!Pops_delay.Path.delay_avg}: the link equations keep their closed
     form with the per-stage coefficient bundles averaged over the two
@@ -44,8 +57,8 @@ val solve_worst : ?a:float -> ?frozen:int list -> ?x0:float array ->
     hidden by a lucky polarity; results are then {e reported} against
     {!Pops_delay.Path.delay_worst}. *)
 
-val solve_beta : ?a:float -> ?frozen:int list -> ?x0:float array ->
-  beta:float -> Pops_delay.Path.t -> float array
+val solve_beta : ?accel:bool -> ?a:float -> ?frozen:int list ->
+  ?x0:float array -> beta:float -> Pops_delay.Path.t -> float array
 (** The generalised weighted solve behind {!solve_worst}: [beta] is the
     weight of the path's own input polarity ([1] = pure own-polarity
     link equations, [0] = pure flipped, [0.5] = balanced).  Constraint
@@ -55,7 +68,9 @@ val solve_beta : ?a:float -> ?frozen:int list -> ?x0:float array ->
 val solve_trace : ?a:float -> ?tol:float -> ?max_iter:int -> Pops_delay.Path.t ->
   float array list
 (** Every fixed-point iterate (first is the minimum-drive initial
-    solution); reproduces the convergence trajectory of Fig. 1. *)
+    solution); reproduces the convergence trajectory of Fig. 1.  Always
+    runs the plain (unaccelerated) iteration, so no probe iterates
+    appear in the trace. *)
 
 val minimum_delay : Pops_delay.Path.t -> float * float array * float
 (** [(tmin, sizing, beta)]: the minimum achievable worst-polarity delay,
@@ -74,6 +89,18 @@ type constraint_result = {
   delay : float;
   area : float;
 }
+
+val bisect_for_beta :
+  ?accel:bool -> beta:float -> Pops_delay.Path.t -> tc:float ->
+  constraint_result option
+(** Root-find on the sensitivity [a] so the worst-polarity delay of the
+    [beta]-weighted solve meets [tc] at minimum area, warm-starting each
+    fixed point from the previous bracket iterate.  Safeguarded regula
+    falsi on [delay(a) - tc] — the secant step exploits the smooth
+    monotone delay-vs-[a] curve, with a bisection fallback preserving
+    the classic worst case.  [None] when even [a = 0] misses [tc] under
+    this weighting.  One probe of {!size_for_constraint}'s grid; exposed
+    for the equivalence tests and the kernel benchmark. *)
 
 val size_for_constraint :
   ?tol_ps:float -> Pops_delay.Path.t -> tc:float ->

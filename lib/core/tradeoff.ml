@@ -5,7 +5,12 @@ type point = { a : float; delay : float; area : float }
 let curve ?(points = 40) ?(a_deep = 50.) path =
   let sample a =
     let x = Sensitivity.solve_worst ~a path in
-    { a; delay = Path.delay_worst path x; area = Path.area path x }
+    (* one fused both-polarity pass per point; the scratch is created
+       inside the task closure so each pool domain owns its own *)
+    let sc = Path.scratch () in
+    Path.delay_both path sc x;
+    let delay = if sc.Path.own >= sc.Path.flip then sc.Path.own else sc.Path.flip in
+    { a; delay; area = Path.area path x }
   in
   (* every Pareto point is an independent fixed-point solve at its own
      sensitivity, so fan the sweep out per point; the result list keeps

@@ -1,5 +1,34 @@
 type stage = { cell : Pops_cell.Cell.t; branch : float }
 
+(* Compiled per-path coefficient tables (structure-of-arrays).  Every
+   value the delay/gradient/link-equation kernels need per (stage,
+   polarity) is a path invariant: computed once at construction, read as
+   unboxed floats ever after.  The [own] tables follow the path's
+   current [input_edge]; the [flip] tables are the same stages under the
+   opposite input polarity, so a polarity flip is an array swap, never a
+   recomputation.  [v] is pre-zeroed when the slope term is disabled and
+   [m] when coupling is disabled: the closed forms below then reduce to
+   the term-less variants bit-exactly (0-valued numerators), which keeps
+   the kernels branch-free. *)
+type kernel = {
+  uid : int;  (** unique per construction; keys external caches *)
+  n : int;
+  s_own : float array;  (** symmetry factor, own polarity *)
+  st_own : float array;  (** s * tau (the cell's tech) — slope product *)
+  v_own : float array;  (** reduced threshold (0 when slope term off) *)
+  m_own : float array;  (** coupling ratio (0 when coupling off) *)
+  s_flip : float array;
+  st_flip : float array;
+  v_flip : float array;
+  m_flip : float array;
+  p : float array;  (** parasitic slope: cpar = p * cin *)
+  kbranch : float array;  (** fixed off-path load per stage *)
+  lo : float array;  (** minimum drive per stage *)
+  hi : float array;  (** 4096 * minimum drive *)
+  aw : float array;  (** area weight dA/dCin per stage *)
+  flip_edges : Edge.t array;  (** stage edges under the flipped input *)
+}
+
 type t = {
   tech : Pops_process.Tech.t;
   stages : stage array;
@@ -9,9 +38,22 @@ type t = {
   input_edge : Edge.t;
   opts : Model.opts;
   edges : Edge.t array;
+  kernel : kernel;
 }
 
 type coeffs = { s : float; v : float; m : float; p : float }
+
+(* all-float mutable record: stays flat (unboxed fields), so writing the
+   two results allocates nothing *)
+type scratch = { mutable own : float; mutable flip : float }
+
+let scratch () = { own = 0.; flip = 0. }
+
+let uid_counter = Atomic.make 0
+
+let next_uid () = Atomic.fetch_and_add uid_counter 1
+
+let uid t = t.kernel.uid
 
 let compute_edges input_edge stages =
   let n = Array.length stages in
@@ -24,6 +66,45 @@ let compute_edges input_edge stages =
   done;
   edges
 
+let max_cin_factor = 4096.
+
+let compile_kernel tech (opts : Model.opts) stages edges =
+  let n = Array.length stages in
+  let mk () = Array.make n 0. in
+  let s_own = mk () and st_own = mk () and v_own = mk () and m_own = mk () in
+  let s_flip = mk () and st_flip = mk () and v_flip = mk () and m_flip = mk () in
+  let p = mk () and kbranch = mk () and lo = mk () and hi = mk () and aw = mk () in
+  let flip_edges = Array.map Edge.flip edges in
+  for i = 0 to n - 1 do
+    let cell = stages.(i).cell in
+    let fill edge s_a st_a v_a m_a =
+      let s, v, m =
+        match edge with
+        | Edge.Falling ->
+          ( cell.Pops_cell.Cell.s_hl,
+            Pops_process.Tech.vtn_reduced tech,
+            cell.Pops_cell.Cell.cm_ratio_hl )
+        | Edge.Rising ->
+          ( cell.Pops_cell.Cell.s_lh,
+            Pops_process.Tech.vtp_reduced tech,
+            cell.Pops_cell.Cell.cm_ratio_lh )
+      in
+      s_a.(i) <- s;
+      st_a.(i) <- s *. cell.Pops_cell.Cell.tech.Pops_process.Tech.tau;
+      v_a.(i) <- (if opts.Model.with_slope then v else 0.);
+      m_a.(i) <- (if opts.Model.with_coupling then m else 0.)
+    in
+    fill edges.(i) s_own st_own v_own m_own;
+    fill flip_edges.(i) s_flip st_flip v_flip m_flip;
+    p.(i) <- cell.Pops_cell.Cell.par_ratio;
+    kbranch.(i) <- stages.(i).branch;
+    lo.(i) <- Pops_cell.Cell.min_cin cell;
+    hi.(i) <- max_cin_factor *. lo.(i);
+    aw.(i) <- Pops_cell.Cell.area cell ~cin:1.
+  done;
+  { uid = next_uid (); n; s_own; st_own; v_own; m_own; s_flip; st_flip;
+    v_flip; m_flip; p; kbranch; lo; hi; aw; flip_edges }
+
 let make ?(opts = Model.default_opts) ?input_slope ?(input_edge = Edge.Rising)
     ?drive_cin ~tech ~c_out stages =
   if stages = [] then invalid_arg "Path.make: empty stage list";
@@ -34,6 +115,7 @@ let make ?(opts = Model.default_opts) ?input_slope ?(input_edge = Edge.Rising)
   let input_slope =
     Option.value input_slope ~default:(2. *. tech.Pops_process.Tech.tau)
   in
+  let edges = compute_edges input_edge stages in
   {
     tech;
     stages;
@@ -42,7 +124,8 @@ let make ?(opts = Model.default_opts) ?input_slope ?(input_edge = Edge.Rising)
     input_slope;
     input_edge;
     opts;
-    edges = compute_edges input_edge stages;
+    edges;
+    kernel = compile_kernel tech opts stages edges;
   }
 
 let of_kinds ?opts ?input_slope ?input_edge ?drive_cin ?(branch = 0.) ~lib ~c_out
@@ -54,20 +137,23 @@ let of_kinds ?opts ?input_slope ?input_edge ?drive_cin ?(branch = 0.) ~lib ~c_ou
 
 let length t = Array.length t.stages
 
-let max_cin_factor = 4096.
+let[@inline] clamp_at k i v = Float.min k.hi.(i) (Float.max k.lo.(i) v)
 
 let min_sizing t =
-  let x = Array.map (fun st -> Pops_cell.Cell.min_cin st.cell) t.stages in
+  let x = Array.copy t.kernel.lo in
   x.(0) <- t.drive_cin;
   x
 
+let clamp_into t x dst =
+  let k = t.kernel in
+  dst.(0) <- t.drive_cin;
+  for i = 1 to k.n - 1 do
+    dst.(i) <- clamp_at k i x.(i)
+  done
+
 let clamp_sizing t x =
   let y = Array.copy x in
-  y.(0) <- t.drive_cin;
-  for i = 1 to Array.length y - 1 do
-    let lo = Pops_cell.Cell.min_cin t.stages.(i).cell in
-    y.(i) <- Pops_util.Numerics.clamp ~lo ~hi:(max_cin_factor *. lo) y.(i)
-  done;
+  clamp_into t x y;
   y
 
 let stage_coeffs t i =
@@ -113,70 +199,173 @@ let delay_per_stage t x =
   done;
   out
 
+(* The fused delay loops below clamp on the fly — the clamped value of
+   stage i+1 is computed once, used as stage i's load and carried
+   forward as stage i+1's own drive — so no sizing copy is ever made,
+   and all state lives in local float refs (unboxed by the compiler).
+   The arithmetic replicates Model.stage_delay term by term:
+     tau_out = (s * tau) * cload / cin          (st = s * tau is compiled)
+     delay   = v * tau_in / 2                   (v = 0 when slope off)
+             + (1 + 2 cm / (cm + cload)) * tau_out / 2   (cm = m * cin; m = 0
+                                                          when coupling off) *)
 let delay t x =
-  Array.fold_left (fun acc (d, _) -> acc +. d) 0. (delay_per_stage t x)
+  let k = t.kernel in
+  let n = k.n in
+  let st = k.st_own and v = k.v_own and m = k.m_own in
+  let total = ref 0. in
+  let tau_in = ref t.input_slope in
+  let ci = ref t.drive_cin in
+  for i = 0 to n - 1 do
+    let cnext = if i = n - 1 then t.c_out else clamp_at k (i + 1) x.(i + 1) in
+    let cload = (k.p.(i) *. !ci) +. k.kbranch.(i) +. cnext in
+    let tau_out = st.(i) *. cload /. !ci in
+    let cm = m.(i) *. !ci in
+    let factor = 1. +. (2. *. cm /. (cm +. cload)) in
+    total := !total +. ((v.(i) *. !tau_in /. 2.) +. (factor *. tau_out /. 2.));
+    tau_in := tau_out;
+    ci := cnext
+  done;
+  !total
+
+(* Both polarities in one pass: the loads (and therefore the clamping
+   work) are polarity-independent, so the flipped-path delay costs only
+   the per-stage closed form, not a second traversal setup.  Results
+   land in the caller-owned scratch — zero allocation. *)
+let delay_both t sc x =
+  let k = t.kernel in
+  let n = k.n in
+  let total_o = ref 0. and total_f = ref 0. in
+  let tau_o = ref t.input_slope and tau_f = ref t.input_slope in
+  let ci = ref t.drive_cin in
+  for i = 0 to n - 1 do
+    let cnext = if i = n - 1 then t.c_out else clamp_at k (i + 1) x.(i + 1) in
+    let cload = (k.p.(i) *. !ci) +. k.kbranch.(i) +. cnext in
+    let tau_out_o = k.st_own.(i) *. cload /. !ci in
+    let cm_o = k.m_own.(i) *. !ci in
+    let factor_o = 1. +. (2. *. cm_o /. (cm_o +. cload)) in
+    total_o :=
+      !total_o +. ((k.v_own.(i) *. !tau_o /. 2.) +. (factor_o *. tau_out_o /. 2.));
+    tau_o := tau_out_o;
+    let tau_out_f = k.st_flip.(i) *. cload /. !ci in
+    let cm_f = k.m_flip.(i) *. !ci in
+    let factor_f = 1. +. (2. *. cm_f /. (cm_f +. cload)) in
+    total_f :=
+      !total_f +. ((k.v_flip.(i) *. !tau_f /. 2.) +. (factor_f *. tau_out_f /. 2.));
+    tau_f := tau_out_f;
+    ci := cnext
+  done;
+  sc.own <- !total_o;
+  sc.flip <- !total_f
+
+(* Same fused loop, returning only the max — keeps delay_worst (the
+   optimizers' reporting criterion) allocation-free with no scratch. *)
+let delay_worst t x =
+  let k = t.kernel in
+  let n = k.n in
+  let total_o = ref 0. and total_f = ref 0. in
+  let tau_o = ref t.input_slope and tau_f = ref t.input_slope in
+  let ci = ref t.drive_cin in
+  for i = 0 to n - 1 do
+    let cnext = if i = n - 1 then t.c_out else clamp_at k (i + 1) x.(i + 1) in
+    let cload = (k.p.(i) *. !ci) +. k.kbranch.(i) +. cnext in
+    let tau_out_o = k.st_own.(i) *. cload /. !ci in
+    let cm_o = k.m_own.(i) *. !ci in
+    let factor_o = 1. +. (2. *. cm_o /. (cm_o +. cload)) in
+    total_o :=
+      !total_o +. ((k.v_own.(i) *. !tau_o /. 2.) +. (factor_o *. tau_out_o /. 2.));
+    tau_o := tau_out_o;
+    let tau_out_f = k.st_flip.(i) *. cload /. !ci in
+    let cm_f = k.m_flip.(i) *. !ci in
+    let factor_f = 1. +. (2. *. cm_f /. (cm_f +. cload)) in
+    total_f :=
+      !total_f +. ((k.v_flip.(i) *. !tau_f /. 2.) +. (factor_f *. tau_out_f /. 2.));
+    tau_f := tau_out_f;
+    ci := cnext
+  done;
+  if !total_o >= !total_f then !total_o else !total_f
 
 let with_input_edge t edge =
   if Edge.equal edge t.input_edge then t
-  else { t with input_edge = edge; edges = compute_edges edge t.stages }
+  else begin
+    let k = t.kernel in
+    {
+      t with
+      input_edge = edge;
+      edges = k.flip_edges;
+      kernel =
+        {
+          k with
+          uid = next_uid ();
+          s_own = k.s_flip;
+          st_own = k.st_flip;
+          v_own = k.v_flip;
+          m_own = k.m_flip;
+          s_flip = k.s_own;
+          st_flip = k.st_own;
+          v_flip = k.v_own;
+          m_flip = k.m_own;
+          flip_edges = t.edges;
+        };
+    }
+  end
 
 let worst_edge t x =
-  let d_own = delay t x in
-  let flipped = with_input_edge t (Edge.flip t.input_edge) in
-  let d_flip = delay flipped x in
-  if d_own >= d_flip then (t.input_edge, d_own) else (flipped.input_edge, d_flip)
-
-let delay_worst t x = snd (worst_edge t x)
+  let sc = scratch () in
+  delay_both t sc x;
+  if sc.own >= sc.flip then (t.input_edge, sc.own)
+  else (Edge.flip t.input_edge, sc.flip)
 
 let delay_avg t x =
-  let flipped = with_input_edge t (Edge.flip t.input_edge) in
-  0.5 *. (delay t x +. delay flipped x)
+  let sc = scratch () in
+  delay_both t sc x;
+  0.5 *. (sc.own +. sc.flip)
 
 (* Exact gradient.  With cm_i = m_i * x_i and L_i = p_i x_i + B_i + next_i,
    the three places x_j appears are: the load of stage j-1 (as "next"),
    stage j's own output term (through 1/x_j, L_j and cm_j — the cm and L
    dependences combine into the compact -2 m^2 K/(cm+L)^2 term because
-   2 cm L / ((cm+L) x) = 2 m L / (cm+L)), and stage j+1's slope term. *)
-let gradient t x =
-  let x = clamp_sizing t x in
-  let n = Array.length t.stages in
+   2 cm L / ((cm+L) x) = 2 m L / (cm+L)), and stage j+1's slope term.
+   Clamped sizes are carried in a three-entry window (x_{j-1}, x_j,
+   x_{j+1}), so no sizing copy is made and nothing is allocated. *)
+let gradient_into t x g =
+  let k = t.kernel in
+  let n = k.n in
   let tau = t.tech.Pops_process.Tech.tau in
-  let g = Array.make n 0. in
-  for j = 1 to n - 1 do
-    let cj = stage_coeffs t j in
-    let cjm1 = stage_coeffs t (j - 1) in
-    let l_prev = load t x (j - 1) in
-    let cm_prev = cjm1.m *. x.(j - 1) in
-    let k1 =
-      if t.opts.Model.with_coupling then
-        1. +. (2. *. cm_prev *. cm_prev /. ((cm_prev +. l_prev) ** 2.))
-      else 1.
-    in
-    let slope_j = if t.opts.Model.with_slope then cj.v else 0. in
-    let upstream = cjm1.s *. tau /. (2. *. x.(j - 1)) *. (k1 +. slope_j) in
-    let next_j = if j = n - 1 then t.c_out else x.(j + 1) in
-    let k_j = t.stages.(j).branch +. next_j in
-    let l_j = load t x j in
-    let cm_j = cj.m *. x.(j) in
-    let v_next =
-      if j + 1 < n && t.opts.Model.with_slope then (stage_coeffs t (j + 1)).v
-      else 0.
-    in
-    let own =
-      cj.s *. tau *. k_j /. 2.
-      *. (((1. +. v_next) /. (x.(j) *. x.(j)))
-          +.
-          if t.opts.Model.with_coupling then
-            2. *. cj.m *. cj.m /. ((cm_j +. l_j) ** 2.)
-          else 0.)
-    in
-    g.(j) <- upstream -. own
-  done;
+  g.(0) <- 0.;
+  if n > 1 then begin
+    let xm1 = ref t.drive_cin in
+    let xj = ref (clamp_at k 1 x.(1)) in
+    for j = 1 to n - 1 do
+      let xnext = if j = n - 1 then t.c_out else clamp_at k (j + 1) x.(j + 1) in
+      let l_prev = (k.p.(j - 1) *. !xm1) +. k.kbranch.(j - 1) +. !xj in
+      let cm_prev = k.m_own.(j - 1) *. !xm1 in
+      let dp = cm_prev +. l_prev in
+      let k1 = 1. +. (2. *. cm_prev *. cm_prev /. (dp *. dp)) in
+      let upstream =
+        k.s_own.(j - 1) *. tau /. (2. *. !xm1) *. (k1 +. k.v_own.(j))
+      in
+      let k_j = k.kbranch.(j) +. xnext in
+      let l_j = (k.p.(j) *. !xj) +. k_j in
+      let cm_j = k.m_own.(j) *. !xj in
+      let dj = cm_j +. l_j in
+      let v_next = if j + 1 < n then k.v_own.(j + 1) else 0. in
+      let own =
+        k.s_own.(j) *. tau *. k_j /. 2.
+        *. (((1. +. v_next) /. (!xj *. !xj))
+            +. (2. *. k.m_own.(j) *. k.m_own.(j) /. (dj *. dj)))
+      in
+      g.(j) <- upstream -. own;
+      xm1 := !xj;
+      xj := xnext
+    done
+  end
+
+let gradient t x =
+  let g = Array.make (Array.length t.stages) 0. in
+  gradient_into t x g;
   g
 
-let area_weight t i =
-  let cell = t.stages.(i).cell in
-  Pops_cell.Cell.area cell ~cin:1.
+let area_weight t i = t.kernel.aw.(i)
 
 let area t x =
   let x = clamp_sizing t x in
@@ -208,11 +397,8 @@ let fast_input_violations t x =
   List.rev !viol
 
 let rebuild t stages =
-  {
-    t with
-    stages;
-    edges = compute_edges t.input_edge stages;
-  }
+  let edges = compute_edges t.input_edge stages in
+  { t with stages; edges; kernel = compile_kernel t.tech t.opts stages edges }
 
 let with_stage_inserted t ~at st =
   let n = Array.length t.stages in

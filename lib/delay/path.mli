@@ -24,6 +24,33 @@ type stage = {
   branch : float;  (** fixed off-path output load, fF (fanout + wire) *)
 }
 
+(** Compiled per-path coefficient tables (structure-of-arrays), built
+    once at construction.  Each array has one entry per stage; the [own]
+    tables follow the path's current input polarity and the [flip]
+    tables the opposite one, so {!with_input_edge} is an array swap.
+    [v] is pre-zeroed when the slope term is disabled and [m] when
+    coupling is disabled, which keeps the closed-form kernels reading
+    them branch-free while producing bit-identical values.  The solvers
+    in [Pops_core] read these tables directly in their inner loops. *)
+type kernel = private {
+  uid : int;  (** unique per construction; keys external caches *)
+  n : int;  (** stage count *)
+  s_own : float array;  (** symmetry factor, own polarity *)
+  st_own : float array;  (** [s * tau] — the transition-time product *)
+  v_own : float array;  (** reduced threshold (0 when slope term off) *)
+  m_own : float array;  (** coupling ratio (0 when coupling off) *)
+  s_flip : float array;
+  st_flip : float array;
+  v_flip : float array;
+  m_flip : float array;
+  p : float array;  (** parasitic slope: [cpar = p * cin] *)
+  kbranch : float array;  (** fixed off-path load per stage *)
+  lo : float array;  (** minimum drive per stage *)
+  hi : float array;  (** [4096 *] minimum drive *)
+  aw : float array;  (** area weight [dA/dCin] per stage *)
+  flip_edges : Edge.t array;  (** stage edges under the flipped input *)
+}
+
 type t = private {
   tech : Pops_process.Tech.t;
   stages : stage array;
@@ -33,7 +60,14 @@ type t = private {
   input_edge : Edge.t;
   opts : Model.opts;
   edges : Edge.t array;  (** output edge of each stage, precomputed *)
+  kernel : kernel;  (** compiled coefficient tables (see {!kernel}) *)
 }
+
+val uid : t -> int
+(** Unique identity of this path value (a fresh id per construction,
+    including {!with_input_edge} flips and stage edits).  External
+    caches — e.g. [Pops_core.Bounds] — key on it instead of hashing the
+    whole structure. *)
 
 val make :
   ?opts:Model.opts ->
@@ -73,17 +107,42 @@ val clamp_sizing : t -> float array -> float array
 (** Fresh vector with [x.(0) := drive_cin] and every interior entry
     clamped to [\[cmin, 4096 * cmin\]]. *)
 
+val clamp_into : t -> float array -> float array -> unit
+(** [clamp_into t x dst] writes the clamped sizing into the caller-owned
+    [dst] (every entry of [dst] is overwritten; [dst == x] clamps in
+    place).  Allocation-free: the in-place variant of
+    {!clamp_sizing}. *)
+
+type scratch = private { mutable own : float; mutable flip : float }
+(** Caller-owned result cell for {!delay_both}.  All-float mutable
+    record, so writing results allocates nothing.  Not synchronised:
+    under a parallel fan-out each domain (or each task closure) must own
+    its own scratch. *)
+
+val scratch : unit -> scratch
+
 val delay : t -> float array -> float
 (** Total path delay (ps) for sizing [x] (eq. 1 summed along the path),
     for the path's own [input_edge].  [x.(0)] is treated as [drive_cin]
-    regardless of its value. *)
+    regardless of its value.  Allocation-free: sizes are clamped on the
+    fly against the compiled bound tables. *)
+
+val delay_both : t -> scratch -> float array -> unit
+(** One fused pass computing the path delay under both input polarities
+    (the loads are polarity-independent, so the second polarity costs
+    only its closed-form terms).  [scratch.own] receives the delay for
+    the path's own [input_edge], [scratch.flip] the flipped one.
+    Allocation-free. *)
 
 val with_input_edge : t -> Edge.t -> t
-(** Same path, driven by the other polarity (stage edges recomputed). *)
+(** Same path, driven by the other polarity.  O(1): the compiled kernel
+    holds both polarities' tables and the pre-flipped edge array, so the
+    flip swaps arrays instead of re-deriving anything. *)
 
 val delay_worst : t -> float array -> float
 (** [max] of {!delay} over the two input polarities — the criterion real
-    timing sign-off uses, and the one the optimizers report against. *)
+    timing sign-off uses, and the one the optimizers report against.
+    Computed by the fused both-polarity pass; allocation-free. *)
 
 val delay_avg : t -> float array -> float
 (** Mean of {!delay} over the two input polarities — the balanced
@@ -102,6 +161,11 @@ val gradient : t -> float array -> float array
 (** Exact analytic gradient [dT/dx.(i)] of {!delay} (ps/fF).  Entry 0 is
     0 (the input gate is not a free variable).  Validated against
     {!Pops_util.Numerics.gradient} by property tests. *)
+
+val gradient_into : t -> float array -> float array -> unit
+(** [gradient_into t x g] writes the gradient into the caller-owned [g]
+    (length {!length}; every entry overwritten).  Allocation-free
+    variant of {!gradient} for solver inner loops. *)
 
 val area : t -> float array -> float
 (** Total transistor width, um (the paper's [Sigma W] metric). *)
@@ -141,7 +205,8 @@ type coeffs = {
 }
 
 val stage_coeffs : t -> int -> coeffs
-(** Reduced per-stage coefficients (the [A_i] of the paper's eq. 4), used
-    by the link-equation solvers in [Pops_core]. *)
+(** Reduced per-stage coefficients (the [A_i] of the paper's eq. 4).
+    Boxed compatibility accessor: the solvers' inner loops read the
+    compiled {!kernel} tables instead. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,5 +1,15 @@
 exception No_bracket of string
 
+(* Safeguarded regula falsi (false position with a bisection fallback).
+   Each step first tries the secant point of the bracket — superlinear
+   near a simple root, where plain bisection grinds through its fixed
+   log2((hi-lo)/tol) evaluations — and falls back to the midpoint
+   whenever the secant step degenerates (non-finite, or pinned within 1%
+   of an endpoint) or the previous step failed to halve the bracket
+   (regula falsi's stuck-endpoint mode).  The fallback guarantees the
+   bracket width at least halves every other iteration, so the classic
+   bisection bound still holds.  The contract is unchanged: a width
+   [< tol] (or [max_iter]) stops and returns the bracket midpoint. *)
 let bisect ?(caller = "bisect") ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   let flo = f lo and fhi = f hi in
   if flo = 0. then lo
@@ -7,16 +17,25 @@ let bisect ?(caller = "bisect") ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   else if flo *. fhi > 0. then
     raise (No_bracket (Printf.sprintf "%s: f(%g)=%g, f(%g)=%g" caller lo flo hi fhi))
   else
-    let rec loop lo hi flo iter =
-      let mid = 0.5 *. (lo +. hi) in
-      if hi -. lo < tol || iter >= max_iter then mid
+    let rec loop lo hi flo fhi iter force_bisect =
+      if hi -. lo < tol || iter >= max_iter then 0.5 *. (lo +. hi)
       else
-        let fmid = f mid in
-        if fmid = 0. then mid
-        else if flo *. fmid < 0. then loop lo mid flo (iter + 1)
-        else loop mid hi fmid (iter + 1)
+        let w = hi -. lo in
+        let x =
+          if force_bisect then 0.5 *. (lo +. hi)
+          else
+            let x = lo +. (flo /. (flo -. fhi) *. w) in
+            if Float.is_finite x && x > lo +. (0.01 *. w) && x < hi -. (0.01 *. w)
+            then x
+            else 0.5 *. (lo +. hi)
+        in
+        let fx = f x in
+        if fx = 0. then x
+        else if flo *. fx < 0. then
+          loop lo x flo fx (iter + 1) (x -. lo > 0.5 *. w)
+        else loop x hi fx fhi (iter + 1) (hi -. x > 0.5 *. w)
     in
-    loop (min lo hi) (max lo hi) flo 0
+    if lo <= hi then loop lo hi flo fhi 0 false else loop hi lo fhi flo 0 false
 
 let newton ?(tol = 1e-12) ?(max_iter = 60) ~f ~df ~x0 () =
   let rec loop x iter =

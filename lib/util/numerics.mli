@@ -12,7 +12,12 @@ val bisect :
   ?caller:string -> ?tol:float -> ?max_iter:int ->
   f:(float -> float) -> lo:float -> hi:float -> unit -> float
 (** [bisect ~f ~lo ~hi ()] finds [x] in [\[lo, hi\]] with [f x = 0] assuming
-    [f lo] and [f hi] have opposite signs.
+    [f lo] and [f hi] have opposite signs.  Internally a safeguarded
+    regula falsi: secant steps where they converge superlinearly, with a
+    bisection fallback whenever a step degenerates or fails to halve the
+    bracket, so the worst case stays the bisection bound.  Terminates
+    when the bracket width drops below [tol] (or at [max_iter]) and
+    returns the bracket midpoint.
     @raise No_bracket if the signs agree. *)
 
 val newton :
