@@ -1,0 +1,165 @@
+module Rng = Pops_util.Rng
+
+type 'a t = {
+  gen : Rng.t -> int -> 'a;
+  shrink : 'a -> 'a Seq.t;
+  print : 'a -> string;
+}
+
+let no_shrink _ = Seq.empty
+
+let make ?(shrink = no_shrink) ~print gen = { gen; shrink; print }
+
+let return ~print v = { gen = (fun _ _ -> v); shrink = no_shrink; print }
+
+let shrink_int ~lo n =
+  if n <= lo then Seq.empty
+  else
+    (* lo first (most aggressive), then halving back towards n *)
+    let rec steps d acc = if d <= 0 then List.rev acc else steps (d / 2) ((n - d) :: acc) in
+    steps (n - lo) []
+    |> List.sort_uniq compare
+    |> List.filter (fun x -> x >= lo && x < n)
+    |> List.to_seq
+
+let shrink_float ~lo x =
+  if (not (Float.is_finite x)) || x <= lo then Seq.empty
+  else
+    let rec steps d k acc =
+      if k = 0 || d <= 1e-9 *. (Float.abs x +. 1.) then List.rev acc
+      else steps (d /. 2.) (k - 1) ((x -. d) :: acc)
+    in
+    List.to_seq (steps (x -. lo) 8 [])
+
+let int_range lo hi =
+  if hi < lo then invalid_arg "Gen.int_range";
+  {
+    gen = (fun rng _ -> lo + Rng.int rng (hi - lo + 1));
+    shrink = shrink_int ~lo;
+    print = string_of_int;
+  }
+
+let float_range lo hi =
+  if hi <= lo then invalid_arg "Gen.float_range";
+  {
+    gen = (fun rng _ -> Rng.range rng lo hi);
+    shrink = shrink_float ~lo;
+    print = (fun x -> Printf.sprintf "%.6g" x);
+  }
+
+let log_float_range lo hi =
+  if not (0. < lo && lo < hi) then invalid_arg "Gen.log_float_range";
+  {
+    gen = (fun rng _ -> Rng.log_range rng lo hi);
+    shrink = shrink_float ~lo;
+    print = (fun x -> Printf.sprintf "%.6g" x);
+  }
+
+let bool =
+  {
+    gen = (fun rng _ -> Rng.bool rng);
+    shrink = (fun b -> if b then Seq.return false else Seq.empty);
+    print = string_of_bool;
+  }
+
+let int64 =
+  {
+    gen = (fun rng _ -> Rng.int64 rng);
+    shrink = no_shrink;
+    print = (fun x -> Printf.sprintf "0x%Lx" x);
+  }
+
+let pick ~print xs =
+  if Array.length xs = 0 then invalid_arg "Gen.pick: empty array";
+  let index_of v =
+    let rec go i = if i >= Array.length xs then None else if xs.(i) = v then Some i else go (i + 1) in
+    go 0
+  in
+  {
+    gen = (fun rng _ -> Rng.pick rng xs);
+    shrink =
+      (fun v ->
+        match index_of v with
+        | Some i when i > 0 -> List.to_seq (List.init i (fun j -> xs.(j)))
+        | _ -> Seq.empty);
+    print;
+  }
+
+let pair a b =
+  {
+    gen = (fun rng size -> (a.gen rng size, b.gen rng size));
+    shrink =
+      (fun (x, y) ->
+        Seq.append
+          (Seq.map (fun x' -> (x', y)) (a.shrink x))
+          (Seq.map (fun y' -> (x, y')) (b.shrink y)));
+    print = (fun (x, y) -> Printf.sprintf "(%s, %s)" (a.print x) (b.print y));
+  }
+
+let triple a b c =
+  {
+    gen = (fun rng size -> (a.gen rng size, b.gen rng size, c.gen rng size));
+    shrink =
+      (fun (x, y, z) ->
+        List.to_seq
+          [
+            Seq.map (fun x' -> (x', y, z)) (a.shrink x);
+            Seq.map (fun y' -> (x, y', z)) (b.shrink y);
+            Seq.map (fun z' -> (x, y, z')) (c.shrink z);
+          ]
+        |> Seq.concat);
+    print =
+      (fun (x, y, z) ->
+        Printf.sprintf "(%s, %s, %s)" (a.print x) (b.print y) (c.print z));
+  }
+
+let shrink_list ?(elt = no_shrink) ~min_len l =
+  let n = List.length l in
+  if n <= min_len then
+    (* only element-level shrinks remain *)
+    List.to_seq
+      (List.concat
+         (List.mapi
+            (fun i x ->
+              List.of_seq
+                (Seq.map
+                   (fun x' -> List.mapi (fun j y -> if j = i then x' else y) l)
+                   (elt x)))
+            l))
+  else
+    let arr = Array.of_list l in
+    (* drop a chunk of k consecutive elements, big chunks first *)
+    let drops = ref [] in
+    let k = ref (n - min_len) in
+    while !k >= 1 do
+      let kk = !k in
+      for start = 0 to n - kk do
+        let kept = ref [] in
+        for i = n - 1 downto 0 do
+          if i < start || i >= start + kk then kept := arr.(i) :: !kept
+        done;
+        drops := !kept :: !drops
+      done;
+      k := !k / 2
+    done;
+    let drops = List.rev !drops in
+    let elems =
+      List.concat
+        (List.mapi
+           (fun i x ->
+             List.of_seq
+               (Seq.map (fun x' -> List.mapi (fun j y -> if j = i then x' else y) l) (elt x)))
+           l)
+    in
+    List.to_seq (drops @ elems)
+
+let list_sized ?(min_len = 0) elt =
+  {
+    gen =
+      (fun rng size ->
+        let hi = max min_len size in
+        let len = min_len + Rng.int rng (hi - min_len + 1) in
+        List.init len (fun _ -> elt.gen rng size));
+    shrink = (fun l -> shrink_list ~elt:elt.shrink ~min_len l);
+    print = (fun l -> "[" ^ String.concat "; " (List.map elt.print l) ^ "]");
+  }

@@ -1,0 +1,73 @@
+(** Sized random generators with integrated shrinkers.
+
+    The in-tree property-testing harness ([Pops_check.Prop]) is built on
+    {!Pops_util.Rng} instead of an external QuickCheck so that every
+    generated case is reproducible from one 64-bit seed across machines
+    and OCaml versions — the same guarantee the benchmark circuits give.
+
+    A generator receives an explicit RNG state and a {e size} (the runner
+    ramps it up over the cases, so early cases are small and late cases
+    stress-test); a shrinker enumerates strictly simpler candidate values,
+    most aggressive first — the runner keeps the first candidate that
+    still fails and repeats greedily until a minimal counterexample
+    remains. *)
+
+type 'a t = {
+  gen : Pops_util.Rng.t -> int -> 'a;  (** draw a value at the given size *)
+  shrink : 'a -> 'a Seq.t;  (** simpler candidates, most aggressive first *)
+  print : 'a -> string;  (** render a counterexample for the report *)
+}
+
+val make :
+  ?shrink:('a -> 'a Seq.t) -> print:('a -> string) ->
+  (Pops_util.Rng.t -> int -> 'a) -> 'a t
+(** [make ~print gen] wraps a raw generator; [shrink] defaults to no
+    shrinking. *)
+
+val return : print:('a -> string) -> 'a -> 'a t
+(** Constant generator. *)
+
+val int_range : int -> int -> int t
+(** [int_range lo hi] draws uniformly from [\[lo, hi\]] (inclusive);
+    shrinks towards [lo]. *)
+
+val float_range : float -> float -> float t
+(** Uniform on [\[lo, hi)]; shrinks towards [lo] by bisection. *)
+
+val log_float_range : float -> float -> float t
+(** Log-uniform on [\[lo, hi)]; requires [0 < lo < hi]; shrinks towards
+    [lo]. *)
+
+val bool : bool t
+(** Fair coin; [true] shrinks to [false]. *)
+
+val int64 : int64 t
+(** Raw 64-bit draw (seeds for nested deterministic structures); does not
+    shrink. *)
+
+val pick : print:('a -> string) -> 'a array -> 'a t
+(** Uniform choice from a non-empty array; shrinks towards earlier
+    elements (put the simplest value first). *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+(** Shrinks the first component first, then the second. *)
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val list_sized : ?min_len:int -> 'a t -> 'a list t
+(** Length between [min_len] (default 0) and [max min_len size];
+    shrinks by dropping chunks of elements, then by shrinking individual
+    elements. *)
+
+(** {1 Shrinking building blocks} (for hand-written generators) *)
+
+val no_shrink : 'a -> 'a Seq.t
+
+val shrink_int : lo:int -> int -> int Seq.t
+(** Candidates between [lo] and the value, [lo] first then halving in. *)
+
+val shrink_float : lo:float -> float -> float Seq.t
+
+val shrink_list : ?elt:('a -> 'a Seq.t) -> min_len:int -> 'a list -> 'a list Seq.t
+(** Chunk removals (keeping at least [min_len] elements) followed by
+    single-element shrinks via [elt]. *)

@@ -1,0 +1,296 @@
+module Rng = Pops_util.Rng
+
+exception Failed of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Failed s)) fmt
+let require cond msg = if not cond then raise (Failed msg)
+let requiref cond fmt = Printf.ksprintf (fun s -> if not cond then raise (Failed s)) fmt
+
+let close_to ?(rtol = 1e-9) ?(atol = 1e-12) label expected actual =
+  if not (Pops_util.Numerics.close ~rtol ~atol expected actual) then
+    failf "%s: expected %.17g, got %.17g (rtol=%g atol=%g)" label expected actual rtol atol
+
+let default_seed = 0x9095_5EED_2005L
+
+type reg =
+  | Reg : {
+      name : string;
+      cases : int;
+      min_size : int;
+      max_size : int;
+      arb : 'a Gen.t;
+      prop : 'a -> unit;
+    }
+      -> reg
+
+let registry : reg list ref = ref []
+
+let register ?(cases = 100) ?(min_size = 1) ?(max_size = 20) ~name arb prop =
+  registry := Reg { name; cases; min_size; max_size; arb; prop } :: !registry
+
+let registered () = List.rev_map (fun (Reg r) -> r.name) !registry
+
+(* ------------------------------------------------------------------ *)
+(* running one property                                                *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  case_index : int;  (** 0-based index of the failing case *)
+  case_seed : int64;
+  counterexample : string;
+  error : string;
+  shrink_steps : int;
+}
+
+type prop_result = {
+  r_name : string;
+  r_cases : int;  (** cases executed (including the failing one) *)
+  r_ms : float;
+  r_failure : failure option;
+}
+
+let exn_message e bt =
+  match e with
+  | Failed s -> s
+  | e ->
+    let msg = "exception: " ^ Printexc.to_string e in
+    let bt = Printexc.raw_backtrace_to_string bt in
+    if Printexc.backtrace_status () && String.trim bt <> "" then msg ^ "\n" ^ bt else msg
+
+(* [None] = the property holds on [v]. *)
+let run_value prop v =
+  match prop v with
+  | () -> None
+  | exception e -> Some (exn_message e (Printexc.get_raw_backtrace ()))
+
+let gen_value (arb : _ Gen.t) seed size =
+  match arb.Gen.gen (Rng.create seed) size with
+  | v -> Ok v
+  | exception e -> Error (Printexc.to_string e)
+
+(* Greedy minimisation: first re-generate at smaller sizes (generators
+   are pure in (seed, size), so this shrinks whole structures for free),
+   then walk the value shrinker, always keeping the first candidate that
+   still fails. *)
+let shrink_failing (type a) (arb : a Gen.t) prop ~case_seed ~size ~min_size (v0 : a) err0 =
+  let v = ref v0 and err = ref err0 and steps = ref 0 in
+  (try
+     for s = min_size to size - 1 do
+       match gen_value arb case_seed s with
+       | Error _ -> ()
+       | Ok c -> (
+         match run_value prop c with
+         | Some e ->
+           v := c;
+           err := e;
+           incr steps;
+           raise Exit
+         | None -> ())
+     done
+   with Exit -> ());
+  let budget = ref 400 in
+  let improved = ref true in
+  while !improved && !budget > 0 do
+    improved := false;
+    (try
+       Seq.iter
+         (fun c ->
+           decr budget;
+           if !budget < 0 then raise Exit;
+           match run_value prop c with
+           | Some e ->
+             v := c;
+             err := e;
+             incr steps;
+             improved := true;
+             raise Exit
+           | None -> ())
+         (arb.Gen.shrink !v)
+     with Exit -> ())
+  done;
+  (!v, !err, !steps)
+
+let size_of_case ~min_size ~max_size ~cases i =
+  if cases <= 1 then max_size
+  else min_size + ((max_size - min_size) * i / (cases - 1))
+
+let run_prop ~global_seed ~cases_override (Reg r) =
+  let cases = match cases_override with Some n -> max 1 n | None -> r.cases in
+  let prop_seed = Int64.logxor global_seed (Rng.int64 (Rng.of_string r.name)) in
+  let rng = Rng.create prop_seed in
+  let t0 = Unix.gettimeofday () in
+  let failure = ref None in
+  let executed = ref 0 in
+  (try
+     for i = 0 to cases - 1 do
+       executed := i + 1;
+       let case_seed = Rng.int64 rng in
+       let size = size_of_case ~min_size:r.min_size ~max_size:r.max_size ~cases i in
+       match gen_value r.arb case_seed size with
+       | Error e ->
+         failure :=
+           Some
+             {
+               case_index = i;
+               case_seed;
+               counterexample = "<generator raised>";
+               error = "generator raised: " ^ e;
+               shrink_steps = 0;
+             };
+         raise Exit
+       | Ok v -> (
+         match run_value r.prop v with
+         | None -> ()
+         | Some err ->
+           let v', err', steps =
+             shrink_failing r.arb r.prop ~case_seed ~size ~min_size:r.min_size v err
+           in
+           failure :=
+             Some
+               {
+                 case_index = i;
+                 case_seed;
+                 counterexample = r.arb.Gen.print v';
+                 error = err';
+                 shrink_steps = steps;
+               };
+           raise Exit)
+     done
+   with Exit -> ());
+  {
+    r_name = r.name;
+    r_cases = !executed;
+    r_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+    r_failure = !failure;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  cases_override : int option;
+  seed : int64;
+  only : string list;
+  list_only : bool;
+}
+
+let parse_seed s =
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "bad seed %S (decimal or 0x hex)" s)
+
+let usage () =
+  print_string
+    "pops_prop — property-based correctness harness\n\
+     options:\n\
+    \  --cases N    run every property with N cases (deep fuzz)\n\
+    \  --seed S     global seed, decimal or 0x hex (env: POPS_PROP_SEED)\n\
+    \  --only SUB   run only properties whose name contains SUB (repeatable)\n\
+    \  --list       print registered property names and exit\n"
+
+let parse_argv argv =
+  let cfg =
+    ref
+      {
+        cases_override = None;
+        seed =
+          (match Sys.getenv_opt "POPS_PROP_SEED" with
+          | Some s -> parse_seed s
+          | None -> default_seed);
+        only = [];
+        list_only = false;
+      }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--cases" :: n :: rest ->
+      cfg := { !cfg with cases_override = Some (int_of_string n) };
+      go rest
+    | "--seed" :: s :: rest ->
+      cfg := { !cfg with seed = parse_seed s };
+      go rest
+    | "--only" :: sub :: rest ->
+      cfg := { !cfg with only = sub :: !cfg.only };
+      go rest
+    | "--list" :: rest ->
+      cfg := { !cfg with list_only = true };
+      go rest
+    | ("--help" | "-h") :: _ ->
+      usage ();
+      exit 0
+    | arg :: _ -> failwith (Printf.sprintf "unknown argument %S (try --help)" arg)
+  in
+  go (List.tl (Array.to_list argv));
+  !cfg
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let failure_file () =
+  Option.value (Sys.getenv_opt "POPS_PROP_FAILURE_FILE") ~default:"pops_prop_failures.txt"
+
+let repro_command ~seed ~cases name =
+  Printf.sprintf "POPS_PROP_SEED=0x%Lx dune exec test/pops_prop.exe -- --only '%s'%s" seed name
+    (match cases with None -> "" | Some n -> Printf.sprintf " --cases %d" n)
+
+let report_failure oc ~seed ~cases_override r f =
+  Printf.fprintf oc "[FAIL] %s (case %d/%d, %d shrink steps, case seed 0x%Lx)\n" r.r_name
+    (f.case_index + 1) r.r_cases f.shrink_steps f.case_seed;
+  Printf.fprintf oc "  counterexample: %s\n" f.counterexample;
+  Printf.fprintf oc "  error: %s\n" f.error;
+  Printf.fprintf oc "  replay: %s\n" (repro_command ~seed ~cases:cases_override r.r_name)
+
+let main () =
+  let cfg = parse_argv Sys.argv in
+  let props = List.rev !registry in
+  let props =
+    match cfg.only with
+    | [] -> props
+    | subs -> List.filter (fun (Reg r) -> List.exists (contains r.name) subs) props
+  in
+  if cfg.list_only then begin
+    List.iter (fun (Reg r) -> Printf.printf "%s (%d cases)\n" r.name r.cases) props;
+    exit 0
+  end;
+  if props = [] then begin
+    prerr_endline "pops_prop: no properties match the --only filters";
+    exit 1
+  end;
+  Printf.printf "pops_prop: %d properties, seed 0x%Lx%s\n%!" (List.length props) cfg.seed
+    (match cfg.cases_override with
+    | Some n -> Printf.sprintf ", %d cases each" n
+    | None -> "");
+  let t0 = Unix.gettimeofday () in
+  let failures = ref [] in
+  let total_cases = ref 0 in
+  List.iter
+    (fun reg ->
+      let r = run_prop ~global_seed:cfg.seed ~cases_override:cfg.cases_override reg in
+      total_cases := !total_cases + r.r_cases;
+      (match r.r_failure with
+      | None -> Printf.printf "[PASS] %-46s %5d cases %9.1f ms\n%!" r.r_name r.r_cases r.r_ms
+      | Some f ->
+        report_failure stdout ~seed:cfg.seed ~cases_override:cfg.cases_override r f;
+        failures := (r, f) :: !failures);
+      ())
+    props;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match List.rev !failures with
+  | [] -> ()
+  | fs ->
+    (* persist for the CI artifact *)
+    let oc = open_out (failure_file ()) in
+    Printf.fprintf oc "pops_prop failures (global seed 0x%Lx)\n\n" cfg.seed;
+    List.iter (fun (r, f) -> report_failure oc ~seed:cfg.seed ~cases_override:cfg.cases_override r f) fs;
+    close_out oc);
+  Printf.printf "%d properties, %d cases, %d failure%s in %.1f s\n" (List.length props)
+    !total_cases (List.length !failures)
+    (if List.length !failures = 1 then "" else "s")
+    elapsed;
+  if !failures <> [] then begin
+    Printf.printf "failure details written to %s\n" (failure_file ());
+    exit 1
+  end

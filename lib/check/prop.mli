@@ -1,0 +1,61 @@
+(** Property runner: deterministic seeds, greedy shrinking, one-line
+    repro commands.
+
+    Properties are registered with {!register} and executed by {!main}
+    (the [pops_prop] executable).  Every run is reproducible: each
+    property derives its stream from the global seed (the
+    [POPS_PROP_SEED] environment variable, or [--seed], default
+    {!default_seed}) and the property's name, and every case records the
+    one 64-bit seed it was generated from.  On failure the runner
+
+    + re-generates the case at smaller sizes (structural shrinking for
+      free, since generators are pure functions of seed and size),
+    + then greedily applies the generator's value shrinker,
+
+    and prints the minimal counterexample together with a command line
+    that replays it.  Failures are also appended to
+    [pops_prop_failures.txt] (override with [POPS_PROP_FAILURE_FILE]) so
+    CI can upload them as an artifact.
+
+    Command line of {!main}:
+    [--cases N] run every property with N cases (deep-fuzz profile);
+    [--seed S] global seed (decimal or 0x hex);
+    [--only SUB] run only properties whose name contains SUB (repeatable);
+    [--list] print the registered property names and exit. *)
+
+exception Failed of string
+(** Raise (via the helpers below) to fail the current case with a
+    message; any other exception also fails the case, with
+    [Printexc.to_string] as the message. *)
+
+val failf : ('a, unit, string, 'b) format4 -> 'a
+(** Fail the current case with a formatted message. *)
+
+val require : bool -> string -> unit
+(** [require cond msg] fails with [msg] unless [cond]. *)
+
+val requiref : bool -> ('a, unit, string, unit) format4 -> 'a
+(** [requiref cond fmt ...] — formatted {!require}.  The message
+    arguments are evaluated eagerly. *)
+
+val close_to : ?rtol:float -> ?atol:float -> string -> float -> float -> unit
+(** [close_to label expected actual] fails unless
+    [|e - a| <= atol + rtol * max |e| |a|] (defaults
+    [rtol = 1e-9], [atol = 1e-12]). *)
+
+val default_seed : int64
+
+val register :
+  ?cases:int -> ?min_size:int -> ?max_size:int -> name:string ->
+  'a Gen.t -> ('a -> unit) -> unit
+(** [register ~name gen prop] adds a property to the registry.  [cases]
+    (default 100) is the default-profile case count — [--cases] overrides
+    it for deep runs.  The generator size ramps linearly from [min_size]
+    (default 1) to [max_size] (default 20) across the cases. *)
+
+val registered : unit -> string list
+(** Names, in registration order. *)
+
+val main : unit -> unit
+(** Parse [Sys.argv], run the (filtered) registry, print a per-property
+    line and a summary, and [exit 1] if any property failed. *)

@@ -78,11 +78,13 @@ let apply_decision t (nodes : int array) (r : Protocol.report) =
           buffers := !buffers + 2
         end)
       r.Protocol.pairs;
-    (* De Morgan rewrites *)
+    (* De Morgan rewrites.  A rewrite absorbs single-fanout fan-in
+       inverters, so an earlier rewrite in this list can delete the node
+       a later one points to — skip stages whose node is gone. *)
     List.iter
       (fun (rw : Pops_core.Restructure.rewrite) ->
         let stage = rw.Pops_core.Restructure.stage in
-        if stage < Array.length nodes then
+        if stage < Array.length nodes && Netlist.node_exists t nodes.(stage) then
           match Transform.de_morgan t nodes.(stage) with
           | Ok _ -> incr rewrites
           | Error _ -> ())
@@ -110,11 +112,17 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
   let timing = Timing.analyze ~lib t in
   let initial_delay = Timing.critical_delay timing in
   let initial_area = Netlist.total_area t lib in
+  (* structural surgery is speculative: a De Morgan rewrite or shield can
+     overshoot and the remaining rounds may never win the delay back.
+     Track the best state seen so the run can rewind instead of returning
+     something worse than it ever had. *)
+  let best = ref (Netlist.copy t, initial_delay) in
   let buffers_added = ref 0 and rewrites_total = ref 0 in
   let iterations = ref [] in
   let protocol_ms = ref 0. in
   let rec loop round prev_delay =
     let d = Timing.critical_delay timing in
+    if d < snd !best then best := (Netlist.copy t, d);
     if d <= tc *. (1. +. 1e-6) +. 0.02 then Met
     else if round > max_rounds then Budget_exhausted
     else if round > 1 && d >= prev_delay -. (0.001 *. prev_delay) then No_progress
@@ -160,6 +168,11 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
         (fun ((ex : Paths.extracted), _) decision ->
           match decision with
           | None -> ()
+          (* a surgery applied earlier this round (e.g. a De Morgan
+             rewrite on a shared gate) may have deleted nodes this
+             snapshot still points to; the decision is stale, and the
+             end-of-round [size_critical] covers the path it was for *)
+          | Some _ when not (List.for_all (Netlist.node_exists t) ex.Paths.nodes) -> ()
           | Some r ->
             let b, rw = apply_decision t (Array.of_list ex.Paths.nodes) r in
             buffers_added := !buffers_added + b;
@@ -180,7 +193,17 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
     end
   in
   let outcome = loop 1 Float.infinity in
-  let final_delay = Timing.critical_delay timing in
+  (* rewind if the exploration ended worse than its best state; the
+     persistent analysis resyncs off the restore's dirty entries *)
+  let final_delay =
+    let d = Timing.critical_delay timing in
+    let best_t, best_d = !best in
+    if d > best_d then begin
+      Netlist.restore t ~from:best_t;
+      Timing.critical_delay timing
+    end
+    else d
+  in
   {
     outcome;
     initial_delay;

@@ -22,33 +22,33 @@ let eval t inputs =
   let values = values_of_vector t inputs in
   List.map (fun (id, _) -> (id, Hashtbl.find values id)) (Netlist.outputs t)
 
+let word_of_kind kind (args : int64 array) =
+  let land_all () = Array.fold_left Int64.logand Int64.minus_one args in
+  let lor_all () = Array.fold_left Int64.logor Int64.zero args in
+  match kind with
+  | Gk.Inv -> Int64.lognot args.(0)
+  | Gk.Buf -> args.(0)
+  | Gk.Nand _ -> Int64.lognot (land_all ())
+  | Gk.Nor _ -> Int64.lognot (lor_all ())
+  | Gk.Aoi21 ->
+    Int64.lognot (Int64.logor (Int64.logand args.(0) args.(1)) args.(2))
+  | Gk.Oai21 ->
+    Int64.lognot (Int64.logand (Int64.logor args.(0) args.(1)) args.(2))
+  | Gk.Aoi22 ->
+    Int64.lognot
+      (Int64.logor (Int64.logand args.(0) args.(1)) (Int64.logand args.(2) args.(3)))
+  | Gk.Oai22 ->
+    Int64.lognot
+      (Int64.logand (Int64.logor args.(0) args.(1)) (Int64.logor args.(2) args.(3)))
+  | Gk.Xor2 -> Int64.logxor args.(0) args.(1)
+  | Gk.Xnor2 -> Int64.lognot (Int64.logxor args.(0) args.(1))
+
 let eval_packed t inputs =
   let input_ids = Netlist.inputs t in
   if Array.length inputs <> List.length input_ids then
     invalid_arg "Logic.eval_packed: input vector length mismatch";
   let values = Hashtbl.create 64 in
   List.iteri (fun i id -> Hashtbl.replace values id inputs.(i)) input_ids;
-  let word kind (args : int64 array) =
-    let land_all () = Array.fold_left Int64.logand Int64.minus_one args in
-    let lor_all () = Array.fold_left Int64.logor Int64.zero args in
-    match kind with
-    | Gk.Inv -> Int64.lognot args.(0)
-    | Gk.Buf -> args.(0)
-    | Gk.Nand _ -> Int64.lognot (land_all ())
-    | Gk.Nor _ -> Int64.lognot (lor_all ())
-    | Gk.Aoi21 ->
-      Int64.lognot (Int64.logor (Int64.logand args.(0) args.(1)) args.(2))
-    | Gk.Oai21 ->
-      Int64.lognot (Int64.logand (Int64.logor args.(0) args.(1)) args.(2))
-    | Gk.Aoi22 ->
-      Int64.lognot
-        (Int64.logor (Int64.logand args.(0) args.(1)) (Int64.logand args.(2) args.(3)))
-    | Gk.Oai22 ->
-      Int64.lognot
-        (Int64.logand (Int64.logor args.(0) args.(1)) (Int64.logor args.(2) args.(3)))
-    | Gk.Xor2 -> Int64.logxor args.(0) args.(1)
-    | Gk.Xnor2 -> Int64.lognot (Int64.logxor args.(0) args.(1))
-  in
   List.iter
     (fun id ->
       let n = Netlist.node t id in
@@ -56,7 +56,7 @@ let eval_packed t inputs =
       | Netlist.Primary_input -> ()
       | Netlist.Cell kind ->
         let args = Array.map (Hashtbl.find values) n.Netlist.fanins in
-        Hashtbl.replace values id (word kind args))
+        Hashtbl.replace values id (word_of_kind kind args))
     (Netlist.topological_order t);
   List.map (fun (id, _) -> (id, Hashtbl.find values id)) (Netlist.outputs t)
 
@@ -167,3 +167,130 @@ let signal_probability t ?(input_prob = 0.5) id =
 let switching_activity t ?input_prob id =
   let p = signal_probability t ?input_prob id in
   2. *. p *. (1. -. p)
+
+(* ------------------------------------------------------------------ *)
+(* cone extraction and local equivalence                               *)
+(* ------------------------------------------------------------------ *)
+
+let cone_limit = 16
+
+(* transitive fan-in set of [id], including [id] itself *)
+let cone_set t id =
+  ignore (Netlist.node t id);
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      let n = Netlist.node t id in
+      match n.Netlist.kind with
+      | Netlist.Primary_input -> ()
+      | Netlist.Cell _ -> Array.iter go n.Netlist.fanins
+    end
+  in
+  go id;
+  seen
+
+let cone_support t id =
+  let seen = cone_set t id in
+  Hashtbl.fold
+    (fun i () acc ->
+      match (Netlist.node t i).Netlist.kind with
+      | Netlist.Primary_input -> i :: acc
+      | Netlist.Cell _ -> acc)
+    seen []
+  |> List.sort compare
+
+(* Truth table of node [id] over an explicit variable order [support]
+   (primary-input ids; must cover the cone's own support).  Bit
+   [p land 63] of word [p lsr 6] is the node value under assignment [p],
+   where bit [i] of [p] is variable [support.(i)]. *)
+let table_over t id support =
+  let k = List.length support in
+  let total = 1 lsl k in
+  let words = (total + 63) / 64 in
+  let cone = cone_set t id in
+  let order = List.filter (Hashtbl.mem cone) (Netlist.topological_order t) in
+  Array.init words (fun c ->
+      let values = Hashtbl.create 64 in
+      List.iteri
+        (fun i pid ->
+          let w = ref Int64.zero in
+          for j = 0 to 63 do
+            let pat = (c * 64) + j in
+            if pat < total && pat land (1 lsl i) <> 0 then
+              w := Int64.logor !w (Int64.shift_left 1L j)
+          done;
+          Hashtbl.replace values pid !w)
+        support;
+      List.iter
+        (fun nid ->
+          let n = Netlist.node t nid in
+          match n.Netlist.kind with
+          | Netlist.Primary_input ->
+            if not (Hashtbl.mem values nid) then
+              invalid_arg "Logic.cone_function: support does not cover the cone"
+          | Netlist.Cell kind ->
+            Hashtbl.replace values nid
+              (word_of_kind kind (Array.map (Hashtbl.find values) n.Netlist.fanins)))
+        order;
+      let v = Hashtbl.find values id in
+      let live = total - (c * 64) in
+      if live >= 64 then v
+      else Int64.logand v (Int64.sub (Int64.shift_left 1L live) 1L))
+
+let cone_function t id =
+  let support = cone_support t id in
+  let k = List.length support in
+  if k > cone_limit then
+    invalid_arg
+      (Printf.sprintf "Logic.cone_function: support %d exceeds cone_limit %d" k cone_limit);
+  (support, table_over t id support)
+
+let assignment_to_string k pat =
+  String.init k (fun i -> if pat land (1 lsl i) <> 0 then '1' else '0')
+
+let cone_equivalent a na b nb =
+  if Netlist.input_count a <> Netlist.input_count b then Error "input counts differ"
+  else begin
+    (* supports are matched by primary-input *position*, so the check
+       also works across structurally unrelated netlists *)
+    let positions t =
+      let tbl = Hashtbl.create 16 in
+      List.iteri (fun i id -> Hashtbl.replace tbl id i) (Netlist.inputs t);
+      tbl
+    in
+    let pos_a = positions a and pos_b = positions b in
+    let sa = List.map (Hashtbl.find pos_a) (cone_support a na)
+    and sb = List.map (Hashtbl.find pos_b) (cone_support b nb) in
+    let support = List.sort_uniq compare (sa @ sb) in
+    let k = List.length support in
+    if k > cone_limit then
+      Error (Printf.sprintf "union support %d exceeds cone_limit %d" k cone_limit)
+    else begin
+      let ins_a = Array.of_list (Netlist.inputs a)
+      and ins_b = Array.of_list (Netlist.inputs b) in
+      let ta = table_over a na (List.map (fun p -> ins_a.(p)) support)
+      and tb = table_over b nb (List.map (fun p -> ins_b.(p)) support) in
+      let result = ref (Ok ()) in
+      (try
+         Array.iteri
+           (fun c wa ->
+             let diff = Int64.logxor wa tb.(c) in
+             if diff <> Int64.zero then begin
+               let rec first_bit j =
+                 if Int64.logand (Int64.shift_right_logical diff j) 1L = 1L then j
+                 else first_bit (j + 1)
+               in
+               let pat = (c * 64) + first_bit 0 in
+               result :=
+                 Error
+                   (Printf.sprintf "cones differ on assignment %s (input positions %s)"
+                      (assignment_to_string k pat)
+                      (String.concat "," (List.map string_of_int support)));
+               raise Exit
+             end)
+           ta
+       with Exit -> ());
+      !result
+    end
+  end

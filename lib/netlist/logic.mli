@@ -21,8 +21,42 @@ val eval_packed : Netlist.t -> int64 array -> (int * int64) list
     Returns the primary outputs' packed values.  This is what
     {!equivalent} runs on — a 64x speedup over scalar evaluation. *)
 
+val word_of_kind : Pops_cell.Gate_kind.t -> int64 array -> int64
+(** The bit-parallel boolean function of a gate: the packed counterpart
+    of {!Pops_cell.Gate_kind.eval}, applied to 64 vectors at once.
+    Exposed for the property suite, which checks it bit-for-bit against
+    the scalar evaluation. *)
+
 val exhaustive_limit : int
 (** Maximum input count for exhaustive equivalence (12). *)
+
+(** {1 Logic cones}
+
+    Local equivalence: instead of comparing whole netlists, compare the
+    transitive fan-in cone of one node — the granularity at which the
+    restructuring transforms operate. *)
+
+val cone_limit : int
+(** Maximum cone support for truth-table construction (16). *)
+
+val cone_support : Netlist.t -> int -> int list
+(** Primary-input ids in the transitive fan-in of a node, ascending.
+    @raise Invalid_argument on an unknown id. *)
+
+val cone_function : Netlist.t -> int -> int list * int64 array
+(** [(support, table)]: the node's truth table over its sorted support,
+    packed 64 assignments per word — bit [p land 63] of [table.(p lsr 6)]
+    is the node's value under assignment [p], where bit [i] of [p]
+    assigns [List.nth support i].  Tail bits beyond [2^k] are zero.
+    @raise Invalid_argument if the support exceeds {!cone_limit}. *)
+
+val cone_equivalent : Netlist.t -> int -> Netlist.t -> int -> (unit, string) result
+(** [cone_equivalent a na b nb] compares the logic functions of two
+    nodes' cones over the {e union} of their supports, matching primary
+    inputs by position (so it works across independently built
+    netlists).  The error names the first mismatching assignment.
+    Returns [Error] (not an exception) when the union support exceeds
+    {!cone_limit}. *)
 
 val equivalent :
   ?vectors:int -> ?seed:int64 -> Netlist.t -> Netlist.t -> (unit, string) result

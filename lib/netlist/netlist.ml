@@ -566,6 +566,33 @@ let copy t =
     dirty_len = 0;
   }
 
+let restore t ~from =
+  (* nodes live before the rewind must be cleared by observers, nodes
+     live after it re-evaluated: log both sides (duplicates are fine,
+     observers already de-duplicate their wavefront) *)
+  let pre = ref [] in
+  for id = 0 to t.next_id - 1 do
+    if t.nodes.(id) <> None then pre := id :: !pre
+  done;
+  t.nodes <-
+    Array.map
+      (Option.map (fun n -> { n with fanins = Array.copy n.fanins }))
+      from.nodes;
+  t.next_id <- from.next_id;
+  t.input_ids <- from.input_ids;
+  t.output_loads <- from.output_loads;
+  t.load_cache <- Array.copy from.load_cache;
+  t.level <- Array.copy from.level;
+  t.levels_valid <- from.levels_valid;
+  t.topo_cache <- from.topo_cache;
+  t.level_counts <- Option.map Array.copy from.level_counts;
+  t.n_live <- from.n_live;
+  t.n_gates <- from.n_gates;
+  List.iter (mark_dirty t) !pre;
+  for id = 0 to t.next_id - 1 do
+    if t.nodes.(id) <> None then mark_dirty t id
+  done
+
 let pp_stats ppf t =
   Format.fprintf ppf "@[<v>netlist: %d inputs, %d gates, %d outputs, depth %d@ "
     (input_count t) (gate_count t)

@@ -140,4 +140,12 @@ val total_area : t -> Pops_cell.Library.t -> float
 val copy : t -> t
 (** Deep copy (transforms mutate; benchmarks compare variants). *)
 
+val restore : t -> from:t -> unit
+(** [restore t ~from] rewinds [t] in place to the state captured earlier
+    by [copy t].  The edit history of [t] is kept and every node live on
+    either side of the rewind is appended to it, so incremental observers
+    holding a cursor ({!revision}/{!dirty_since}) resync on their next
+    update instead of going stale.  [from] is not aliased: restoring
+    twice from the same snapshot is fine. *)
+
 val pp_stats : Format.formatter -> t -> unit

@@ -32,10 +32,18 @@ let de_morgan t id =
       Array.iteri
         (fun pin src ->
           let src_node = Netlist.node t src in
+          let feeds_one_pin =
+            Array.fold_left (fun c f -> if f = src then c + 1 else c) 0 n.Netlist.fanins
+            = 1
+          in
           let absorbable =
             match src_node.Netlist.kind with
             | Netlist.Cell Gk.Inv ->
               src_node.Netlist.fanouts = [ id ]
+              (* an inverter wired to several pins of this gate must stay:
+                 absorbing it at one pin would delete it out from under
+                 the others *)
+              && feeds_one_pin
               && not (List.mem_assoc src (Netlist.outputs t))
             | Netlist.Cell
                 ( Gk.Buf | Gk.Nand _ | Gk.Nor _ | Gk.Aoi21 | Gk.Oai21 | Gk.Aoi22

@@ -71,3 +71,55 @@ A .bench netlist file round-trips through analysis:
   OUTPUT(y)
   n1 = NAND(a, b)
   y = NOT(n1)
+
+A generated netlist with sizing/wire annotations analyzes cleanly:
+
+  $ cat > gen.bench <<'BENCH'
+  > # three-bit parity with an AOI load
+  > INPUT(a) # cin=4.2
+  > INPUT(b)
+  > INPUT(c)
+  > OUTPUT(p)
+  > OUTPUT(q)
+  > x1 = XOR(a, b)
+  > p = XOR(x1, c) # cin=6.5
+  > q = AOI21(a, b, c) # wire=3.0
+  > BENCH
+
+  $ pops bench-file gen.bench
+  netlist: 3 inputs, 3 gates, 2 outputs, depth 2
+  aoi21: 1
+  xor2: 2
+  
+  STA critical delay: 317.9 ps
+
+
+An unreachable constraint makes the flow exit non-zero, without ever
+worsening the circuit:
+
+  $ pops bench-file gen.bench --flow --tc 1
+  netlist: 3 inputs, 3 gates, 2 outputs, depth 2
+  aoi21: 1
+  xor2: 2
+  
+  STA critical delay: 317.9 ps
+  optimizing to Tc = 1.0 ps ...
+  flow: no-progress
+  delay 317.9 -> 317.9 ps
+  area 19.6 -> 22.6 um
+  3 rounds, 2 buffer inverters, 0 rewrites
+  equivalence: PASS
+  [1]
+
+
+Parse errors carry the offending line number and a non-zero exit:
+
+  $ cat > broken.bench <<'BENCH'
+  > INPUT(a)
+  > y = NOT(a
+  > OUTPUT(y)
+  > BENCH
+
+  $ pops bench-file broken.bench
+  pops: line 2: expected OP(arg, ...) on the right-hand side
+  [1]

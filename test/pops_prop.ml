@@ -1,0 +1,858 @@
+(* Property-based correctness harness: executable invariants over every
+   layer of the stack, run on random circuits.  See docs/testing.md for
+   the catalogue and the seed-replay workflow.
+
+   Default profile (dune runtest): every property at its registered case
+   count, well under a minute.  Deep fuzz: pops_prop --cases 2000. *)
+
+open Pops_check
+module C = Circuit
+module Rng = Pops_util.Rng
+module Numerics = Pops_util.Numerics
+module Pool = Pops_util.Pool
+module Tech = Pops_process.Tech
+module Gate_kind = Pops_cell.Gate_kind
+module Cell = Pops_cell.Cell
+module Library = Pops_cell.Library
+module Edge = Pops_delay.Edge
+module Model = Pops_delay.Model
+module Path = Pops_delay.Path
+module Bounds = Pops_core.Bounds
+module Sens = Pops_core.Sensitivity
+module Buffers = Pops_core.Buffers
+module Netlist = Pops_netlist.Netlist
+module Logic = Pops_netlist.Logic
+module Transform = Pops_netlist.Transform
+module Bench_io = Pops_netlist.Bench_io
+module Timing = Pops_sta.Timing
+module Flow = Pops_flow.Flow
+module Transient = Pops_spice.Transient
+
+let require = Prop.require
+let requiref = Prop.requiref
+let close_to = Prop.close_to
+
+(* ------------------------------------------------------------------ *)
+(* shared generators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let spec = C.path_spec ()
+let spec_factor lo hi = Gen.pair (C.path_spec ()) (Gen.float_range lo hi)
+
+let path_of s = C.to_path s
+
+(* a sizing strictly inside the drive box, away from the clamp kinks *)
+let interior_sizing s =
+  let cmin = s.C.p_tech.Tech.cmin in
+  Array.of_list
+    (List.map (fun m -> Numerics.clamp ~lo:2. ~hi:30. m *. cmin) s.C.mults)
+
+(* ================================================================== *)
+(* delay model (eqs. 1-3)                                              *)
+(* ================================================================== *)
+
+type mcase = {
+  mc_tech : Tech.t;
+  mc_kind : Gate_kind.t;
+  mc_edge : Edge.t;
+  mc_tau_in : float;
+  mc_cin : float;
+  mc_cload : float;
+}
+
+let mcase_gen =
+  let print m =
+    Printf.sprintf "{tech=%s; cell=%s; edge=%s; tau_in=%.4g; cin=%.4g; cload=%.4g}"
+      m.mc_tech.Tech.name (Gate_kind.name m.mc_kind)
+      (match m.mc_edge with Edge.Rising -> "rising" | Edge.Falling -> "falling")
+      m.mc_tau_in m.mc_cin m.mc_cload
+  in
+  let shrink m =
+    let cands = ref [] in
+    if m.mc_tech.Tech.name <> C.technologies.(0).Tech.name then
+      cands := { m with mc_tech = C.technologies.(0) } :: !cands;
+    if not (Gate_kind.equal m.mc_kind Gate_kind.Inv) then
+      cands := { m with mc_kind = Gate_kind.Inv } :: !cands;
+    if m.mc_edge <> Edge.Rising then cands := { m with mc_edge = Edge.Rising } :: !cands;
+    List.to_seq (List.rev !cands)
+  in
+  Gen.make ~shrink ~print (fun rng _ ->
+      let tech = Rng.pick rng C.technologies in
+      {
+        mc_tech = tech;
+        mc_kind = Rng.pick rng [| Gate_kind.Inv; Gate_kind.Buf; Gate_kind.Nand 2;
+                                  Gate_kind.Nor 2; Gate_kind.Nand 3; Gate_kind.Nor 3;
+                                  Gate_kind.Aoi21; Gate_kind.Oai21; Gate_kind.Xor2 |];
+        mc_edge = (if Rng.bool rng then Edge.Rising else Edge.Falling);
+        mc_tau_in = Rng.log_range rng 5. 300.;
+        mc_cin = tech.Tech.cmin *. Rng.log_range rng 1. 64.;
+        mc_cload = Rng.log_range rng 1. 400.;
+      })
+
+let cell_of m = Library.find (C.library m.mc_tech) m.mc_kind
+
+let () =
+  Prop.register ~name:"model.delay_monotone_load" (spec_factor 1. 4.) (fun (s, f) ->
+      let x = C.sizing s in
+      let d1 = Path.delay (path_of s) x in
+      let d2 = Path.delay (path_of { s with C.c_out = s.C.c_out *. f }) x in
+      requiref (d2 >= d1 -. (1e-9 *. d1))
+        "delay decreased under a larger load: %.6g -> %.6g (load x%.3g)" d1 d2 f)
+
+let () =
+  Prop.register ~name:"model.delay_monotone_slope" (spec_factor 1. 5.) (fun (s, f) ->
+      let x = C.sizing s in
+      let d1 = Path.delay (path_of s) x in
+      let d2 = Path.delay (path_of { s with C.input_slope = s.C.input_slope *. f }) x in
+      requiref (d2 >= d1 -. (1e-9 *. d1))
+        "delay decreased under a slower input: %.6g -> %.6g (slope x%.3g)" d1 d2 f)
+
+(* eq. (1) recomputed from the raw cell coefficients, independently of
+   every Model helper: the property that catches a dropped C_M term, a
+   wrong threshold polarity or a broken symmetry factor. *)
+let () =
+  Prop.register ~name:"model.eq1_closed_form" mcase_gen (fun m ->
+      let cell = cell_of m in
+      let d, tau_out =
+        Model.stage_delay cell ~edge_out:m.mc_edge ~tau_in:m.mc_tau_in ~cin:m.mc_cin
+          ~cload:m.mc_cload
+      in
+      let s, cm_ratio, v_t =
+        match m.mc_edge with
+        | Edge.Falling ->
+          (cell.Cell.s_hl, cell.Cell.cm_ratio_hl, m.mc_tech.Tech.vtn /. m.mc_tech.Tech.vdd)
+        | Edge.Rising ->
+          (cell.Cell.s_lh, cell.Cell.cm_ratio_lh, m.mc_tech.Tech.vtp /. m.mc_tech.Tech.vdd)
+      in
+      let tau_ref = s *. m.mc_tech.Tech.tau *. m.mc_cload /. m.mc_cin in
+      let cm = cm_ratio *. m.mc_cin in
+      let d_ref =
+        (v_t *. m.mc_tau_in /. 2.)
+        +. ((1. +. (2. *. cm /. (cm +. m.mc_cload))) *. tau_ref /. 2.)
+      in
+      close_to ~rtol:1e-12 "eq. (3) transition time" tau_ref tau_out;
+      close_to ~rtol:1e-12 "eq. (1) stage delay" d_ref d)
+
+let () =
+  Prop.register ~name:"model.coupling_increases_delay" spec (fun s ->
+      let x = C.sizing s in
+      let on = { s with C.opts = { s.C.opts with Model.with_coupling = true } } in
+      let off = { s with C.opts = { s.C.opts with Model.with_coupling = false } } in
+      let d_on = Path.delay (path_of on) x and d_off = Path.delay (path_of off) x in
+      requiref (d_on >= d_off -. (1e-9 *. d_off))
+        "Miller coupling made the path faster: %.6g (on) < %.6g (off)" d_on d_off)
+
+let () =
+  Prop.register ~name:"model.transition_homogeneity"
+    (Gen.pair mcase_gen (Gen.float_range 1. 16.))
+    (fun (m, k) ->
+      let cell = cell_of m in
+      let t1 = Model.transition_time cell ~edge:m.mc_edge ~cin:m.mc_cin ~cload:m.mc_cload in
+      let t2 =
+        Model.transition_time cell ~edge:m.mc_edge ~cin:(m.mc_cin *. k)
+          ~cload:(m.mc_cload *. k)
+      in
+      close_to ~rtol:1e-12 "tau(k*cin, k*cload) = tau(cin, cload)" t1 t2)
+
+(* ================================================================== *)
+(* bounded paths and the compiled kernel                               *)
+(* ================================================================== *)
+
+let () =
+  Prop.register ~name:"path.stage_sum" spec (fun s ->
+      let p = path_of s in
+      let x = C.sizing s in
+      let sum = Array.fold_left (fun acc (d, _) -> acc +. d) 0. (Path.delay_per_stage p x) in
+      close_to ~rtol:1e-9 "sum of stage delays = path delay" sum (Path.delay p x))
+
+(* the zero-allocation compiled kernel against a hand-rolled reference
+   walk built only on Model.stage_delay *)
+let () =
+  Prop.register ~name:"path.kernel_vs_reference" spec (fun s ->
+      let p = path_of s in
+      let x = Path.clamp_sizing p (C.sizing s) in
+      let loads = Path.loads p x in
+      let tau = ref p.Path.input_slope in
+      let total = ref 0. in
+      Array.iteri
+        (fun i (st : Path.stage) ->
+          let d, tau_out =
+            Model.stage_delay ~opts:p.Path.opts st.Path.cell ~edge_out:p.Path.edges.(i)
+              ~tau_in:!tau ~cin:x.(i) ~cload:loads.(i)
+          in
+          total := !total +. d;
+          tau := tau_out)
+        p.Path.stages;
+      close_to ~rtol:1e-9 "compiled kernel = reference walk" !total (Path.delay p x))
+
+let () =
+  Prop.register ~name:"path.delay_both_consistent" spec (fun s ->
+      let p = path_of s in
+      let x = C.sizing s in
+      let sc = Path.scratch () in
+      Path.delay_both p sc x;
+      let flipped = Path.with_input_edge p (Edge.flip p.Path.input_edge) in
+      close_to ~rtol:1e-12 "scratch.own = delay" (Path.delay p x) sc.Path.own;
+      close_to ~rtol:1e-12 "scratch.flip = flipped delay" (Path.delay flipped x) sc.Path.flip;
+      close_to ~rtol:1e-12 "delay_worst = max of both"
+        (Float.max sc.Path.own sc.Path.flip)
+        (Path.delay_worst p x))
+
+let () =
+  Prop.register ~name:"path.flip_involution" spec (fun s ->
+      let p = path_of s in
+      let x = C.sizing s in
+      let e = p.Path.input_edge in
+      let p2 = Path.with_input_edge (Path.with_input_edge p (Edge.flip e)) e in
+      requiref (Path.delay p x = Path.delay p2 x)
+        "double polarity flip changed the delay: %.17g vs %.17g" (Path.delay p x)
+        (Path.delay p2 x))
+
+let () =
+  Prop.register ~name:"path.gradient_matches_fd" spec (fun s ->
+      let p = path_of s in
+      let x = interior_sizing s in
+      let g = Path.gradient p x in
+      let g_fd = Numerics.gradient ~f:(fun x -> Path.delay p x) x in
+      require (g.(0) = 0.) "gradient entry 0 must be 0 (fixed input gate)";
+      Array.iteri
+        (fun i gi ->
+          if i > 0 && not (Numerics.close ~rtol:1e-3 ~atol:1e-5 gi g_fd.(i)) then
+            Prop.failf "dT/dx(%d): analytic %.8g vs finite-difference %.8g" i gi g_fd.(i))
+        g)
+
+let () =
+  Prop.register ~name:"path.clamp_idempotent" spec (fun s ->
+      let p = path_of s in
+      let raw = Array.map (fun v -> (v *. 100.) -. 50.) (C.sizing s) in
+      let c1 = Path.clamp_sizing p raw in
+      let c2 = Path.clamp_sizing p c1 in
+      require (c1 = c2) "clamp_sizing is not idempotent";
+      require (c1.(0) = p.Path.drive_cin) "clamp did not pin the drive stage";
+      let cmin = s.C.p_tech.Tech.cmin in
+      Array.iteri
+        (fun i v ->
+          if i > 0 && not (v >= cmin -. 1e-12 && v <= (4096. *. cmin) +. 1e-9) then
+            Prop.failf "entry %d = %.6g escapes the drive box" i v)
+        c1)
+
+let () =
+  Prop.register ~name:"path.area_matches_weights"
+    (Gen.pair spec (Gen.float_range 0.5 8.))
+    (fun (s, delta) ->
+      let p = path_of s in
+      let x = interior_sizing s in
+      let a0 = Path.area p x in
+      for i = 1 to Path.length p - 1 do
+        let x' = Array.copy x in
+        x'.(i) <- x'.(i) +. delta;
+        close_to ~rtol:1e-6 ~atol:1e-9
+          (Printf.sprintf "area is linear in cin (stage %d)" i)
+          (a0 +. (Path.area_weight p i *. delta))
+          (Path.area p x')
+      done)
+
+(* ================================================================== *)
+(* bounds and constant-sensitivity sizing                              *)
+(* ================================================================== *)
+
+(* Bounds.tmin is evaluated on a small polarity-weight grid, so it upper
+   bounds the exact minimax by < 1%; every bracketing check carries that
+   tolerance. *)
+let grid_tol = 1.01
+
+let () =
+  Prop.register ~name:"bounds.bracket" spec (fun s ->
+      let p = path_of s in
+      let b = Bounds.compute p in
+      let d_rand = Path.delay_worst p (C.sizing s) in
+      close_to ~rtol:1e-9 "tmax = worst delay at minimum drive"
+        (Path.delay_worst p (Path.min_sizing p))
+        b.Bounds.tmax;
+      requiref (b.Bounds.tmin <= (b.Bounds.tmax *. grid_tol) +. 1e-9)
+        "tmin %.6g above tmax %.6g" b.Bounds.tmin b.Bounds.tmax;
+      requiref (d_rand >= (b.Bounds.tmin /. grid_tol) -. 1e-9)
+        "random sizing beat tmin: %.6g < %.6g" d_rand b.Bounds.tmin;
+      close_to ~rtol:1e-9 "sizing_tmin achieves tmin"
+        (Path.delay_worst p b.Bounds.sizing_tmin)
+        b.Bounds.tmin)
+
+let () =
+  Prop.register ~name:"bounds.stationary_at_tmin" spec (fun s ->
+      let p = path_of s in
+      let b = Bounds.compute p in
+      requiref (Bounds.verify_stationary ~beta:b.Bounds.beta_tmin p b.Bounds.sizing_tmin)
+        "link equations do not vanish at the tmin sizing (beta=%.3g)" b.Bounds.beta_tmin)
+
+let () =
+  Prop.register ~name:"sens.delay_monotone_in_a"
+    (Gen.pair spec (Gen.pair (Gen.float_range 0. 5.) (Gen.float_range 0. 5.)))
+    (fun (s, (u, v)) ->
+      let p = path_of s in
+      let a_hi = -.Float.min u v and a_lo = -.Float.max u v in
+      (* the pure-polarity constant-sensitivity fixed point: its own
+         delay is the monotone object (a = 0 is the delay optimum, more
+         negative a trades delay for area).  delay_of_a's worst-polarity
+         composite is only checked against the absolute lower bound:
+         on skewed corners the beta = 0.5 weighting makes it wiggle. *)
+      let d_at a = Path.delay p (fst (Sens.solve ~a p)) in
+      let d_hi = d_at a_hi and d_lo = d_at a_lo in
+      requiref (d_lo >= d_hi -. (1e-3 *. d_hi) -. 0.05)
+        "delay(a=%.4g) = %.6g < delay(a=%.4g) = %.6g: not monotone" a_lo d_lo a_hi d_hi;
+      requiref (Sens.delay_of_a p a_lo >= (Bounds.tmin p /. grid_tol) -. 1e-9)
+        "delay_of_a(%.4g) beat the path lower bound tmin = %.6g" a_lo (Bounds.tmin p))
+
+let () =
+  Prop.register ~name:"sens.area_monotone_in_a"
+    (Gen.pair spec (Gen.pair (Gen.float_range 0. 5.) (Gen.float_range 0. 5.)))
+    (fun (s, (u, v)) ->
+      let p = path_of s in
+      let a_hi = -.Float.min u v and a_lo = -.Float.max u v in
+      let area_of a = Path.area p (Sens.solve_worst ~a p) in
+      let ar_hi = area_of a_hi and ar_lo = area_of a_lo in
+      requiref (ar_lo <= ar_hi +. (1e-4 *. ar_hi) +. 0.01)
+        "area(a=%.4g) = %.6g > area(a=%.4g) = %.6g: not monotone" a_lo ar_lo a_hi ar_hi)
+
+let () =
+  Prop.register ~name:"sens.accel_matches_plain"
+    (Gen.pair spec (Gen.float_range 0. 3.))
+    (fun (s, mag) ->
+      let p = path_of s in
+      let a = -.mag in
+      let x_acc = Sens.solve_worst ~accel:true ~a p in
+      let x_plain = Sens.solve_worst ~accel:false ~a p in
+      close_to ~rtol:1e-3 ~atol:1e-6 "accelerated vs plain fixed point (delay)"
+        (Path.delay_avg p x_plain) (Path.delay_avg p x_acc))
+
+let () =
+  Prop.register ~name:"sens.constraint_met"
+    (Gen.pair spec (Gen.float_range 0.05 1.))
+    (fun (s, margin) ->
+      let p = path_of s in
+      let tc = Bounds.tmin p *. (1. +. margin) in
+      match Sens.size_for_constraint p ~tc with
+      | Error (`Infeasible tmin) ->
+        Prop.failf "tc=%.6g (tmin*%.3g) declared infeasible (solver tmin %.6g)" tc
+          (1. +. margin) tmin
+      | Ok r ->
+        requiref (r.Sens.delay <= (tc *. 1.001) +. 0.5)
+          "constraint sizing misses tc: delay %.6g > tc %.6g" r.Sens.delay tc)
+
+let () =
+  Prop.register ~name:"sens.constraint_infeasible"
+    (Gen.pair spec (Gen.float_range 0.1 0.5))
+    (fun (s, margin) ->
+      let p = path_of s in
+      let tmin = Bounds.tmin p in
+      let tc = tmin *. (1. -. margin) in
+      match Sens.size_for_constraint p ~tc with
+      | Error (`Infeasible t) ->
+        requiref (t <= tmin *. grid_tol)
+          "reported tmin %.6g far above grid tmin %.6g" t tmin
+      | Ok r ->
+        Prop.failf "tc=%.6g below tmin=%.6g accepted with delay %.6g" tc tmin r.Sens.delay)
+
+let () =
+  Prop.register ~name:"numerics.bisect_finds_root"
+    (Gen.make
+       ~print:(fun (r, d1, d2, a) -> Printf.sprintf "root=%.6g lo=-%.3g hi=+%.3g cubic=%.3g" r d1 d2 a)
+       (fun rng _ ->
+         ( Rng.range rng (-50.) 50.,
+           Rng.log_range rng 0.1 30.,
+           Rng.log_range rng 0.1 30.,
+           Rng.log_range rng 0.01 10. ))
+       )
+    (fun (r, d1, d2, a) ->
+      let f x = (x -. r) *. (a +. ((x -. r) *. (x -. r))) in
+      let x = Numerics.bisect ~tol:1e-9 ~f ~lo:(r -. d1) ~hi:(r +. d2) () in
+      requiref (Float.abs (x -. r) <= 1e-6)
+        "bisect returned %.9g, root is %.9g" x r)
+
+(* ================================================================== *)
+(* buffer insertion and Flimit                                         *)
+(* ================================================================== *)
+
+let () =
+  Prop.register ~name:"buffers.flimit_crossover"
+    (Gen.pair (Gen.pick ~print:(fun t -> t.Tech.name) C.technologies)
+       (Gen.pick ~print:Gate_kind.name
+          [| Gate_kind.Inv; Gate_kind.Nand 2; Gate_kind.Nand 3; Gate_kind.Nor 2;
+             Gate_kind.Nor 3; Gate_kind.Aoi21 |]))
+    (fun (tech, gate) ->
+      let lib = C.library tech in
+      let driver = Gate_kind.Inv in
+      let gate_cin = 4. *. tech.Tech.cmin in
+      let fl = Buffers.flimit ~lib ~driver ~gate () in
+      if Float.is_finite fl then begin
+        let check f expect_buffered =
+          let cload = f *. gate_cin in
+          let direct = Buffers.delay_direct ~lib ~driver ~gate ~gate_cin ~cload in
+          let buffered, _ = Buffers.delay_buffered ~lib ~driver ~gate ~gate_cin ~cload () in
+          if expect_buffered then
+            requiref (buffered < direct)
+              "F=%.3g (1.25x Flimit %.3g): buffered %.6g not faster than direct %.6g" f fl
+              buffered direct
+          else
+            requiref (direct <= buffered *. (1. +. 1e-9))
+              "F=%.3g (0.8x Flimit %.3g): direct %.6g slower than buffered %.6g" f fl
+              direct buffered
+        in
+        check (fl *. 1.25) true;
+        check (fl *. 0.8) false
+      end
+      else begin
+        (* buffering never wins below the search cap: direct must hold there *)
+        let cload = 150. *. gate_cin in
+        let direct = Buffers.delay_direct ~lib ~driver ~gate ~gate_cin ~cload in
+        let buffered, _ = Buffers.delay_buffered ~lib ~driver ~gate ~gate_cin ~cload () in
+        requiref (direct <= buffered *. (1. +. 1e-9))
+          "Flimit=inf but buffering wins at F=150: direct %.6g > buffered %.6g" direct
+          buffered
+      end)
+
+let () =
+  Prop.register ~name:"buffers.insert_local_improves" spec (fun s ->
+      let p = path_of s in
+      let x = Path.clamp_sizing p (C.sizing s) in
+      let lib = C.library s.C.p_tech in
+      let r = Buffers.insert_local ~lib p x in
+      let before = Path.delay_worst p x in
+      requiref (r.Buffers.delay <= (before *. (1. +. 1e-9)) +. 1e-6)
+        "local insertion worsened the path: %.6g -> %.6g" before r.Buffers.delay)
+
+(* ================================================================== *)
+(* netlists, logic, transforms                                         *)
+(* ================================================================== *)
+
+let () =
+  Prop.register ~name:"netlist.generated_dag_valid" C.dag_spec (fun d ->
+      let nl = C.build_dag d in
+      (match Netlist.validate nl with
+      | Ok () -> ()
+      | Error e -> Prop.failf "generated DAG invalid: %s" e);
+      let order = Netlist.topological_order nl in
+      requiref (List.length order = Netlist.live_count nl)
+        "topological order misses nodes: %d vs %d" (List.length order)
+        (Netlist.live_count nl);
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun id ->
+          Array.iter
+            (fun f ->
+              if not (Hashtbl.mem seen f) then
+                Prop.failf "node %d appears before its fan-in %d" id f)
+            (Netlist.node nl id).Netlist.fanins;
+          Hashtbl.add seen id ())
+        order;
+      require (Netlist.outputs nl <> []) "generated DAG has no primary output")
+
+let () =
+  Prop.register ~name:"netlist.levels_consistent" C.dag_spec (fun d ->
+      let nl = C.build_dag d in
+      let ids = Netlist.inputs nl @ Netlist.gate_ids nl in
+      List.iter
+        (fun id ->
+          let n = Netlist.node nl id in
+          match n.Netlist.kind with
+          | Netlist.Primary_input ->
+            requiref (Netlist.level nl id = 0) "input %d at level %d" id (Netlist.level nl id)
+          | Netlist.Cell _ ->
+            let expect =
+              1 + Array.fold_left (fun m f -> max m (Netlist.level nl f)) 0 n.Netlist.fanins
+            in
+            requiref (Netlist.level nl id = expect)
+              "node %d: level %d, fan-ins say %d" id (Netlist.level nl id) expect)
+        ids;
+      let depth = Netlist.depth nl in
+      requiref (depth = List.fold_left (fun m id -> max m (Netlist.level nl id)) 0 ids)
+        "depth %d is not the max level" depth;
+      for l = 0 to depth + 1 do
+        let direct = List.length (List.filter (fun id -> Netlist.level nl id >= l) ids) in
+        requiref (Netlist.count_level_ge nl l = direct)
+          "count_level_ge %d = %d, direct count %d" l (Netlist.count_level_ge nl l) direct
+      done)
+
+let () =
+  Prop.register ~name:"logic.word_matches_scalar"
+    (Gen.make
+       ~print:(fun (k, ws) ->
+         Printf.sprintf "%s over [%s]" (Gate_kind.name k)
+           (String.concat "; " (List.map (Printf.sprintf "0x%Lx") (Array.to_list ws))))
+       (fun rng _ ->
+         let k = Rng.pick rng (Array.of_list Gate_kind.all) in
+         (k, Array.init (Gate_kind.arity k) (fun _ -> Rng.int64 rng)))
+       )
+    (fun (kind, words) ->
+      let packed = Logic.word_of_kind kind words in
+      for j = 0 to 63 do
+        let bit w = Int64.logand (Int64.shift_right_logical w j) 1L = 1L in
+        let scalar = Gate_kind.eval kind (Array.map bit words) in
+        if bit packed <> scalar then
+          Prop.failf "%s lane %d: packed %b, scalar %b" (Gate_kind.name kind) j
+            (bit packed) scalar
+      done)
+
+let () =
+  Prop.register ~name:"logic.packed_matches_scalar"
+    (Gen.pair C.dag_spec Gen.int64)
+    (fun (d, seed) ->
+      let nl = C.build_dag d in
+      let rng = Rng.create seed in
+      let words = Array.init (Netlist.input_count nl) (fun _ -> Rng.int64 rng) in
+      let packed = Logic.eval_packed nl words in
+      for j = 0 to 63 do
+        let vec = Array.map (fun w -> Int64.logand (Int64.shift_right_logical w j) 1L = 1L) words in
+        let scalar = Logic.eval nl vec in
+        List.iter2
+          (fun (id, w) (id', b) ->
+            require (id = id') "output order mismatch";
+            if (Int64.logand (Int64.shift_right_logical w j) 1L = 1L) <> b then
+              Prop.failf "output %d lane %d: packed and scalar evaluation disagree" id j)
+          packed scalar
+      done)
+
+let () =
+  Prop.register ~name:"logic.cone_table_matches_eval"
+    (Gen.pair C.dag_spec (Gen.int_range 0 1023))
+    (fun (d, pick) ->
+      let nl = C.build_dag d in
+      let gates = Netlist.gate_ids nl in
+      let id = List.nth gates (pick mod List.length gates) in
+      let support = Logic.cone_support nl id in
+      let k = List.length support in
+      if k <= Logic.cone_limit && k <= 10 then begin
+        let _, table = Logic.cone_function nl id in
+        let inputs = Netlist.inputs nl in
+        let pos = Hashtbl.create 16 in
+        List.iteri (fun i pid -> Hashtbl.replace pos pid i) inputs;
+        for pat = 0 to (1 lsl k) - 1 do
+          let vec = Array.make (List.length inputs) false in
+          List.iteri
+            (fun i pid -> vec.(Hashtbl.find pos pid) <- pat land (1 lsl i) <> 0)
+            support;
+          let direct = Logic.eval_node nl vec id in
+          let tabled =
+            Int64.logand (Int64.shift_right_logical table.(pat lsr 6) (pat land 63)) 1L = 1L
+          in
+          if direct <> tabled then
+            Prop.failf "node %d assignment %d: cone table %b, direct eval %b" id pat
+              tabled direct
+        done
+      end)
+
+let () =
+  Prop.register ~name:"logic.cone_self_equivalent"
+    (Gen.pair C.dag_spec (Gen.int_range 0 1023))
+    (fun (d, pick) ->
+      let nl = C.build_dag d in
+      let gates = Netlist.gate_ids nl in
+      let id = List.nth gates (pick mod List.length gates) in
+      if List.length (Logic.cone_support nl id) <= Logic.cone_limit then
+        match Logic.cone_equivalent nl id (Netlist.copy nl) id with
+        | Ok () -> ()
+        | Error e -> Prop.failf "node %d not equivalent to its own copy: %s" id e)
+
+let () =
+  Prop.register ~name:"transform.de_morgan_preserves_logic"
+    (Gen.pair C.dag_spec (Gen.int_range 0 1023))
+    (fun (d, pick) ->
+      let nl = C.build_dag d in
+      let duals =
+        List.filter
+          (fun id ->
+            match (Netlist.node nl id).Netlist.kind with
+            | Netlist.Cell k -> Gate_kind.de_morgan_dual k <> None
+            | Netlist.Primary_input -> false)
+          (Netlist.gate_ids nl)
+      in
+      match duals with
+      | [] -> ()
+      | _ :: _ -> (
+        let id = List.nth duals (pick mod List.length duals) in
+        let b = Netlist.copy nl in
+        match Transform.de_morgan b id with
+        | Error e -> Prop.failf "de_morgan refused a dual-capable gate %d: %s" id e
+        | Ok inv_id ->
+          (match Netlist.validate b with
+          | Ok () -> ()
+          | Error e -> Prop.failf "netlist invalid after de_morgan: %s" e);
+          (match Logic.equivalent nl b with
+          | Ok () -> ()
+          | Error e -> Prop.failf "de_morgan changed the circuit function: %s" e);
+          if
+            List.length (Logic.cone_support nl id) <= Logic.cone_limit
+            && List.length (Logic.cone_support b inv_id) <= Logic.cone_limit
+          then
+            match Logic.cone_equivalent nl id b inv_id with
+            | Ok () -> ()
+            | Error e -> Prop.failf "de_morgan changed the local cone: %s" e))
+
+let () =
+  Prop.register ~name:"transform.insert_buffer_preserves_logic"
+    (Gen.pair C.dag_spec (Gen.int_range 0 1023))
+    (fun (d, pick) ->
+      let nl = C.build_dag d in
+      let gates = Netlist.gate_ids nl in
+      let id = List.nth gates (pick mod List.length gates) in
+      let b = Netlist.copy nl in
+      ignore (Transform.insert_buffer b ~after:id);
+      (match Netlist.validate b with
+      | Ok () -> ()
+      | Error e -> Prop.failf "netlist invalid after insert_buffer: %s" e);
+      match Logic.equivalent nl b with
+      | Ok () -> ()
+      | Error e -> Prop.failf "insert_buffer changed the circuit function: %s" e)
+
+let () =
+  Prop.register ~name:"transform.cleanup_reaches_fixpoint"
+    (Gen.pair C.dag_spec (Gen.list_sized ~min_len:1 (Gen.int_range 0 1023)))
+    (fun (d, picks) ->
+      let nl = C.build_dag d in
+      let b = Netlist.copy nl in
+      List.iter
+        (fun pick ->
+          let gates = Netlist.gate_ids b in
+          ignore (Transform.insert_buffer b ~after:(List.nth gates (pick mod List.length gates))))
+        picks;
+      let rounds = ref 0 in
+      while Transform.cleanup_inverter_pairs b > 0 && !rounds < 20 do
+        incr rounds
+      done;
+      requiref (!rounds < 20) "cleanup_inverter_pairs did not reach a fixpoint in 20 rounds";
+      require (Transform.cleanup_inverter_pairs b = 0) "fixpoint not stable";
+      (match Netlist.validate b with
+      | Ok () -> ()
+      | Error e -> Prop.failf "netlist invalid after cleanup: %s" e);
+      match Logic.equivalent nl b with
+      | Ok () -> ()
+      | Error e -> Prop.failf "cleanup changed the circuit function: %s" e)
+
+(* ================================================================== *)
+(* bench-file I/O                                                      *)
+(* ================================================================== *)
+
+let () =
+  Prop.register ~name:"bench.roundtrip" C.dag_spec (fun d ->
+      let nl = C.build_dag d in
+      let text = Bench_io.to_string nl in
+      match Bench_io.parse (Netlist.tech nl) text with
+      | Error e -> Prop.failf "netlist failed to parse back: %s" e
+      | Ok (b, _) ->
+        (match Netlist.validate b with
+        | Ok () -> ()
+        | Error e -> Prop.failf "round-tripped netlist invalid: %s" e);
+        requiref (Netlist.gate_count b = Netlist.gate_count nl)
+          "gate count changed in round trip: %d -> %d" (Netlist.gate_count nl)
+          (Netlist.gate_count b);
+        requiref (Netlist.depth b = Netlist.depth nl)
+          "depth changed in round trip: %d -> %d" (Netlist.depth nl) (Netlist.depth b);
+        (match Logic.equivalent nl b with
+        | Ok () -> ()
+        | Error e -> Prop.failf "round trip changed the circuit function: %s" e);
+        (* sizing annotations survive to the printed precision (0.001 fF) *)
+        let cins t = List.sort compare (List.map (fun id -> (Netlist.node t id).Netlist.cin) (Netlist.gate_ids t)) in
+        List.iter2
+          (fun a b ->
+            if Float.abs (a -. b) > 2e-3 then
+              Prop.failf "gate size lost in round trip: %.6g vs %.6g" a b)
+          (cins nl) (cins b))
+
+let malformed_benches =
+  [|
+    "INPUT(a)\nz = FROB(a)\nOUTPUT(z)\n";
+    "INPUT(a)\nz = NOT(q)\nOUTPUT(z)\n";
+    "a = NOT(b)\nb = NOT(a)\nOUTPUT(a)\n";
+    "INPUT(a)\nz = NOT(a\nOUTPUT(z)\n";
+    "INPUT(a)\nz = \nOUTPUT(z)\n";
+    "INPUT(a)\nz = NOT(a)\nz = NOT(a)\nOUTPUT(z)\n";
+    "INPUT(a)\nz = NOT()\nOUTPUT(z)\n";
+  |]
+
+let () =
+  Prop.register ~name:"bench.rejects_malformed"
+    (Gen.pick ~print:(Printf.sprintf "%S") malformed_benches)
+    (fun text ->
+      match Bench_io.parse Tech.cmos025 text with
+      | Error _ -> ()
+      | Ok _ -> Prop.failf "malformed input parsed successfully: %S" text)
+
+(* ================================================================== *)
+(* generator and STA                                                   *)
+(* ================================================================== *)
+
+let () =
+  Prop.register ~name:"generator.spine_valid" C.spine_spec (fun sp ->
+      let nl, spine = C.build_spine Tech.cmos025 sp in
+      (match Netlist.validate nl with
+      | Ok () -> ()
+      | Error e -> Prop.failf "generated spine circuit invalid: %s" e);
+      requiref (List.length spine = sp.C.sp_path_gates)
+        "spine has %d gates, profile says %d" (List.length spine) sp.C.sp_path_gates;
+      requiref (Netlist.depth nl = sp.C.sp_path_gates)
+        "spine does not realise the depth: depth %d, spine %d" (Netlist.depth nl)
+        sp.C.sp_path_gates)
+
+let () =
+  Prop.register ~name:"sta.incremental_equals_fresh"
+    (Gen.pair C.dag_spec (Gen.list_sized ~min_len:1 C.edit))
+    (fun (d, edits) ->
+      let nl = C.build_dag d in
+      let lib = C.library (Netlist.tech nl) in
+      let t = Timing.analyze ~lib nl in
+      List.iter
+        (fun e ->
+          C.apply_edit nl e;
+          Timing.update t)
+        edits;
+      let fresh = Timing.analyze ~lib nl in
+      requiref (Timing.critical_delay t = Timing.critical_delay fresh)
+        "incremental critical delay %.17g <> fresh %.17g (bit equality required)"
+        (Timing.critical_delay t) (Timing.critical_delay fresh);
+      List.iter
+        (fun id ->
+          List.iter
+            (fun e ->
+              let a = Timing.arrival t id e and b = Timing.arrival fresh id e in
+              if not (a.Timing.time = b.Timing.time && a.Timing.slope = b.Timing.slope) then
+                Prop.failf "node %d %s: incremental (%.17g, %.17g) <> fresh (%.17g, %.17g)"
+                  id (match e with Edge.Rising -> "rise" | Edge.Falling -> "fall")
+                  a.Timing.time a.Timing.slope b.Timing.time b.Timing.slope)
+            [ Edge.Rising; Edge.Falling ])
+        (Netlist.inputs nl @ Netlist.gate_ids nl))
+
+let () =
+  Prop.register ~name:"sta.critical_path_consistent" C.dag_spec (fun d ->
+      let nl = C.build_dag d in
+      let lib = C.library (Netlist.tech nl) in
+      let t = Timing.analyze ~lib nl in
+      let path = Timing.critical_path t in
+      require (path <> []) "critical path is empty";
+      let rec check_chain = function
+        | a :: (b :: _ as rest) ->
+          let fi = (Netlist.node nl b).Netlist.fanins in
+          requiref (Array.exists (fun f -> f = a) fi)
+            "critical path broken: %d is not a fan-in of %d" a b;
+          check_chain rest
+        | _ -> ()
+      in
+      check_chain path;
+      let last = List.nth path (List.length path - 1) in
+      requiref (List.mem_assoc last (Netlist.outputs nl))
+        "critical path ends at %d, not a primary output" last;
+      let worst =
+        List.fold_left
+          (fun acc (id, _) ->
+            let _, a = Timing.node_worst t id in
+            Float.max acc a.Timing.time)
+          0. (Netlist.outputs nl)
+      in
+      requiref (worst = Timing.critical_delay t)
+        "critical delay %.17g is not the max over outputs %.17g" (Timing.critical_delay t)
+        worst)
+
+(* ================================================================== *)
+(* flow                                                                *)
+(* ================================================================== *)
+
+let () =
+  Prop.register ~max_size:4 ~name:"flow.never_worsens"
+    (Gen.pair C.spine_spec (Gen.float_range 0.5 1.2))
+    (fun (sp, factor) ->
+      let nl, _ = C.build_spine Tech.cmos025 sp in
+      let lib = C.library Tech.cmos025 in
+      let t0 = Timing.critical_delay (Timing.analyze ~lib nl) in
+      let tc = t0 *. factor in
+      let r = Flow.optimize ~max_rounds:3 ~lib ~tc nl in
+      requiref (r.Flow.final_delay <= (r.Flow.initial_delay *. (1. +. 1e-9)) +. 1e-6)
+        "flow worsened the critical delay: %.6g -> %.6g" r.Flow.initial_delay
+        r.Flow.final_delay;
+      (match r.Flow.equivalence with
+      | Ok () -> ()
+      | Error e -> Prop.failf "flow broke logic equivalence: %s" e);
+      match r.Flow.outcome with
+      | Flow.Met ->
+        requiref (r.Flow.final_delay <= tc +. 1e-6)
+          "outcome Met but final delay %.6g > tc %.6g" r.Flow.final_delay tc
+      | Flow.No_progress | Flow.Budget_exhausted -> ())
+
+(* ================================================================== *)
+(* rng and pool                                                        *)
+(* ================================================================== *)
+
+let () =
+  Prop.register ~name:"rng.replay_and_split" Gen.int64 (fun seed ->
+      let draws n rng = List.init n (fun _ -> Rng.int64 rng) in
+      require (draws 16 (Rng.create seed) = draws 16 (Rng.create seed))
+        "same seed did not replay the same stream";
+      let p1 = Rng.create seed and p2 = Rng.create seed in
+      let p1, c1 = Rng.split p1 and p2, c2 = Rng.split p2 in
+      require (draws 16 c1 = draws 16 c2) "split children do not replay";
+      let after_split = draws 16 p1 in
+      require (after_split = draws 16 p2) "split parents do not replay";
+      let plain = Rng.create seed in
+      ignore (Rng.int64 plain);
+      require (after_split = draws 16 plain)
+        "split changed the parent stream (must equal one plain draw)";
+      (* independence in the statistical sense: child stream must not
+         mirror the parent stream (collision chance ~2^-1024) *)
+      let p = Rng.create seed in
+      let _, c = Rng.split p in
+      require (draws 16 p <> draws 16 c) "child stream mirrors the parent stream")
+
+let () =
+  Prop.register ~name:"pool.parallel_map_ordered"
+    (Gen.list_sized ~min_len:1 (Gen.int_range (-1000) 1000))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let f i = (i * 31) + (i * i) in
+      let par = Pool.parallel_map f arr in
+      let seq = Array.map f arr in
+      require (par = seq) "parallel_map result differs from sequential map")
+
+(* ================================================================== *)
+(* SPICE differential oracle                                           *)
+(* ================================================================== *)
+
+(* tolerance bands per technology, recorded in the golden file: lines
+   "<tech-name> <lo> <hi>" bounding sim_delay / model_delay *)
+let golden_bands =
+  lazy
+    (let path =
+       if Sys.file_exists "spice_tolerances.golden" then "spice_tolerances.golden"
+       else if Sys.file_exists "test/spice_tolerances.golden" then
+         "test/spice_tolerances.golden"
+       else failwith "spice_tolerances.golden not found (run from repo root or test/)"
+     in
+     let tbl = Hashtbl.create 16 in
+     let ic = open_in path in
+     (try
+        while true do
+          let line = String.trim (input_line ic) in
+          if line <> "" && line.[0] <> '#' then
+            Scanf.sscanf line " %s %f %f" (fun n lo hi -> Hashtbl.replace tbl n (lo, hi))
+        done
+      with End_of_file -> ());
+     close_in ic;
+     tbl)
+
+let () =
+  Prop.register ~name:"spice.model_tracks_simulation" C.spice_chain (fun s ->
+      (* sanitizing keeps shrunk values inside the calibrated envelope *)
+      let s = C.sanitize_spice s in
+      let lo, hi =
+        match Hashtbl.find_opt (Lazy.force golden_bands) s.C.p_tech.Tech.name with
+        | Some band -> band
+        | None ->
+          Prop.failf "technology %s missing from spice_tolerances.golden"
+            s.C.p_tech.Tech.name
+      in
+      let p = path_of s in
+      let x = Path.clamp_sizing p (C.sizing s) in
+      let sim = Transient.simulate_path ~steps_per_stage:500 p x in
+      let model = Path.delay p x in
+      let ratio = sim.Transient.total_delay /. model in
+      requiref (ratio >= lo && ratio <= hi)
+        "sim/model ratio %.4f outside golden band [%.3f, %.3f] (sim %.6g ps, model %.6g ps)"
+        ratio lo hi sim.Transient.total_delay model)
+
+let () = Prop.main ()

@@ -1,0 +1,42 @@
+(* Regenerates test/spice_tolerances.golden: sweeps random oracle chains
+   (the same domain the spice.model_tracks_simulation property draws
+   from) per technology, records the observed sim/model delay ratio
+   range, and prints it widened by a safety margin.
+
+     dune exec test/spice_measure.exe -- [cases-per-tech] > test/spice_tolerances.golden
+*)
+
+open Pops_check
+module C = Circuit
+module Rng = Pops_util.Rng
+module Tech = Pops_process.Tech
+module Path = Pops_delay.Path
+module Transient = Pops_spice.Transient
+
+let () =
+  let cases = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200 in
+  Printf.printf "# sim/model total-delay ratio bands for the SPICE differential oracle\n";
+  Printf.printf "# (spice.model_tracks_simulation in test/pops_prop.ml)\n";
+  Printf.printf
+    "# regenerate: dune exec test/spice_measure.exe -- %d > test/spice_tolerances.golden\n"
+    cases;
+  Printf.printf "# <technology> <lo> <hi>\n";
+  Array.iter
+    (fun tech ->
+      let rng = Rng.of_string ("spice-measure-" ^ tech.Tech.name) in
+      let lo = ref infinity and hi = ref neg_infinity in
+      for i = 1 to cases do
+        let size = 1 + (i * 19 / cases) in
+        let s = C.sanitize_spice (C.spice_chain.Gen.gen rng size) in
+        let s = { s with C.p_tech = tech } in
+        let p = C.to_path s in
+        let x = Path.clamp_sizing p (C.sizing s) in
+        let sim = Transient.simulate_path ~steps_per_stage:500 p x in
+        let ratio = sim.Transient.total_delay /. Path.delay p x in
+        if ratio < !lo then lo := ratio;
+        if ratio > !hi then hi := ratio
+      done;
+      (* widen by 5% of the band centre on each side, floored at ±0.02 *)
+      let margin = Float.max 0.02 (0.05 *. ((!lo +. !hi) /. 2.)) in
+      Printf.printf "%s %.3f %.3f\n" tech.Tech.name (!lo -. margin) (!hi +. margin))
+    C.technologies

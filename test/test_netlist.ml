@@ -459,7 +459,15 @@ let test_bench_errors () =
   Alcotest.(check bool) "bad op" true
     (String.length (err "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n") > 0);
   Alcotest.(check bool) "undefined output" true
-    (String.length (err "INPUT(a)\nOUTPUT(nope)\n") > 0)
+    (String.length (err "INPUT(a)\nOUTPUT(nope)\n") > 0);
+  Alcotest.(check bool) "combinational cycle" true
+    (String.length (err "a = NOT(b)\nb = NOT(a)\nOUTPUT(a)\n") > 0);
+  Alcotest.(check bool) "unbalanced parenthesis" true
+    (String.length (err "INPUT(a)\ny = NOT(a\nOUTPUT(y)\n") > 0);
+  Alcotest.(check bool) "empty right-hand side" true
+    (String.length (err "INPUT(a)\ny = \nOUTPUT(y)\n") > 0);
+  Alcotest.(check bool) "zero-argument gate" true
+    (String.length (err "INPUT(a)\ny = NOT()\nOUTPUT(y)\n") > 0)
 
 let test_eval_packed_matches_scalar () =
   let t, _ =
@@ -500,6 +508,94 @@ let test_bench_out_of_order_definitions () =
   in
   Alcotest.(check int) "two gates" 2 (Netlist.gate_count t)
 
+(* --- logic cones --- *)
+
+(* a, b, c, d; g1 = NAND(a,b); g2 = NOR(c,d); g3 = NAND(g1,g2); i1 = NOT(g1) *)
+let cone_fixture () =
+  let t = Netlist.create tech in
+  let a = Netlist.add_input t in
+  let b = Netlist.add_input t in
+  let c = Netlist.add_input t in
+  let d = Netlist.add_input t in
+  let g1 = Netlist.add_gate t (Gk.Nand 2) [| a; b |] in
+  let g2 = Netlist.add_gate t (Gk.Nor 2) [| c; d |] in
+  let g3 = Netlist.add_gate t (Gk.Nand 2) [| g1; g2 |] in
+  let i1 = Netlist.add_gate t Gk.Inv [| g1 |] in
+  Netlist.set_output t g3 ~load:10.;
+  Netlist.set_output t i1 ~load:10.;
+  (t, (a, b, c, d), (g1, g2, g3, i1))
+
+let test_cone_support () =
+  let t, (a, b, c, d), (g1, _, g3, i1) = cone_fixture () in
+  Alcotest.(check (list int)) "support of g3" [ a; b; c; d ] (Logic.cone_support t g3);
+  Alcotest.(check (list int)) "support of i1" [ a; b ] (Logic.cone_support t i1);
+  Alcotest.(check (list int)) "support of g1" [ a; b ] (Logic.cone_support t g1);
+  Alcotest.(check (list int)) "support of an input" [ a ] (Logic.cone_support t a)
+
+let test_cone_function_table () =
+  let t, _, (g1, _, _, i1) = cone_fixture () in
+  (* NAND2 truth table over (a, b): 1 1 1 0 -> bits 0111 *)
+  let _, table = Logic.cone_function t g1 in
+  Alcotest.(check int) "one word" 1 (Array.length table);
+  Alcotest.(check bool) "nand2 table" true (table.(0) = 7L);
+  (* the inverter of g1 is AND: 0 0 0 1 *)
+  let _, table = Logic.cone_function t i1 in
+  Alcotest.(check bool) "and2 table" true (table.(0) = 8L)
+
+let test_cone_limit_enforced () =
+  (* a 17-input NAND chain exceeds cone_limit = 16 *)
+  let t = Netlist.create tech in
+  let first = Netlist.add_input t in
+  let g = ref first in
+  for _ = 1 to Logic.cone_limit do
+    let i = Netlist.add_input t in
+    g := Netlist.add_gate t (Gk.Nand 2) [| !g; i |]
+  done;
+  Netlist.set_output t !g ~load:10.;
+  Alcotest.(check int) "support size" (Logic.cone_limit + 1)
+    (List.length (Logic.cone_support t !g));
+  (match Logic.cone_function t !g with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cone_function accepted an oversized support");
+  match Logic.cone_equivalent t !g (Netlist.copy t) !g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cone_equivalent accepted an oversized union support"
+
+let test_cone_equivalent_cross_netlist () =
+  (* y = XOR(a,b) against its four-NAND decomposition, built separately *)
+  let t1 = Netlist.create tech in
+  let a = Netlist.add_input t1 in
+  let b = Netlist.add_input t1 in
+  let y1 = Netlist.add_gate t1 Gk.Xor2 [| a; b |] in
+  Netlist.set_output t1 y1 ~load:10.;
+  let t2 = Netlist.create tech in
+  let a' = Netlist.add_input t2 in
+  let b' = Netlist.add_input t2 in
+  let n1 = Netlist.add_gate t2 (Gk.Nand 2) [| a'; b' |] in
+  let n2 = Netlist.add_gate t2 (Gk.Nand 2) [| a'; n1 |] in
+  let n3 = Netlist.add_gate t2 (Gk.Nand 2) [| b'; n1 |] in
+  let y2 = Netlist.add_gate t2 (Gk.Nand 2) [| n2; n3 |] in
+  Netlist.set_output t2 y2 ~load:10.;
+  (match Logic.cone_equivalent t1 y1 t2 y2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "xor vs nand-xor: %s" m);
+  (* and the same decomposition with one gate wrong is caught *)
+  (match Logic.cone_equivalent t1 y1 t2 n1 with
+  | Error m ->
+    Alcotest.(check bool) "error names an assignment" true
+      (String.length m > 0)
+  | Ok () -> Alcotest.fail "xor declared equivalent to nand")
+
+let test_de_morgan_preserves_cone () =
+  let t, _, (_, g2, _, _) = cone_fixture () in
+  let b = Netlist.copy t in
+  match Transform.de_morgan b g2 with
+  | Error m -> Alcotest.failf "de_morgan on nor2: %s" m
+  | Ok inv_id -> (
+    match Logic.cone_equivalent t g2 b inv_id with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "de_morgan cone mismatch: %s" m)
+
 let prop_bench_roundtrip_fuzz =
   QCheck.Test.make ~name:"bench roundtrip on random circuits" ~count:8
     QCheck.(int_range 5 30)
@@ -534,6 +630,12 @@ let () =
           Alcotest.test_case "self equivalence" `Quick test_equivalent_self;
           Alcotest.test_case "detects difference" `Quick test_equivalent_detects_difference;
           Alcotest.test_case "signal probability" `Quick test_signal_probability;
+          Alcotest.test_case "cone support" `Quick test_cone_support;
+          Alcotest.test_case "cone function table" `Quick test_cone_function_table;
+          Alcotest.test_case "cone limit enforced" `Quick test_cone_limit_enforced;
+          Alcotest.test_case "cone equivalence across netlists" `Quick
+            test_cone_equivalent_cross_netlist;
+          Alcotest.test_case "de morgan preserves cone" `Quick test_de_morgan_preserves_cone;
         ] );
       ( "transform",
         [

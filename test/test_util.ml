@@ -124,6 +124,42 @@ let test_rng_split_independent () =
   let _, c2 = Rng.split p2 in
   Alcotest.(check int64) "split deterministic" (Rng.int64 c1) (Rng.int64 c2)
 
+let test_rng_split_tree_replay () =
+  (* a whole tree of splits replays from the root seed alone: the
+     property harness (Pops_check) relies on this to re-generate any
+     case from its recorded 64-bit seed *)
+  let drain rng n = List.init n (fun _ -> Rng.int64 rng) in
+  let tree seed =
+    let root = Rng.create seed in
+    let root, left = Rng.split root in
+    let root, right = Rng.split root in
+    let left, grandchild = Rng.split left in
+    [ drain root 8; drain left 8; drain right 8; drain grandchild 8 ]
+  in
+  Alcotest.(check bool) "split tree replays" true (tree 0xFEEDL = tree 0xFEEDL);
+  Alcotest.(check bool) "different seeds differ" true (tree 0xFEEDL <> tree 0xBEEFL)
+
+let test_rng_split_streams_uncorrelated () =
+  (* parent and child streams must not share draws at any aligned index
+     over a long window (each coincidence has probability 2^-64) *)
+  let parent = Rng.create 0xABCDEFL in
+  let _, child = Rng.split parent in
+  let collisions = ref 0 in
+  for _ = 1 to 1024 do
+    if Rng.int64 parent = Rng.int64 child then incr collisions
+  done;
+  Alcotest.(check int) "no aligned collisions" 0 !collisions;
+  (* and a child's child is independent of both *)
+  let p = Rng.create 0xABCDEFL in
+  let p, c = Rng.split p in
+  let _, gc = Rng.split c in
+  let collisions = ref 0 in
+  for _ = 1 to 1024 do
+    let a = Rng.int64 p and b = Rng.int64 c and g = Rng.int64 gc in
+    if a = b || b = g || a = g then incr collisions
+  done;
+  Alcotest.(check int) "three-way independent" 0 !collisions
+
 let test_weighted_pick () =
   let r = Rng.create 3L in
   let counts = Hashtbl.create 3 in
@@ -288,6 +324,9 @@ let () =
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "int range and coverage" `Quick test_rng_int_range;
           Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "split tree replay" `Quick test_rng_split_tree_replay;
+          Alcotest.test_case "split streams uncorrelated" `Quick
+            test_rng_split_streams_uncorrelated;
           Alcotest.test_case "weighted pick" `Quick test_weighted_pick;
           Alcotest.test_case "log range" `Quick test_log_range;
         ] );
