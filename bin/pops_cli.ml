@@ -33,11 +33,54 @@ module Protocol = Pops_core.Protocol
 module Power = Pops_core.Power
 module Profiles = Pops_circuits.Profiles
 module Table = Pops_util.Table
+module Diag = Pops_robust.Diag
+module Outcome = Pops_robust.Outcome
 
 open Cmdliner
 
 let tech = Tech.cmos025
 let lib = Library.make tech
+
+(* ------------------------------------------------------------------ *)
+(* exit codes and diagnostics                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* the documented contract (docs/robustness.md): 0 = success (possibly
+   degraded), 1 = constraint unmet, 2 = invalid input, 3 = internal
+   error.  Never a raw backtrace. *)
+let exit_unmet = 1
+let exit_invalid = 2
+let exit_internal = 3
+
+let exit_code_of_diag d =
+  match Diag.classify d.Diag.code with
+  | `Invalid_input -> exit_invalid
+  | `Constraint -> exit_unmet
+  | `Degradation -> 0
+  | `Internal -> exit_internal
+
+(* flush stdout first so diagnostics land after the output they follow
+   when both streams go to the same terminal or cram capture *)
+let report_diag d =
+  flush stdout;
+  prerr_endline ("pops: " ^ Diag.one_line d)
+
+let report_degradations diags =
+  List.iter
+    (fun d -> if d.Diag.severity <> Diag.Info then report_diag d)
+    diags
+
+(* every command body runs under this guard: a typed diagnostic maps to
+   its documented exit code, anything else is an internal error (3) *)
+let guard f =
+  match f () with
+  | code -> code
+  | exception Diag.Fatal d ->
+    report_diag d;
+    exit_code_of_diag d
+  | exception e ->
+    prerr_endline ("pops: internal error: " ^ Printexc.to_string e);
+    exit_internal
 
 (* ------------------------------------------------------------------ *)
 (* path acquisition                                                    *)
@@ -101,8 +144,8 @@ let with_path f circuit gates cout branch =
   match path_of_spec ~circuit ~gates ~cout ~branch with
   | Error e ->
     prerr_endline ("pops: " ^ e);
-    1
-  | Ok (path, label) -> f path label
+    exit_invalid
+  | Ok (path, label) -> guard (fun () -> f path label)
 
 let resolve_tc path tc_ps tc_ratio =
   match tc_ps with
@@ -137,7 +180,8 @@ let run_tmin check circuit gates cout branch =
           Bounds.verify_stationary ~beta:b.Bounds.beta_tmin path b.Bounds.sizing_tmin
         in
         Printf.printf "stationarity check: %s\n" (if ok then "PASS" else "FAIL");
-        if not ok then 2 else 0
+        (* a non-stationary "optimum" is the solver's bug, not the user's *)
+        if not ok then exit_internal else 0
       end
       else 0)
     circuit gates cout branch
@@ -211,7 +255,7 @@ let run_flimit driver =
   match Gk.of_name driver with
   | None ->
     prerr_endline ("pops: unknown driver gate " ^ driver);
-    1
+    exit_invalid
   | Some driver ->
     let t = Table.create
         ~title:(Printf.sprintf "buffer-insertion fan-out limits (driver: %s)" (Gk.name driver))
@@ -308,8 +352,9 @@ let run_circuit name k tc =
   match Profiles.find name with
   | None ->
     prerr_endline ("pops: unknown circuit " ^ name);
-    1
+    exit_invalid
   | Some p ->
+    guard @@ fun () ->
     let nl, spine = Profiles.circuit tech p in
     Format.printf "%a@." Netlist.pp_stats nl;
     let timing = Timing.analyze ~lib nl in
@@ -391,17 +436,13 @@ let simulate_cmd =
 (* flow                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_flow name tc_ps tc_ratio rounds =
-  match Profiles.find name with
-  | None ->
-    prerr_endline ("pops: unknown circuit " ^ name);
-    1
-  | Some p ->
-    let nl, _ = Profiles.circuit tech p in
-    let d0 = Timing.critical_delay (Timing.analyze ~lib nl) in
-    let tc = match tc_ps with Some tc -> tc | None -> tc_ratio *. d0 in
-    Printf.printf "%s: STA critical delay %.1f ps, target Tc = %.1f ps\n" name d0 tc;
-    let r = Pops_flow.Flow.optimize ~max_rounds:rounds ~lib ~tc nl in
+let finish_flow outcome =
+  match outcome with
+  | Outcome.Failed d ->
+    report_diag d;
+    exit_code_of_diag d
+  | Outcome.Exact r | Outcome.Degraded (r, _) ->
+    report_degradations (Outcome.diags outcome);
     Format.printf "%a@." Pops_flow.Flow.pp_report r;
     List.iter
       (fun it ->
@@ -410,7 +451,22 @@ let run_flow name tc_ps tc_ratio rounds =
           (Protocol.strategy_to_string it.Pops_flow.Flow.strategy)
           it.Pops_flow.Flow.path_gates)
       r.Pops_flow.Flow.iterations;
-    (match r.Pops_flow.Flow.outcome with Pops_flow.Flow.Met -> 0 | _ -> 1)
+    (match r.Pops_flow.Flow.outcome with
+    | Pops_flow.Flow.Met -> 0
+    | _ -> exit_unmet)
+
+let run_flow name tc_ps tc_ratio rounds =
+  match Profiles.find name with
+  | None ->
+    prerr_endline ("pops: unknown circuit " ^ name);
+    exit_invalid
+  | Some p ->
+    guard @@ fun () ->
+    let nl, _ = Profiles.circuit tech p in
+    let d0 = Timing.critical_delay (Timing.analyze ~lib nl) in
+    let tc = match tc_ps with Some tc -> tc | None -> tc_ratio *. d0 in
+    Printf.printf "%s: STA critical delay %.1f ps, target Tc = %.1f ps\n" name d0 tc;
+    finish_flow (Pops_flow.Flow.optimize_o ~max_rounds:rounds ~lib ~tc nl)
 
 let flow_cmd =
   let name_arg =
@@ -431,12 +487,26 @@ let flow_cmd =
 (* bench-file: work on ISCAS .bench netlists                           *)
 (* ------------------------------------------------------------------ *)
 
+let name_fn names =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (name, id) -> Hashtbl.replace tbl id name) names;
+  fun id ->
+    match Hashtbl.find_opt tbl id with
+    | Some n -> n
+    | None -> Printf.sprintf "n%d" id
+
 let run_bench_file file do_flow tc_ps tc_ratio out =
-  match Pops_netlist.Bench_io.parse_file tech file with
-  | Error msg ->
-    prerr_endline ("pops: " ^ msg);
-    1
-  | Ok (nl, names) ->
+  match Pops_netlist.Bench_io.parse_file_o tech file with
+  | Outcome.Failed d ->
+    report_diag d;
+    (* a malformed .bench is invalid input whatever the code says *)
+    max exit_invalid (exit_code_of_diag d)
+  | (Outcome.Exact (nl, names) | Outcome.Degraded ((nl, names), _)) as parsed ->
+    guard @@ fun () ->
+    (* line-accurate .bench diagnostics from the validation pass (e.g.
+       zero-fanout gates) go to stderr; they degrade quality, not
+       correctness, so the run continues with exit 0 *)
+    report_degradations (Outcome.diags parsed);
     Format.printf "%a@." Netlist.pp_stats nl;
     let d0 = Timing.critical_delay (Timing.analyze ~lib nl) in
     Printf.printf "STA critical delay: %.1f ps\n" d0;
@@ -444,9 +514,8 @@ let run_bench_file file do_flow tc_ps tc_ratio out =
       if do_flow then begin
         let tc = match tc_ps with Some tc -> tc | None -> tc_ratio *. d0 in
         Printf.printf "optimizing to Tc = %.1f ps ...\n" tc;
-        let r = Pops_flow.Flow.optimize ~lib ~tc nl in
-        Format.printf "%a@." Pops_flow.Flow.pp_report r;
-        match r.Pops_flow.Flow.outcome with Pops_flow.Flow.Met -> 0 | _ -> 1
+        finish_flow
+          (Pops_flow.Flow.optimize_o ~name:(name_fn names) ~lib ~tc nl)
       end
       else 0
     in

@@ -1,0 +1,25 @@
+include Pops_robust.Fault
+
+module Rng = Pops_util.Rng
+
+(* Keep the operator's point selection when POPS_FAULT is armed (so
+   `POPS_FAULT=all dune runtest` sweeps every point), but re-seed per
+   case: a later seed= entry overrides an earlier one in the spec
+   grammar, so appending is enough. *)
+let case_spec rng =
+  let seed = Rng.int64 rng in
+  match ambient with
+  | Some text when ambient_error = None -> Printf.sprintf "%s,seed=%Ld" text seed
+  | _ ->
+    let point = Rng.pick rng (Array.of_list points) in
+    Printf.sprintf "%s,seed=%Ld" point seed
+
+let solver_spec rng =
+  let seed = Rng.int64 rng in
+  let point =
+    Rng.pick rng
+      [| "solver.diverge.accel"; "solver.diverge.plain"; "solver.diverge.damped";
+         "solver.nan.accel"; "solver.nan.plain"; "solver.nan.damped";
+         "solver.diverge"; "solver.nan" |]
+  in
+  Printf.sprintf "%s,seed=%Ld" point seed

@@ -1,0 +1,19 @@
+(** Test-harness face of {!Pops_robust.Fault}.
+
+    Re-exports the injection registry and adds the deterministic
+    per-case spec builders the property suite arms with
+    {!Pops_robust.Fault.with_spec}.  When the [POPS_FAULT] environment
+    variable is set (the CI fault leg runs [POPS_FAULT=all]), the
+    builders keep the operator's point selection and only re-seed per
+    case; otherwise they draw a single point from the registry. *)
+
+include module type of Pops_robust.Fault
+
+val case_spec : Pops_util.Rng.t -> string
+(** A spec arming one registered point (or the ambient [POPS_FAULT]
+    selection, if armed) with a seed drawn from [rng]. *)
+
+val solver_spec : Pops_util.Rng.t -> string
+(** Like {!case_spec} but restricted to the [solver.*] points — single
+    rungs and whole-family prefixes — so a property can force ladder
+    descents without touching pool or parser behaviour. *)

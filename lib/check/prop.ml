@@ -232,8 +232,17 @@ let contains hay needle =
 let failure_file () =
   Option.value (Sys.getenv_opt "POPS_PROP_FAILURE_FILE") ~default:"pops_prop_failures.txt"
 
+(* the POPS_FAULT value the process started with; part of the failure's
+   identity — a fault-leg counterexample only replays under the same
+   spec, so every repro line and artifact records it *)
+let fault_spec = Pops_robust.Fault.ambient
+
 let repro_command ~seed ~cases name =
-  Printf.sprintf "POPS_PROP_SEED=0x%Lx dune exec test/pops_prop.exe -- --only '%s'%s" seed name
+  Printf.sprintf "%sPOPS_PROP_SEED=0x%Lx dune exec test/pops_prop.exe -- --only '%s'%s"
+    (match fault_spec with
+    | Some spec -> Printf.sprintf "POPS_FAULT='%s' " spec
+    | None -> "")
+    seed name
     (match cases with None -> "" | Some n -> Printf.sprintf " --cases %d" n)
 
 let report_failure oc ~seed ~cases_override r f =
@@ -245,6 +254,13 @@ let report_failure oc ~seed ~cases_override r f =
 
 let main () =
   let cfg = parse_argv Sys.argv in
+  (* the ambient spec must not leak into properties that assert exact
+     behaviour; fault properties re-arm it per case through
+     [Fault.with_spec]/[Fault.case_spec] *)
+  Pops_robust.Fault.clear ();
+  (match Pops_robust.Fault.ambient_error with
+  | Some e -> prerr_endline ("pops_prop: ignoring malformed spec: " ^ e)
+  | None -> ());
   let props = List.rev !registry in
   let props =
     match cfg.only with
@@ -259,9 +275,12 @@ let main () =
     prerr_endline "pops_prop: no properties match the --only filters";
     exit 1
   end;
-  Printf.printf "pops_prop: %d properties, seed 0x%Lx%s\n%!" (List.length props) cfg.seed
+  Printf.printf "pops_prop: %d properties, seed 0x%Lx%s%s\n%!" (List.length props) cfg.seed
     (match cfg.cases_override with
     | Some n -> Printf.sprintf ", %d cases each" n
+    | None -> "")
+    (match fault_spec with
+    | Some spec -> Printf.sprintf ", POPS_FAULT=%s" spec
     | None -> "");
   let t0 = Unix.gettimeofday () in
   let failures = ref [] in
@@ -283,7 +302,10 @@ let main () =
   | fs ->
     (* persist for the CI artifact *)
     let oc = open_out (failure_file ()) in
-    Printf.fprintf oc "pops_prop failures (global seed 0x%Lx)\n\n" cfg.seed;
+    Printf.fprintf oc "pops_prop failures (global seed 0x%Lx%s)\n\n" cfg.seed
+      (match fault_spec with
+      | Some spec -> Printf.sprintf ", POPS_FAULT=%s" spec
+      | None -> ", no fault injection");
     List.iter (fun (r, f) -> report_failure oc ~seed:cfg.seed ~cases_override:cfg.cases_override r f) fs;
     close_out oc);
   Printf.printf "%d properties, %d cases, %d failure%s in %.1f s\n" (List.length props)

@@ -15,7 +15,10 @@
     and prints the minimal counterexample together with a command line
     that replays it.  Failures are also appended to
     [pops_prop_failures.txt] (override with [POPS_PROP_FAILURE_FILE]) so
-    CI can upload them as an artifact.
+    CI can upload them as an artifact.  A [POPS_FAULT] spec present at
+    startup is part of a failure's identity: {!main} disarms it (fault
+    properties re-arm per case via {!Fault.case_spec}) but records it in
+    the banner, the artifact header and every repro command line.
 
     Command line of {!main}:
     [--cases N] run every property with N cases (deep-fuzz profile);

@@ -1,4 +1,6 @@
 module Path = Pops_delay.Path
+module Diag = Pops_robust.Diag
+module Watch = Pops_robust.Watch
 
 type t = {
   tmin : float;
@@ -17,29 +19,47 @@ type t = {
    duplicate compute is deterministic, so last-write-wins is fine) and
    the table is reset at a small bound instead of evicting — path uids
    are never reused, so stale entries are only a space concern. *)
-let cache : (int, t) Hashtbl.t = Hashtbl.create 64
+(* Entries carry the diagnostics their solves reported so that a miss
+   can both cache and re-emit them; a hit deliberately does NOT re-emit
+   (the characterisation was not re-run, and replaying the same warning
+   on every feasibility probe would drown real signal — the tradeoff is
+   documented on [compute_o]). *)
+let cache : (int, t * Diag.t list) Hashtbl.t = Hashtbl.create 64
 let cache_lock = Mutex.create ()
 let max_cached = 256
 
 let compute_uncached path =
-  let x_min = Path.min_sizing path in
-  let tmax = Path.delay_worst path x_min in
-  let tmin, sizing_tmin, beta_tmin = Sensitivity.minimum_delay path in
-  { tmin; tmax; sizing_tmin; beta_tmin }
+  Watch.collect (fun () ->
+      let x_min = Path.min_sizing path in
+      let tmax = Path.delay_worst path x_min in
+      let tmin, sizing_tmin, beta_tmin = Sensitivity.minimum_delay path in
+      { tmin; tmax; sizing_tmin; beta_tmin })
 
-let compute path =
+let compute_diags path =
   let key = Path.uid path in
-  let hit =
-    Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
-  in
+  let hit = Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) in
   match hit with
-  | Some b -> b
+  | Some (b, diags) -> (b, diags)
   | None ->
-    let b = compute_uncached path in
+    let b, diags = compute_uncached path in
+    (* re-emit to the ambient collector: Watch.collect above swallowed
+       them into the cache entry *)
+    Watch.emit_all diags;
     Mutex.protect cache_lock (fun () ->
         if Hashtbl.length cache >= max_cached then Hashtbl.reset cache;
-        Hashtbl.replace cache key b);
-    b
+        Hashtbl.replace cache key (b, diags));
+    (b, diags)
+
+let compute path = fst (compute_diags path)
+
+let compute_o path =
+  match compute_diags path with
+  | b, diags -> Pops_robust.Outcome.make b diags
+  | exception Diag.Fatal d -> Pops_robust.Outcome.Failed d
+  | exception e ->
+    Pops_robust.Outcome.Failed
+      (Diag.makef Diag.Internal "Bounds.compute raised: %s"
+         (Printexc.to_string e))
 
 let tmin path = (compute path).tmin
 
@@ -49,7 +69,7 @@ let tmax path =
     Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
   in
   match hit with
-  | Some b -> b.tmax
+  | Some (b, _) -> b.tmax
   | None -> Path.delay_worst path (Path.min_sizing path)
 
 type trace_point = { sum_cin_ratio : float; delay : float }

@@ -28,6 +28,16 @@ val compute : Pops_delay.Path.t -> t
     Thread-safe (the table is mutex-guarded; the solve itself runs
     outside the lock). *)
 
+val compute_o : Pops_delay.Path.t -> t Pops_robust.Outcome.t
+(** {!compute} with the characterisation's diagnostics attached:
+    [Degraded] when any of the Tmin solves fell down the ladder (the
+    bounds then come from a fallback sizing and [tmin] may be
+    pessimistic), [Failed] instead of raising.  Diagnostics are cached
+    with the entry but {e re-emitted to the ambient
+    {!Pops_robust.Watch} collector only on a miss} — a cache hit did
+    not re-run the solves, and replaying the same warning on every
+    feasibility probe of a hot path would drown real signal. *)
+
 val tmin : Pops_delay.Path.t -> float
 (** [(compute path).tmin] — shares the cache. *)
 

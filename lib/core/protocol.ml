@@ -1,4 +1,6 @@
 module Path = Pops_delay.Path
+module Diag = Pops_robust.Diag
+module Watch = Pops_robust.Watch
 
 type strategy =
   | Sizing_only
@@ -154,12 +156,50 @@ let run ?(allow_restructure = true) ~lib ~tc path =
     | Domains.Medium | Domains.Hard -> [ sizing; buffers; maybe_restructure ]
     | Domains.Infeasible -> [ buffers; maybe_restructure ]
   in
+  (* contained fan-out: a crashing candidate generator degrades to a
+     diagnostic and drops out of the comparison instead of killing the
+     run — the sizing alternative (or the fastest-structure fallback)
+     still comes back.  Slot diagnostics re-emit in submission order, so
+     the report is deterministic at any domain count. *)
+  let slots =
+    Pops_util.Pool.map_list_contained (fun gen -> gen ()) generators
+  in
   let candidates =
-    List.filter_map Fun.id (Pops_util.Pool.map_list (fun gen -> gen ()) generators)
+    List.concat_map
+      (fun (result, diags) ->
+        Watch.emit_all diags;
+        match result with
+        | Ok c -> Option.to_list c
+        | Error d ->
+          Watch.emit d;
+          [])
+      slots
   in
   match pick_best ~tc candidates with
   | Some best -> finalize ~tc ~bounds ~domain best
   | None -> finalize ~tc ~bounds ~domain (fastest_candidate ~lib path)
+
+let run_o ?allow_restructure ~lib ~tc path =
+  match
+    Watch.collect (fun () -> run ?allow_restructure ~lib ~tc path)
+  with
+  | r, diags ->
+    let diags =
+      if r.met then diags
+      else
+        diags
+        @ [
+            Diag.makef Diag.Constraint_infeasible
+              "constraint %.3f ps not met: achieved %.3f ps (tmin %.3f ps)"
+              tc r.delay r.tmin;
+          ]
+    in
+    Pops_robust.Outcome.make r diags
+  | exception Diag.Fatal d -> Pops_robust.Outcome.Failed d
+  | exception e ->
+    Pops_robust.Outcome.Failed
+      (Diag.makef Diag.Internal "Protocol.run raised: %s"
+         (Printexc.to_string e))
 
 let strategy_to_string = function
   | Sizing_only -> "sizing"

@@ -44,7 +44,27 @@ val run :
   Pops_delay.Path.t ->
   report
 (** Run the protocol.  [allow_restructure] (default true) enables the
-    Section 4.2 alternative in the hard/infeasible domains. *)
+    Section 4.2 alternative in the hard/infeasible domains.
+
+    The candidate alternatives are evaluated with
+    {!Pops_util.Pool.map_list_contained}: one crashing generator
+    degrades to a {!Pops_robust.Diag.Pool_task_failed} diagnostic and
+    drops out of the min-area comparison instead of aborting the run.
+    Diagnostics flow to the ambient {!Pops_robust.Watch} collector in
+    deterministic submission order. *)
+
+val run_o :
+  ?allow_restructure:bool ->
+  lib:Pops_cell.Library.t ->
+  tc:float ->
+  Pops_delay.Path.t ->
+  report Pops_robust.Outcome.t
+(** {!run} with its diagnostics collected into an
+    {!Pops_robust.Outcome}: [Exact] on a clean met constraint,
+    [Degraded] when any solver/candidate degradation was reported or the
+    constraint was not met (a {!Pops_robust.Diag.Constraint_infeasible}
+    diagnostic is appended in that case — the report still carries the
+    best-effort fastest structure), [Failed] instead of raising. *)
 
 val strategy_to_string : strategy -> string
 val pp_report : Format.formatter -> report -> unit

@@ -1,6 +1,10 @@
 module Path = Pops_delay.Path
 module Model = Pops_delay.Model
 module N = Pops_util.Numerics
+module Diag = Pops_robust.Diag
+module Watch = Pops_robust.Watch
+module Fault = Pops_robust.Fault
+module Budget = Pops_robust.Budget
 
 type solve_stats = { iterations : int; residual : float }
 
@@ -154,6 +158,16 @@ let dist_n n a b =
   done;
   !d
 
+(* [dist_n] deliberately ignores NaN components (the [>] comparison is
+   false), so a poisoned iterate can "converge" with a zero distance —
+   the watchdog therefore scans the final iterate explicitly. *)
+let nonfinite_index x =
+  let n = Array.length x in
+  let rec go i =
+    if i >= n then -1 else if Float.is_finite x.(i) then go (i + 1) else i
+  in
+  go 0
+
 (* --- the accelerated fixed point ----------------------------------- *)
 
 (* Plain mode ([accel = false]) replicates Numerics.fixed_point over the
@@ -171,8 +185,8 @@ let dist_n n a b =
    trajectory, just with extra (counted) probe sweeps.  Either way the
    result satisfies the same residual-< tol contract; acceleration can
    only change how many sweeps it takes to get there. *)
-let solve_weighted ~accel ~w_own ~w_flip ~a ~skip ~tol ~max_iter ~with_residual
-    path x0 =
+let solve_weighted ?budget ?(damping = 1.) ~accel ~w_own ~w_flip ~a ~skip ~tol
+    ~max_iter ~with_residual path x0 =
   let n = Path.length path in
   with_scratch n @@ fun sc ->
   let cur = sc.cur and prev = sc.prev in
@@ -180,12 +194,36 @@ let solve_weighted ~accel ~w_own ~w_flip ~a ~skip ~tol ~max_iter ~with_residual
   let iter = ref 0 in
   let converged = ref false in
   let hist = ref 0 in
-  while (not !converged) && !iter < max_iter do
+  let in_budget () =
+    match budget with None -> true | Some b -> not (Budget.exhausted b)
+  in
+  let spend k = match budget with None -> () | Some b -> Budget.spend b k in
+  (* divergence watchdog: a contracting fixed point shrinks the step; a
+     step that keeps growing past any plausible sizing scale is runaway.
+     The thresholds are astronomical on purpose — healthy solves (even
+     slow ones) never trip them, so the watchdog cannot perturb the
+     bit-identical healthy trajectory. *)
+  let d_prev = ref Float.infinity in
+  let grow = ref 0 in
+  let diverged = ref false in
+  while (not !converged) && (not !diverged) && !iter < max_iter && in_budget ()
+  do
     Array.blit cur 0 prev 0 n;
     Path.clamp_into path cur cur;
     sweep_kernel path ~w_own ~w_flip ~a ~skip cur;
     incr iter;
+    spend 1;
+    (* under-relaxation (the ladder's damped rung): blend the sweep with
+       the previous iterate.  [damping = 1.] must stay bit-identical to
+       the plain sweep, hence the guard. *)
+    if damping <> 1. then
+      for i = 0 to n - 1 do
+        cur.(i) <- prev.(i) +. (damping *. (cur.(i) -. prev.(i)))
+      done;
     let d = dist_n n prev cur in
+    if d >= !d_prev then incr grow else grow := 0;
+    d_prev := d;
+    if (!grow >= 8 && d > 1e6) || d > 1e12 then diverged := true;
     if d < tol then converged := true
     else if accel then begin
       let t = sc.h0 in
@@ -228,25 +266,171 @@ let solve_weighted ~accel ~w_own ~w_flip ~a ~skip ~tol ~max_iter ~with_residual
       dist_n n cur sc.cand
     end
   in
-  (Array.sub cur 0 n, !iter, residual)
+  let x = Array.sub cur 0 n in
+  let status =
+    match nonfinite_index x with
+    | i when i >= 0 -> `Nonfinite i
+    | _ ->
+      if !diverged then `Diverged
+      else if !converged then `Converged
+      else `Stalled
+  in
+  (x, !iter, residual, status)
+
+(* --- the fallback ladder ------------------------------------------- *)
+
+type rung = Accelerated | Plain | Damped | Tmax_safe
+
+let rung_name = function
+  | Accelerated -> "accelerated"
+  | Plain -> "plain"
+  | Damped -> "damped"
+  | Tmax_safe -> "tmax-safe"
+
+(* injection-point suffix; Tmax_safe has no solve to fault *)
+let rung_tag = function
+  | Accelerated -> "accel"
+  | Plain -> "plain"
+  | Damped -> "damped"
+  | Tmax_safe -> "tmax-safe"
+
+type ladder_result = {
+  lx : float array;
+  lstats : solve_stats;
+  lrung : rung;
+  ldiags : Diag.t list;
+}
+
+(* The Tmax-safe bottom of the ladder: every free interior stage at its
+   minimum drive.  Always valid (it is the sizing defining the Tmax
+   bound), needs no solver, and preserves the drive slot and any frozen
+   stages from [x0]. *)
+let tmax_safe_sizing ~skip path x0 =
+  let n = Path.length path in
+  let y = Array.copy x0 in
+  let mins = Path.min_sizing path in
+  for j = 1 to n - 1 do
+    if not (skip j) then y.(j) <- mins.(j)
+  done;
+  Path.clamp_into path y y;
+  (* a poisoned frozen slot would survive the copy; scrub it *)
+  for j = 0 to n - 1 do
+    if not (Float.is_finite y.(j)) then y.(j) <- mins.(j)
+  done;
+  y
+
+(* Walk the documented fallback ladder: Aitken-accelerated -> plain
+   Gauss-Seidel -> damped (under-relaxed, 0.5) sweep -> Tmax-safe
+   minimum-drive sizing.  A rung fails on a non-finite iterate or a
+   diverging residual (or a forced [solver.*] fault); a rung that merely
+   runs out of sweeps keeps the historical contract — report and return
+   the last iterate — so fault-free solves stay bit-identical to the
+   pre-ladder code.  Every event is recorded in the returned diagnostics
+   and emitted to the ambient {!Watch} collector. *)
+let solve_weighted_ladder ?budget ~accel ~w_own ~w_flip ~a ~skip ~tol ~max_iter
+    ~with_residual path x0 =
+  let diags = ref [] in
+  let note d =
+    diags := d :: !diags;
+    Watch.emit d
+  in
+  let attempt rung =
+    let tag = rung_tag rung in
+    if Fault.fire ("solver.diverge." ^ tag) then begin
+      note
+        (Diag.makef Diag.Solver_divergence
+           ~subject:("solver.diverge." ^ tag)
+           "forced divergence on the %s rung (fault injection)"
+           (rung_name rung));
+      None
+    end
+    else begin
+      let x0 =
+        if Fault.fire ("solver.nan." ^ tag) then begin
+          note
+            (Diag.makef Diag.Fault_injected ~severity:Diag.Info
+               ~subject:("solver.nan." ^ tag)
+               "initial iterate poisoned with NaN (fault injection)");
+          let p = Array.copy x0 in
+          p.(Array.length p - 1) <- Float.nan;
+          p
+        end
+        else x0
+      in
+      let x, iterations, residual, status =
+        solve_weighted ?budget
+          ~damping:(if rung = Damped then 0.5 else 1.)
+          ~accel:(rung = Accelerated) ~w_own ~w_flip ~a ~skip ~tol ~max_iter
+          ~with_residual path x0
+      in
+      let stats = { iterations; residual } in
+      match status with
+      | `Converged -> Some (x, stats)
+      | `Stalled -> (
+        match budget with
+        | Some b when Budget.exhausted b ->
+          note (Budget.diag b);
+          Some (x, stats)
+        | _ ->
+          note
+            (Diag.makef Diag.Solver_stalled ~subject:(rung_name rung)
+               "fixed point not converged after %d sweeps (last step %g fF)"
+               iterations residual);
+          Some (x, stats))
+      | `Nonfinite i ->
+        note
+          (Diag.makef Diag.Solver_nonfinite ~subject:(rung_name rung)
+             "non-finite sizing at stage %d after %d sweeps" i iterations);
+        None
+      | `Diverged ->
+        note
+          (Diag.makef Diag.Solver_divergence ~subject:(rung_name rung)
+             "residual diverging after %d sweeps" iterations);
+        None
+    end
+  in
+  let rungs = if accel then [ Accelerated; Plain; Damped ] else [ Plain; Damped ] in
+  let rec descend fell = function
+    | [] ->
+      note
+        (Diag.make Diag.Solver_fallback ~subject:(rung_name Tmax_safe)
+           "all solver rungs failed; using the Tmax-safe minimum-drive sizing");
+      {
+        lx = tmax_safe_sizing ~skip path x0;
+        lstats = { iterations = 0; residual = Float.nan };
+        lrung = Tmax_safe;
+        ldiags = List.rev !diags;
+      }
+    | rung :: rest -> (
+      match attempt rung with
+      | Some (x, stats) ->
+        if fell then
+          note
+            (Diag.makef Diag.Solver_fallback ~subject:(rung_name rung)
+               "solver degraded to the %s rung" (rung_name rung));
+        { lx = x; lstats = stats; lrung = rung; ldiags = List.rev !diags }
+      | None -> descend true rest)
+  in
+  descend false rungs
 
 let check_a a = if a > 0. then invalid_arg "Sensitivity: a must be <= 0."
 
-let solve ?(accel = true) ?(a = 0.) ?(frozen = []) ?x0 ?(tol = 1e-6)
+let solve ?budget ?(accel = true) ?(a = 0.) ?(frozen = []) ?x0 ?(tol = 1e-6)
     ?(max_iter = 300) path =
   check_a a;
   let x0 = Option.value x0 ~default:(Path.min_sizing path) in
   let skip = match frozen with [] -> no_skip | l -> fun j -> List.mem j l in
-  let x, iterations, residual =
-    solve_weighted ~accel ~w_own:1. ~w_flip:0. ~a ~skip ~tol ~max_iter
-      ~with_residual:true path x0
+  let r =
+    solve_weighted_ladder ?budget ~accel ~w_own:1. ~w_flip:0. ~a ~skip ~tol
+      ~max_iter ~with_residual:true path x0
   in
-  (x, { iterations; residual })
+  (r.lx, r.lstats)
 
 (* Weighted two-polarity solve: [beta] is the weight of the path's own
    polarity (1 = pure own-polarity link equations, 0 = pure flipped,
    0.5 = balanced). *)
-let solve_beta ?(accel = true) ?(a = 0.) ?(frozen = []) ?x0 ~beta path =
+let solve_beta_ladder ?budget ?(accel = true) ?(a = 0.) ?(frozen = []) ?x0
+    ~beta path =
   check_a a;
   let x0 = Option.value x0 ~default:(Path.min_sizing path) in
   let skip = match frozen with [] -> no_skip | l -> fun j -> List.mem j l in
@@ -255,16 +439,36 @@ let solve_beta ?(accel = true) ?(a = 0.) ?(frozen = []) ?x0 ~beta path =
     else if beta <= 0.001 then (0., 1.)
     else (beta, 1. -. beta)
   in
-  let x, _, _ =
-    (* 1e-4 fF is ~0.004% of the minimum drive: far below anything the
-       delay model can resolve, at roughly half the sweeps of 1e-6 *)
-    solve_weighted ~accel ~w_own ~w_flip ~a ~skip ~tol:1e-4 ~max_iter:300
-      ~with_residual:false path x0
-  in
-  x
+  (* 1e-4 fF is ~0.004% of the minimum drive: far below anything the
+     delay model can resolve, at roughly half the sweeps of 1e-6 *)
+  solve_weighted_ladder ?budget ~accel ~w_own ~w_flip ~a ~skip ~tol:1e-4
+    ~max_iter:300 ~with_residual:false path x0
+
+let solve_beta ?accel ?a ?frozen ?x0 ~beta path =
+  (solve_beta_ladder ?accel ?a ?frozen ?x0 ~beta path).lx
 
 let solve_worst ?accel ?a ?frozen ?x0 path =
   solve_beta ?accel ?a ?frozen ?x0 ~beta:0.5 path
+
+(* --- robust entry points ------------------------------------------- *)
+
+type robust_report = {
+  sizing : float array;
+  stats : solve_stats;
+  fallback : rung;
+  diags : Diag.t list;
+}
+
+let solve_robust ?budget ?accel ?a ?frozen ?x0 ?(beta = 0.5) path =
+  let r = solve_beta_ladder ?budget ?accel ?a ?frozen ?x0 ~beta path in
+  { sizing = r.lx; stats = r.lstats; fallback = r.lrung; diags = r.ldiags }
+
+let solve_o ?budget ?accel ?a ?frozen ?x0 ?beta path =
+  match solve_robust ?budget ?accel ?a ?frozen ?x0 ?beta path with
+  | r -> Pops_robust.Outcome.make r.sizing r.diags
+  | exception Diag.Fatal d -> Pops_robust.Outcome.Failed d
+  | exception Invalid_argument msg ->
+    Pops_robust.Outcome.Failed (Diag.make Diag.Invalid_input msg)
 
 (* The minimum achievable worst-polarity delay: the minimax optimum may
    sit on either pure polarity or strictly between, so scan a small
@@ -357,7 +561,22 @@ let bisect_for_beta ?accel ~beta path ~tc =
         iter >= 60
         || a_hi -. a_lo < 1e-9 *. Float.max 1. (Float.abs a_lo)
         || best.delay >= tc *. 0.999
-      then best
+      then begin
+        (* a bracket that shrank to nothing while the best delay is still
+           well under target means delay(a) jumped across [tc] (a clamp
+           kicked in, or the fixed point changed basin): the result is
+           valid but conservative, so surface it *)
+        if
+          a_hi -. a_lo < 1e-9 *. Float.max 1. (Float.abs a_lo)
+          && best.delay < tc *. 0.99
+        then
+          Watch.emit
+            (Diag.makef Diag.Bracket_collapse ~subject:"bisect_for_beta"
+               "sensitivity bracket collapsed at a = %g with delay %.3f ps \
+                well under the %.3f ps target"
+               a_lo best.delay tc);
+        best
+      end
       else begin
         let w = a_hi -. a_lo in
         let a_mid =
@@ -384,6 +603,15 @@ let bisect_for_beta ?accel ~beta path ~tc =
     in
     Some (refine a_lo d_lo 0. d0 x_lo (result_of path 0. x0) 0 false)
   end
+
+let bisect_for_beta_o ?accel ~beta path ~tc =
+  match Watch.collect (fun () -> bisect_for_beta ?accel ~beta path ~tc) with
+  | v, diags -> Pops_robust.Outcome.make v diags
+  | exception Diag.Fatal d -> Pops_robust.Outcome.Failed d
+  | exception e ->
+    Pops_robust.Outcome.Failed
+      (Diag.makef Diag.Internal "bisect_for_beta raised: %s"
+         (Printexc.to_string e))
 
 (* The constraint is on the worst polarity, so the minimum-area sizing
    satisfies the KKT conditions of "min area s.t. rise <= tc, fall <=

@@ -38,13 +38,25 @@ type solve_stats = {
     only change how many sweeps convergence takes, not the contract the
     result satisfies. *)
 
-val solve : ?accel:bool -> ?a:float -> ?frozen:int list -> ?x0:float array ->
-  ?tol:float -> ?max_iter:int -> Pops_delay.Path.t -> float array * solve_stats
+val solve : ?budget:Pops_robust.Budget.t -> ?accel:bool -> ?a:float ->
+  ?frozen:int list -> ?x0:float array -> ?tol:float -> ?max_iter:int ->
+  Pops_delay.Path.t -> float array * solve_stats
 (** [solve ~a path] returns the sizing satisfying eq. (5) with sensitivity
     [a] (default [0.], i.e. minimum delay), entries clamped to the
     available drive range.  Stages listed in [frozen] keep their [x0]
     size (default: the minimum drive) — used by local buffer insertion,
     where only the buffer may be sized.
+
+    Every solver entry point runs under the fallback ladder (see
+    {!rung}): a rung whose iterate goes non-finite or whose residual
+    diverges is abandoned and the next rung retried, ending — in the
+    worst case — at the Tmax-safe minimum-drive sizing, so a valid
+    sizing always comes back.  Degradations are reported through
+    {!Pops_robust.Watch} and, for {!solve_robust}/{!solve_o}, returned
+    alongside the result.  A fault-free converging solve is
+    bit-identical to the pre-ladder solver.  [budget] caps the sweeps /
+    wall clock spent; an exhausted budget keeps the last iterate and
+    reports {!Pops_robust.Diag.Budget_exceeded}.
     @raise Invalid_argument if [a > 0.]. *)
 
 val solve_worst : ?accel:bool -> ?a:float -> ?frozen:int list ->
@@ -64,6 +76,48 @@ val solve_beta : ?accel:bool -> ?a:float -> ?frozen:int list ->
     link equations, [0] = pure flipped, [0.5] = balanced).  Constraint
     sizing sweeps a small [beta] grid because the KKT-optimal weighting
     depends on which polarity constraint binds. *)
+
+(** {2 Watchdogs and graceful degradation} *)
+
+(** The fallback ladder, top to bottom.  Each solve starts at the
+    highest rung its [accel] flag allows and descends one rung per
+    watchdog trip ([Solver_nonfinite] iterate, [Solver_divergence]
+    residual growth, or an armed [solver.*] fault); [Tmax_safe] — the
+    minimum-drive sizing whose delay {e defines} the path's Tmax bound —
+    needs no solver and cannot fail. *)
+type rung =
+  | Accelerated  (** Aitken-accelerated Gauss–Seidel (the default) *)
+  | Plain  (** unaccelerated Gauss–Seidel *)
+  | Damped  (** under-relaxed sweep, blend factor 0.5 *)
+  | Tmax_safe  (** minimum-drive sizing, no iteration *)
+
+val rung_name : rung -> string
+(** Kebab-case rung name as it appears in diagnostics
+    ([accelerated] / [plain] / [damped] / [tmax-safe]). *)
+
+type robust_report = {
+  sizing : float array;  (** always valid: clamped, finite *)
+  stats : solve_stats;  (** of the rung that produced [sizing] *)
+  fallback : rung;  (** the rung that produced [sizing] *)
+  diags : Pops_robust.Diag.t list;
+      (** everything the ladder reported, in emission order; empty for a
+          clean first-rung convergence *)
+}
+
+val solve_robust : ?budget:Pops_robust.Budget.t -> ?accel:bool -> ?a:float ->
+  ?frozen:int list -> ?x0:float array -> ?beta:float -> Pops_delay.Path.t ->
+  robust_report
+(** {!solve_beta} (default [beta = 0.5], i.e. {!solve_worst}) with the
+    ladder's verdict attached.  Never raises on solver trouble — the
+    bottom rung always yields a sizing.
+    @raise Invalid_argument if [a > 0.]. *)
+
+val solve_o : ?budget:Pops_robust.Budget.t -> ?accel:bool -> ?a:float ->
+  ?frozen:int list -> ?x0:float array -> ?beta:float -> Pops_delay.Path.t ->
+  float array Pops_robust.Outcome.t
+(** {!solve_robust} as an {!Pops_robust.Outcome}: [Exact] on a clean
+    solve, [Degraded] when any warning-or-worse diagnostic was reported,
+    [Failed] instead of raising on invalid input. *)
 
 val solve_trace : ?a:float -> ?tol:float -> ?max_iter:int -> Pops_delay.Path.t ->
   float array list
@@ -100,7 +154,15 @@ val bisect_for_beta :
     monotone delay-vs-[a] curve, with a bisection fallback preserving
     the classic worst case.  [None] when even [a = 0] misses [tc] under
     this weighting.  One probe of {!size_for_constraint}'s grid; exposed
-    for the equivalence tests and the kernel benchmark. *)
+    for the equivalence tests and the kernel benchmark.  A bracket that
+    collapses with the best delay still well under target reports
+    {!Pops_robust.Diag.Bracket_collapse} through {!Pops_robust.Watch}. *)
+
+val bisect_for_beta_o : ?accel:bool -> beta:float -> Pops_delay.Path.t ->
+  tc:float -> constraint_result option Pops_robust.Outcome.t
+(** {!bisect_for_beta} with its diagnostics collected: [Degraded] when
+    the bracket collapsed or any solver rung degraded during the
+    root-find, [Failed] instead of raising on internal errors. *)
 
 val size_for_constraint :
   ?tol_ps:float -> Pops_delay.Path.t -> tc:float ->

@@ -8,6 +8,9 @@ module Bounds = Pops_core.Bounds
 module Sens = Pops_core.Sensitivity
 module Buffers = Pops_core.Buffers
 module Protocol = Pops_core.Protocol
+module Diag = Pops_robust.Diag
+module Watch = Pops_robust.Watch
+module Budget = Pops_robust.Budget
 
 type outcome = Met | No_progress | Budget_exhausted
 
@@ -104,7 +107,8 @@ let size_critical ~lib ~tc ~timing t =
   in
   apply_sizing_max t ex.Paths.nodes sizing
 
-let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib ~tc t =
+let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
+    ?(k_paths = 3) ~lib ~tc t =
   let reference = Netlist.copy t in
   (* one persistent analysis for the whole run: every query after an
      edit re-propagates only the touched fan-out cone (Timing.update)
@@ -125,6 +129,13 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
     if d < snd !best then best := (Netlist.copy t, d);
     if d <= tc *. (1. +. 1e-6) +. 0.02 then Met
     else if round > max_rounds then Budget_exhausted
+    else if
+      match budget with
+      | Some b when Budget.exhausted b ->
+        Watch.emit (Budget.diag b);
+        true
+      | _ -> false
+    then Budget_exhausted
     else if round > 1 && d >= prev_delay -. (0.001 *. prev_delay) then No_progress
     else begin
       (* Phase 1 (sequential): extract the K worst paths.  Each
@@ -149,15 +160,32 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
          netlist, so the decisions are a pure function of the round's
          starting state — bit-identical at any domain count. *)
       let t0 = Unix.gettimeofday () in
-      let decisions =
-        Pops_util.Pool.map_list
+      (* contained fan-out: a protocol task that crashes on one path
+         degrades to a diagnostic and a skipped decision — the other
+         paths' decisions still apply and the flow completes.  Per-task
+         diagnostics re-emit in submission order below, keeping the
+         run's report deterministic at any domain count. *)
+      let slots =
+        Pops_util.Pool.map_list_contained
           (fun ((ex : Paths.extracted), sizing_now) ->
             if Path.delay_worst ex.Paths.path sizing_now > tc then
               Some (Protocol.run ~allow_restructure ~lib ~tc ex.Paths.path)
             else None)
           snapshots
       in
+      let decisions =
+        List.map
+          (fun (result, diags) ->
+            Watch.emit_all diags;
+            match result with
+            | Ok decision -> decision
+            | Error d ->
+              Watch.emit d;
+              None)
+          slots
+      in
       protocol_ms := !protocol_ms +. (1000. *. (Unix.gettimeofday () -. t0));
+      (match budget with Some b -> Budget.spend b 1 | None -> ());
       (* Phase 3 (sequential): apply the winners in submission order.
          Conflicts between paths sharing gates resolve deterministically:
          [apply_sizing_max] never shrinks, so a gate claimed by two paths
@@ -216,6 +244,43 @@ let optimize ?(max_rounds = 20) ?(allow_restructure = true) ?(k_paths = 3) ~lib 
     equivalence = Logic.equivalent reference t;
     protocol_ms = !protocol_ms;
   }
+
+(* The boundary entry point: validate first (a malformed netlist is the
+   caller's bug, not a degradation), then run the flow under a Watch
+   collector so every ladder descent, contained crash and budget trip
+   surfaces in the returned Outcome. *)
+let optimize_o ?budget ?max_rounds ?allow_restructure ?k_paths ?name ~lib ~tc t
+    =
+  let problems =
+    List.filter
+      (fun d -> d.Diag.severity = Diag.Error)
+      (Netlist.validate_diags ?name t)
+  in
+  match problems with
+  | d :: _ -> Pops_robust.Outcome.Failed d
+  | [] -> (
+    match
+      Watch.collect (fun () ->
+          optimize ?budget ?max_rounds ?allow_restructure ?k_paths ~lib ~tc t)
+    with
+    | r, diags ->
+      let diags =
+        if r.outcome = Met then diags
+        else
+          diags
+          @ [
+              Diag.makef Diag.Constraint_infeasible
+                "constraint %.3f ps not met: critical delay %.3f ps after \
+                 optimization"
+                tc r.final_delay;
+            ]
+      in
+      Pops_robust.Outcome.make r diags
+    | exception Diag.Fatal d -> Pops_robust.Outcome.Failed d
+    | exception e ->
+      Pops_robust.Outcome.Failed
+        (Diag.makef Diag.Internal "Flow.optimize raised: %s"
+           (Printexc.to_string e)))
 
 let outcome_to_string = function
   | Met -> "met"

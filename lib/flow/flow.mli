@@ -43,6 +43,7 @@ type report = {
 }
 
 val optimize :
+  ?budget:Pops_robust.Budget.t ->
   ?max_rounds:int ->
   ?allow_restructure:bool ->
   ?k_paths:int ->
@@ -54,6 +55,37 @@ val optimize :
     the report.  [max_rounds] defaults to 20; [k_paths] (default 3) is
     how many of the worst paths are optimised per round;
     [allow_restructure] defaults to true.  The equivalence check runs on
-    a pre-flow copy kept internally. *)
+    a pre-flow copy kept internally.
+
+    Resilience: the per-round protocol fan-out is {e contained} (a
+    crashing path task degrades to a diagnostic, the other decisions
+    still apply), every solver underneath runs the fallback ladder (see
+    {!Pops_core.Sensitivity.rung}), and the best-state rollback
+    guarantees the returned netlist is never slower than the best state
+    visited — in the worst case the untouched input, whose delay is the
+    Tmax bound of its paths.  [budget] bounds the run (one unit per
+    round plus the solver sweeps underneath); exhaustion ends the flow
+    with [Budget_exhausted] and the usual rollback.  Diagnostics flow to
+    the ambient {!Pops_robust.Watch} collector; {!optimize_o} returns
+    them directly. *)
+
+val optimize_o :
+  ?budget:Pops_robust.Budget.t ->
+  ?max_rounds:int ->
+  ?allow_restructure:bool ->
+  ?k_paths:int ->
+  ?name:(int -> string) ->
+  lib:Pops_cell.Library.t ->
+  tc:float ->
+  Pops_netlist.Netlist.t ->
+  report Pops_robust.Outcome.t
+(** {!optimize} as an {!Pops_robust.Outcome}.  Runs
+    {!Pops_netlist.Netlist.validate_diags} first and returns [Failed]
+    with the first error-severity diagnostic (cycle, dangling reference,
+    bad cin) {e before} touching the netlist; [name] renders node ids in
+    those messages.  Otherwise [Exact] on a clean met constraint,
+    [Degraded] with the collected diagnostics when anything degraded or
+    the constraint finished unmet ({!Pops_robust.Diag.Constraint_infeasible}
+    appended), [Failed] instead of raising. *)
 
 val pp_report : Format.formatter -> report -> unit

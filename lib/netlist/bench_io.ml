@@ -1,4 +1,7 @@
 module Gk = Pops_cell.Gate_kind
+module Diag = Pops_robust.Diag
+module Watch = Pops_robust.Watch
+module Fault = Pops_robust.Fault
 
 type names = (string * int) list
 
@@ -13,6 +16,7 @@ type statement =
       (* target, op, args, cin annotation, wire annotation *)
 
 let trim = String.trim
+let line_subject lineno = Printf.sprintf "line %d" lineno
 
 let parse_annotations comment =
   (* "# cin=5.6 wire=1.2" -> (Some 5.6, Some 1.2) *)
@@ -59,7 +63,9 @@ let parse_line lineno line =
   let code = trim code in
   if code = "" then Ok None
   else
-    let fail msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    let fail msg =
+      Error (Diag.makef Diag.Bench_syntax ~subject:(line_subject lineno) "%s" msg)
+    in
     match String.index_opt code '=' with
     | None -> (
       match parse_call code with
@@ -147,9 +153,49 @@ let build_gate t op args =
   | "OAI22", [ a; b; c; d ] -> Ok (Netlist.add_gate t Gk.Oai22 [| a; b; c; d |])
   | op, _ -> Error (Printf.sprintf "unsupported gate %s" op)
 
-let parse tech ?out_load text =
+(* an error on the last statement-bearing line of the input, on a line
+   with an unclosed call or dangling [=]/[,], is a truncated file rather
+   than a typo — give it the dedicated code and hint *)
+let looks_truncated line rest =
+  let code =
+    match String.index_opt line '#' with
+    | Some i -> trim (String.sub line 0 i)
+    | None -> trim line
+  in
+  let only_blank =
+    List.for_all
+      (fun l ->
+        let c =
+          match String.index_opt l '#' with
+          | Some i -> String.sub l 0 i
+          | None -> l
+        in
+        trim c = "")
+      rest
+  in
+  let opens = ref 0 and closes = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '(' then incr opens else if c = ')' then incr closes)
+    code;
+  let n = String.length code in
+  only_blank
+  && (!opens > !closes
+     || (n > 0 && (code.[n - 1] = '=' || code.[n - 1] = ',')))
+
+let parse_diag tech ?out_load text =
   let out_load =
     Option.value out_load ~default:(4. *. tech.Pops_process.Tech.cmin)
+  in
+  let text =
+    (* deterministic fault: drop the tail of the input mid-statement *)
+    if Fault.fire "bench.truncate" && String.length text > 1 then begin
+      Watch.emit
+        (Diag.make Diag.Fault_injected ~severity:Diag.Info
+           ~subject:"bench.truncate" "input truncated (fault injection)");
+      String.sub text 0 (String.length text * 2 / 3)
+    end
+    else text
   in
   let lines = String.split_on_char '\n' text in
   (* first pass: collect statements *)
@@ -157,7 +203,12 @@ let parse tech ?out_load text =
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
       match parse_line lineno line with
-      | Error _ as e -> e
+      | Error d ->
+        Error
+          (if looks_truncated line rest then
+             Diag.makef ?subject:d.Diag.subject Diag.Bench_truncated "%s"
+               d.Diag.message
+           else d)
       | Ok None -> collect (lineno + 1) acc rest
       | Ok (Some s) -> collect (lineno + 1) ((lineno, s) :: acc) rest)
   in
@@ -168,7 +219,9 @@ let parse tech ?out_load text =
     let table : (string, int) Hashtbl.t = Hashtbl.create 64 in
     let define name id lineno =
       if Hashtbl.mem table name then
-        Error (Printf.sprintf "line %d: %s defined twice" lineno name)
+        Error
+          (Diag.makef Diag.Bench_syntax ~subject:(line_subject lineno)
+             "%s defined twice" name)
       else begin
         Hashtbl.replace table name id;
         Ok ()
@@ -209,26 +262,74 @@ let parse tech ?out_load text =
             else if List.for_all (Hashtbl.mem table) args then begin
               let arg_ids = List.map (Hashtbl.find table) args in
               match build_gate t op arg_ids with
-              | Error msg -> err := Some (Printf.sprintf "line %d: %s" lineno msg)
+              | Error msg ->
+                err :=
+                  Some
+                    (Diag.makef Diag.Bench_syntax ~subject:(line_subject lineno)
+                       "%s" msg)
               | Ok id -> (
                 (match cin with Some c -> Netlist.set_cin t id c | None -> ());
                 (match wire with Some w -> Netlist.set_wire t id w | None -> ());
                 match define target id lineno with
-                | Error msg -> err := Some msg
+                | Error d -> err := Some d
                 | Ok () -> progress := true)
             end
             else still := g :: !still)
           !pending;
         pending := List.rev !still
       done;
+      let missing_of args =
+        List.filter (fun a -> not (Hashtbl.mem table a)) args
+      in
+      let undefined lineno target missing =
+        Diag.makef Diag.Bench_syntax ~subject:(line_subject lineno)
+          "%s depends on undefined signal(s) %s" target
+          (String.concat ", " missing)
+      in
       match (!err, !pending) with
       | Some e, _ -> Error e
       | None, [] -> Ok ()
-      | None, (lineno, target, _, args, _, _) :: _ ->
-        let missing = List.filter (fun a -> not (Hashtbl.mem table a)) args in
-        Error
-          (Printf.sprintf "line %d: %s depends on undefined signal(s) %s" lineno
-             target (String.concat ", " missing))
+      | None, ((lineno0, target0, _, args0, _, _) :: _ as stuck) -> (
+        (* a stalled build whose missing signals are all themselves stuck
+           targets is a combinational loop, not an undefined signal —
+           walk the dependency chain and name the actual cycle *)
+        let gate_of name =
+          List.find_opt (fun (_, tgt, _, _, _, _) -> tgt = name) stuck
+        in
+        let stuck_target name = gate_of name <> None in
+        let missing0 = missing_of args0 in
+        match List.find_opt (fun a -> not (stuck_target a)) missing0 with
+        | Some _ -> Error (undefined lineno0 target0 missing0)
+        | None ->
+          let rec walk trail name =
+            if List.mem name trail then
+              let rec take acc = function
+                | [] -> acc
+                | x :: rest ->
+                  if x = name then name :: acc else take (x :: acc) rest
+              in
+              (* the walk followed dependencies (upstream); reversed it
+                 reads in signal-flow order *)
+              let cycle = List.rev (take [] trail) in
+              let lineno =
+                match gate_of name with
+                | Some (l, _, _, _, _, _) -> l
+                | None -> lineno0
+              in
+              Error
+                (Diag.makef Diag.Netlist_cycle ~subject:(line_subject lineno)
+                   "combinational cycle: %s"
+                   (String.concat " -> " (cycle @ [ List.hd cycle ])))
+            else
+              match gate_of name with
+              | None -> Error (undefined lineno0 target0 missing0)
+              | Some (l, tgt, _, args, _, _) -> (
+                let missing = missing_of args in
+                match List.find_opt stuck_target missing with
+                | Some next -> walk (name :: trail) next
+                | None -> Error (undefined l tgt missing))
+          in
+          walk [] target0)
     in
     let outputs_result () =
       List.fold_left
@@ -241,16 +342,23 @@ let parse tech ?out_load text =
                   Netlist.set_output t id ~load:out_load;
                   Ok ()
                 | None ->
-                  Error (Printf.sprintf "line %d: OUTPUT(%s) never defined" lineno name))
+                  Error
+                    (Diag.makef Diag.Bench_syntax ~subject:(line_subject lineno)
+                       "OUTPUT(%s) never defined" name))
               | S_gate (_, "DFF", [ d ], _, _) -> (
                 (* the DFF input is a pseudo primary output *)
                 match Hashtbl.find_opt table d with
                 | Some id ->
                   Netlist.set_output t id ~load:out_load;
                   Ok ()
-                | None -> Error (Printf.sprintf "line %d: DFF input %s undefined" lineno d))
+                | None ->
+                  Error
+                    (Diag.makef Diag.Bench_syntax ~subject:(line_subject lineno)
+                       "DFF input %s undefined" d))
               | S_gate (_, "DFF", _, _, _) ->
-                Error (Printf.sprintf "line %d: DFF takes one input" lineno)
+                Error
+                  (Diag.makef Diag.Bench_syntax ~subject:(line_subject lineno)
+                     "DFF takes one input")
               | S_input _ | S_gate _ -> Ok ()))
         (Ok ()) statements
     in
@@ -261,12 +369,56 @@ let parse tech ?out_load text =
                 | Ok () ->
                   let names = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
                   Ok (t, List.sort compare names)
-                | Error msg -> Error ("invalid netlist after parse: " ^ msg))))
+                | Error msg ->
+                  Error
+                    (Diag.makef Diag.Internal
+                       "invalid netlist after parse: %s" msg))))
+
+(* render a diagnostic exactly as the historical string errors read:
+   ["line N: message"] with a subject, bare message without *)
+let render_diag d =
+  match d.Diag.subject with
+  | Some s -> s ^ ": " ^ d.Diag.message
+  | None -> d.Diag.message
+
+let parse tech ?out_load text =
+  Result.map_error render_diag (parse_diag tech ?out_load text)
+
+let name_fn names =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (name, id) -> Hashtbl.replace tbl id name) names;
+  fun id ->
+    match Hashtbl.find_opt tbl id with
+    | Some n -> n
+    | None -> Printf.sprintf "n%d" id
+
+let parse_o tech ?out_load text =
+  match parse_diag tech ?out_load text with
+  | Ok (t, names) ->
+    (* the structural invariants passed ([Netlist.validate] ran inside
+       the parse); surface quality warnings — zero-fanout gates and
+       friends — as a degradation instead of hiding them *)
+    let warnings = Netlist.validate_diags ~name:(name_fn names) t in
+    Pops_robust.Outcome.make (t, names) warnings
+  | Error d -> Pops_robust.Outcome.Failed d
+  | exception Diag.Fatal d -> Pops_robust.Outcome.Failed d
+  | exception e ->
+    Pops_robust.Outcome.Failed
+      (Diag.makef Diag.Internal "Bench_io.parse raised: %s"
+         (Printexc.to_string e))
 
 let parse_file tech ?out_load path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> parse tech ?out_load text
   | exception Sys_error msg -> Error msg
+
+let parse_file_o tech ?out_load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_o tech ?out_load text
+  | exception Sys_error msg ->
+    Pops_robust.Outcome.Failed
+      (Diag.make Diag.Invalid_input msg
+         ~hint:"check the .bench path and permissions")
 
 (* ------------------------------------------------------------------ *)
 (* printing                                                            *)

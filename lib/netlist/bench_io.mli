@@ -33,10 +33,31 @@ val parse : Pops_process.Tech.t -> ?out_load:float -> string ->
   (Netlist.t * names, string) result
 (** Parse a [.bench] text.  [out_load] (default [4 * cmin], fF) is the
     terminal load attached to every [OUTPUT].  Errors carry a line
-    number. *)
+    number.  Thin wrapper over {!parse_o} rendering the diagnostic to
+    the historical ["line N: message"] string. *)
+
+val parse_diag : Pops_process.Tech.t -> ?out_load:float -> string ->
+  (Netlist.t * names, Pops_robust.Diag.t) result
+(** {!parse} with the structured diagnostic: [Bench_syntax] with a
+    [line N] subject on malformed statements, [Bench_truncated] when the
+    error sits on the last statement of the input with an unclosed call
+    (a file cut off mid-gate), [Netlist_cycle] naming the actual
+    combinational loop through the .bench signal names. *)
+
+val parse_o : Pops_process.Tech.t -> ?out_load:float -> string ->
+  (Netlist.t * names) Pops_robust.Outcome.t
+(** {!parse_diag} as an {!Pops_robust.Outcome}: a netlist that parses
+    but carries quality warnings from {!Netlist.validate_diags} (e.g.
+    zero-fanout gates) comes back [Degraded] with those diagnostics
+    attached. *)
 
 val parse_file : Pops_process.Tech.t -> ?out_load:float -> string ->
   (Netlist.t * names, string) result
+
+val parse_file_o : Pops_process.Tech.t -> ?out_load:float -> string ->
+  (Netlist.t * names) Pops_robust.Outcome.t
+(** {!parse_o} on a file; an unreadable path is [Failed] with an
+    [Invalid_input] diagnostic instead of a raised [Sys_error]. *)
 
 val to_string : ?names:names -> Netlist.t -> string
 (** Print a netlist in [.bench] syntax.  [names] (as returned by

@@ -31,3 +31,16 @@ val generate : Pops_process.Tech.t -> profile -> Netlist.t * int list
 (** The circuit and its spine (gate ids, input side first).  The result
     satisfies {!Netlist.validate} and the spine realises
     {!Netlist.depth}. *)
+
+val make_profile_r :
+  ?total_gates:int -> ?out_load:float -> ?side_load:float ->
+  name:string -> path_gates:int -> unit ->
+  (profile, Pops_robust.Diag.t) result
+(** {!make_profile} returning an [Invalid_input] diagnostic instead of
+    raising on out-of-range gate counts. *)
+
+val generate_o :
+  Pops_process.Tech.t -> profile -> (Netlist.t * int list) Pops_robust.Outcome.t
+(** {!generate} as an {!Pops_robust.Outcome}: [Failed] with a typed
+    diagnostic instead of raising on an invalid profile or a
+    post-generation validation failure. *)

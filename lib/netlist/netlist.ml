@@ -1,4 +1,5 @@
 module Gk = Pops_cell.Gate_kind
+module Diag = Pops_robust.Diag
 
 type node_kind = Primary_input | Cell of Gk.t
 
@@ -140,6 +141,79 @@ let live_ids t =
   done;
   !acc
 
+(* Kahn residual: nodes never reaching indegree 0 sit on or downstream
+   of a combinational loop.  Walking fan-ins restricted to those nodes
+   must revisit one — that revisit is an actual cycle, reported in
+   signal-flow order so the user can follow the loop driver to driver. *)
+let find_cycle t =
+  let indegree = Array.make (max 1 t.next_id) 0 in
+  let ids = live_ids t in
+  List.iter
+    (fun id ->
+      let n = node t id in
+      let deg = ref 0 in
+      Array.iteri
+        (fun i f ->
+          if node_exists t f then begin
+            let dup = ref false in
+            for j = 0 to i - 1 do
+              if n.fanins.(j) = f then dup := true
+            done;
+            if not !dup then incr deg
+          end)
+        n.fanins;
+      indegree.(id) <- !deg)
+    ids;
+  let queue = Queue.create () in
+  List.iter (fun id -> if indegree.(id) = 0 then Queue.add id queue) ids;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    List.iter
+      (fun c ->
+        if node_exists t c then begin
+          indegree.(c) <- indegree.(c) - 1;
+          if indegree.(c) = 0 then Queue.add c queue
+        end)
+      (node t id).fanouts
+  done;
+  let stuck id = indegree.(id) > 0 in
+  match List.find_opt stuck ids with
+  | None -> None
+  | Some start ->
+    let rec walk trail id =
+      if List.mem id trail then
+        (* the loop is the trail from its first occurrence of [id];
+           the walk followed fan-ins (upstream), so reversing it yields
+           signal-flow order *)
+        let rec take acc = function
+          | [] -> acc
+          | x :: rest -> if x = id then id :: acc else take (x :: acc) rest
+        in
+        Some (List.rev (take [] trail))
+      else
+        let n = node t id in
+        let next = ref (-1) in
+        Array.iter
+          (fun f -> if !next < 0 && node_exists t f && stuck f then next := f)
+          n.fanins;
+        if !next < 0 then None else walk (id :: trail) !next
+    in
+    walk [] start
+
+let cycle_diag ?name t =
+  let render id =
+    match name with Some f -> f id | None -> Printf.sprintf "n%d" id
+  in
+  match find_cycle t with
+  | Some (first :: _ as cycle) ->
+    Diag.makef Diag.Netlist_cycle ~subject:(render first)
+      "combinational cycle: %s"
+      (String.concat " -> " (List.map render (cycle @ [ first ])))
+  | Some [] | None ->
+    (* unreachable when called on a stuck Kahn pass; keep a diagnostic
+       anyway rather than asserting inside error reporting *)
+    Diag.make Diag.Netlist_cycle "combinational cycle detected"
+
 (* full Kahn rebuild: the fallback when local level patching bailed out,
    and the only place a cycle is diagnosed *)
 let rebuild_levels t =
@@ -194,7 +268,7 @@ let rebuild_levels t =
         end)
       n.fanouts
   done;
-  if !seen <> t.n_live then failwith "Netlist.topological_order: cycle";
+  if !seen <> t.n_live then raise (Diag.Fatal (cycle_diag t));
   t.levels_valid <- true
 
 let ensure_levels t = if not t.levels_valid then rebuild_levels t
@@ -524,7 +598,74 @@ let validate t =
   | Ok () -> (
     match topological_order t with
     | (_ : int list) -> Ok ()
-    | exception Failure msg -> Error msg)
+    | exception Failure msg -> Error msg
+    | exception Diag.Fatal d -> Error (Diag.one_line d))
+
+(* The diagnostic validation pass: unlike {!validate} it does not stop
+   at the first problem — every violation becomes one {!Diag.t}, so a
+   front end can report the whole state of a malformed netlist at once.
+   [name] renders node ids (the CLI passes the .bench signal names). *)
+let validate_diags ?name t =
+  let render id =
+    match name with Some f -> f id | None -> Printf.sprintf "n%d" id
+  in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let outputs = List.map fst t.output_loads in
+  List.iter
+    (fun id ->
+      let n = node t id in
+      let subject = render id in
+      (match n.kind with
+      | Primary_input ->
+        if Array.length n.fanins <> 0 then
+          add
+            (Diag.makef Diag.Internal ~subject "primary input with %d fan-ins"
+               (Array.length n.fanins))
+      | Cell kind ->
+        let arity = Gk.arity kind in
+        if Array.length n.fanins <> arity then
+          add
+            (Diag.makef Diag.Internal ~subject
+               "%s gate with %d fan-ins (arity %d)" (Gk.name kind)
+               (Array.length n.fanins) arity);
+        if n.cin <= 0. then
+          add
+            (Diag.makef Diag.Netlist_bad_cin ~subject
+               "non-positive input capacitance %g fF" n.cin));
+      Array.iter
+        (fun f ->
+          if not (node_exists t f) then
+            add
+              (Diag.makef Diag.Netlist_dangling ~subject
+                 "fan-in references deleted node %d" f)
+          else if not (List.mem id (node t f).fanouts) then
+            add
+              (Diag.makef Diag.Netlist_dangling ~subject
+                 "fan-out list of %s misses this consumer" (render f)))
+        n.fanins;
+      List.iter
+        (fun c ->
+          if not (node_exists t c) then
+            add
+              (Diag.makef Diag.Netlist_dangling ~subject
+                 "fan-out references deleted node %d" c)
+          else if not (Array.exists (fun f -> f = id) (node t c).fanins) then
+            add
+              (Diag.makef Diag.Netlist_dangling ~subject
+                 "fan-out %s does not read this net" (render c)))
+        n.fanouts;
+      match n.kind with
+      | Cell _ when n.fanouts = [] && not (List.mem id outputs) ->
+        add
+          (Diag.makef Diag.Netlist_zero_fanout ~subject
+             "gate drives nothing and is not a primary output")
+      | _ -> ())
+    (live_ids t);
+  (match find_cycle t with
+  | Some _ -> add (cycle_diag ?name t)
+  | None -> ());
+  List.rev !diags
 
 let kind_histogram t =
   let tbl = Hashtbl.create 16 in

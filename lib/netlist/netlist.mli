@@ -86,7 +86,9 @@ val delete_gate : t -> int -> unit
 
 val topological_order : t -> int list
 (** All live nodes, inputs first (cached; rebuilt from the level cache
-    after structural edits).  @raise Failure on a cycle. *)
+    after structural edits).
+    @raise Pops_robust.Diag.Fatal with a {!Pops_robust.Diag.Netlist_cycle}
+    diagnostic naming the actual loop on a cyclic netlist. *)
 
 val depth : t -> int
 (** Longest input-to-output path in gate counts (cached alongside the
@@ -104,7 +106,8 @@ val level : t -> int -> int
 (** Cached topological level of a node: 0 for primary inputs, one above
     the deepest fan-in for gates.  Every edge goes from a strictly lower
     to a strictly higher level, so processing nodes in level order is a
-    valid propagation order.  @raise Failure on a cycle. *)
+    valid propagation order.
+    @raise Pops_robust.Diag.Fatal on a cycle (see {!topological_order}). *)
 
 val load_on : t -> int -> float
 (** Capacitive load on a node's output: fan-out input capacitances +
@@ -131,7 +134,23 @@ val live_count : t -> int
 
 val validate : t -> (unit, string) result
 (** Full invariant check: arities, dangling ids, fanin/fanout symmetry,
-    acyclicity, positive sizes. *)
+    acyclicity, positive sizes.  Stops at the first violation. *)
+
+val validate_diags : ?name:(int -> string) -> t -> Pops_robust.Diag.t list
+(** The diagnostic validation pass behind {!validate}: reports {e every}
+    violation — dangling references ([Netlist_dangling]), gates driving
+    nothing that are not outputs ([Netlist_zero_fanout], a warning),
+    non-positive input capacitances ([Netlist_bad_cin]) and
+    combinational loops ([Netlist_cycle], message walking the actual
+    cycle in signal-flow order) — instead of stopping at the first.
+    Empty means valid (zero-fanout warnings excepted: they degrade
+    quality, not correctness).  [name] renders node ids in messages;
+    the CLI passes the .bench signal names. *)
+
+val find_cycle : t -> int list option
+(** One combinational loop in signal-flow order (each node drives the
+    next, the last drives the first), or [None] on a DAG.  The probe
+    behind cycle diagnostics; does not raise. *)
 
 val kind_histogram : t -> (Pops_cell.Gate_kind.t * int) list
 val total_area : t -> Pops_cell.Library.t -> float

@@ -174,3 +174,40 @@ let map_list ?pool f xs =
 
 let parallel_reduce ?pool ~map ~combine ~init xs =
   Array.fold_left combine init (parallel_map ?pool map xs)
+
+(* --- per-task containment -------------------------------------------- *)
+
+module Diag = Pops_robust.Diag
+module Watch = Pops_robust.Watch
+module Fault = Pops_robust.Fault
+
+let contain_diag e =
+  match e with
+  | Fault.Injected point ->
+    Diag.makef Diag.Pool_task_failed ~subject:point
+      "fault injected in pool task"
+  | Diag.Fatal d -> d
+  | e ->
+    Diag.makef Diag.Pool_task_failed "pool task raised: %s"
+      (Printexc.to_string e)
+
+(* Contained fan-out: a crashing task degrades its own slot instead of
+   killing the whole fan-out (and, transitively, the optimization run).
+   Each task runs under its own Watch collector on whichever domain
+   executes it; the collected diagnostics travel back with the slot so
+   the caller can re-emit them in deterministic submission order.  The
+   [pool.raise] injection point fires here, before the task body. *)
+let parallel_map_contained ?pool f xs =
+  parallel_map ?pool
+    (fun x ->
+      Watch.collect (fun () ->
+          match
+            Fault.inject "pool.raise";
+            f x
+          with
+          | v -> Ok v
+          | exception e -> Error (contain_diag e)))
+    xs
+
+let map_list_contained ?pool f xs =
+  Array.to_list (parallel_map_contained ?pool f (Array.of_list xs))

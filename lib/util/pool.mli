@@ -69,3 +69,21 @@ val parallel_reduce :
     the results {e sequentially in submission order} — the reduction is
     deterministic even when [combine] is not associative (floating-point
     sums, first-strictly-better selections). *)
+
+val parallel_map_contained :
+  ?pool:t -> ('a -> 'b) -> 'a array ->
+  (('b, Pops_robust.Diag.t) result * Pops_robust.Diag.t list) array
+(** Contained fan-out: like {!parallel_map}, but a task that raises
+    degrades its own slot to [Error diag] instead of re-raising at the
+    call site — one crashing candidate cannot kill the whole fan-out.
+    Each slot also carries the diagnostics the task emitted
+    ({!Pops_robust.Watch}) on whichever domain ran it, so the caller can
+    re-emit them in deterministic submission order.  The
+    [pool.raise] fault-injection point fires here.  Exceptions become
+    {!Pops_robust.Diag.Pool_task_failed} diagnostics (a
+    {!Pops_robust.Diag.Fatal} payload passes through unchanged). *)
+
+val map_list_contained :
+  ?pool:t -> ('a -> 'b) -> 'a list ->
+  (('b, Pops_robust.Diag.t) result * Pops_robust.Diag.t list) list
+(** {!parallel_map_contained} for lists, preserving order. *)

@@ -1,3 +1,7 @@
+Fault injection must never leak into the CLI's contract:
+
+  $ unset POPS_FAULT
+
 The delay bounds of a custom path are deterministic:
 
   $ pops tmin --gates inv,nand2,nor3,inv --cout 80
@@ -19,13 +23,13 @@ Unknown gates are rejected with the known list:
 
   $ pops tmin --gates inv,frobnicator
   pops: unknown gate in "inv,frobnicator" (known: inv, buf, nand2, nand3, nand4, nor2, nor3, nor4, aoi21, oai21, aoi22, oai22, xor2, xnor2)
-  [1]
+  [2]
 
-A path is required:
+A path is required (invalid input exits 2):
 
   $ pops size
   pops: a path is required: --circuit <name> or --gates <list>
-  [1]
+  [2]
 
 Library characterisation (Table 2's metric):
 
@@ -104,15 +108,19 @@ worsening the circuit:
   
   STA critical delay: 317.9 ps
   optimizing to Tc = 1.0 ps ...
+  pops: constraint-infeasible: constraint 1.000 ps not met: critical delay 317.870 ps after optimization
   flow: no-progress
   delay 317.9 -> 317.9 ps
   area 19.6 -> 22.6 um
   3 rounds, 2 buffer inverters, 0 rewrites
   equivalence: PASS
+    round 1: 317.9 ps, sizing on a 2-gate path
+    round 1: 317.9 ps, buffers+sizing on a 1-gate path
+    round 1: 317.9 ps, sizing on a 1-gate path
   [1]
 
 
-Parse errors carry the offending line number and a non-zero exit:
+Parse errors carry the offending line number and exit 2 (invalid input):
 
   $ cat > broken.bench <<'BENCH'
   > INPUT(a)
@@ -121,5 +129,50 @@ Parse errors carry the offending line number and a non-zero exit:
   > BENCH
 
   $ pops bench-file broken.bench
-  pops: line 2: expected OP(arg, ...) on the right-hand side
-  [1]
+  pops: bench-syntax (line 2): expected OP(arg, ...) on the right-hand side
+  [2]
+
+A combinational cycle is named gate by gate, in signal-flow order:
+
+  $ cat > cyclic.bench <<'BENCH'
+  > INPUT(a)
+  > OUTPUT(y)
+  > n1 = NOT(n2)
+  > n2 = NOT(n1)
+  > y = AND(a, n1)
+  > BENCH
+
+  $ pops bench-file cyclic.bench
+  pops: netlist-cycle (line 3): combinational cycle: n2 -> n1 -> n2
+  [2]
+
+A file cut off mid-line is flagged as truncated, not just malformed:
+
+  $ cat > trunc.bench <<'BENCH'
+  > INPUT(a)
+  > INPUT(b)
+  > OUTPUT(y)
+  > y = NAND(a, b
+  > BENCH
+
+  $ pops bench-file trunc.bench
+  pops: bench-truncated (line 4): expected OP(arg, ...) on the right-hand side
+  [2]
+
+A gate that drives nothing degrades the run (warning on stderr) but the
+analysis still completes with exit 0:
+
+  $ cat > dangle.bench <<'BENCH'
+  > INPUT(a)
+  > OUTPUT(y)
+  > y = NOT(a)
+  > n1 = NOT(a)
+  > BENCH
+
+  $ pops bench-file dangle.bench
+  pops: netlist-zero-fanout (n1): gate drives nothing and is not a primary output
+  netlist: 1 inputs, 2 gates, 1 outputs, depth 1
+  inv: 2
+  
+  STA critical delay: 91.0 ps
+

@@ -855,4 +855,279 @@ let () =
         "sim/model ratio %.4f outside golden band [%.3f, %.3f] (sim %.6g ps, model %.6g ps)"
         ratio lo hi sim.Transient.total_delay model)
 
+(* ================================================================== *)
+(* fault injection: the resilience contract                            *)
+(* ================================================================== *)
+
+(* Each case derives a deterministic POPS_FAULT spec from a generated
+   seed (under the CI fault leg, [Fault.case_spec] keeps the ambient
+   point selection and only re-seeds), arms it with [Fault.with_spec]
+   for the duration of the case, and asserts the engine's resilience
+   contract: no crash, every degradation reported, degraded results
+   still valid. *)
+
+module Diag = Pops_robust.Diag
+module Outcome = Pops_robust.Outcome
+
+let has_code code diags = List.exists (fun d -> d.Diag.code = code) diags
+
+let spec_and_seed = Gen.pair spec Gen.int64
+
+let () =
+  Prop.register ~name:"fault.solver_never_crashes" spec_and_seed (fun (s, seed) ->
+      let p = path_of s in
+      let r =
+        Fault.with_spec
+          (Fault.solver_spec (Rng.create seed))
+          (fun () -> Sens.solve_robust p)
+      in
+      require
+        (Array.for_all Float.is_finite r.Sens.sizing)
+        "faulted solve returned a non-finite sizing";
+      requiref
+        (Float.is_finite (Path.delay_worst p r.Sens.sizing))
+        "faulted solve's sizing has non-finite delay (rung %s)"
+        (Sens.rung_name r.Sens.fallback))
+
+let () =
+  Prop.register ~name:"fault.ladder_descent_reported" spec_and_seed
+    (fun (s, seed) ->
+      let p = path_of s in
+      let r =
+        Fault.with_spec
+          (Fault.solver_spec (Rng.create seed))
+          (fun () -> Sens.solve_robust p)
+      in
+      if r.Sens.fallback <> Sens.Accelerated then begin
+        require (r.Sens.diags <> []) "silent ladder descent";
+        requiref
+          (has_code Diag.Solver_fallback r.Sens.diags)
+          "descent to %s missing the Solver_fallback diagnostic"
+          (Sens.rung_name r.Sens.fallback);
+        require
+          (has_code Diag.Solver_divergence r.Sens.diags
+          || has_code Diag.Solver_nonfinite r.Sens.diags)
+          "descent without a divergence/non-finite cause on record"
+      end)
+
+let () =
+  Prop.register ~name:"fault.full_ladder_delay_bounded" spec_and_seed
+    (fun (s, seed) ->
+      let p = path_of s in
+      (* bounds computed healthy, before arming *)
+      let b = Bounds.compute p in
+      let r =
+        Fault.with_spec
+          (Printf.sprintf "solver.diverge,seed=%Ld" seed)
+          (fun () -> Sens.solve_robust p)
+      in
+      requiref
+        (r.Sens.fallback = Sens.Tmax_safe)
+        "all rungs forced to diverge but landed on %s"
+        (Sens.rung_name r.Sens.fallback);
+      let d = Path.delay_worst p r.Sens.sizing in
+      requiref
+        (d <= b.Bounds.tmax *. (1. +. 1e-9))
+        "Tmax-safe sizing slower than the Tmax bound: %.6g > %.6g" d
+        b.Bounds.tmax)
+
+let () =
+  Prop.register ~name:"fault.solve_o_never_fails" spec_and_seed (fun (s, seed) ->
+      let p = path_of s in
+      match
+        Fault.with_spec
+          (Fault.solver_spec (Rng.create seed))
+          (fun () -> Sens.solve_o p)
+      with
+      | Outcome.Failed d ->
+        Prop.failf "solver fault escalated to Failed: %s" (Diag.one_line d)
+      | Outcome.Exact x ->
+        require (Array.for_all Float.is_finite x) "Exact sizing non-finite"
+      | Outcome.Degraded (x, diags) ->
+        require (Array.for_all Float.is_finite x) "Degraded sizing non-finite";
+        require (diags <> []) "Degraded with an empty diagnostic list")
+
+let () =
+  Prop.register ~name:"fault.deterministic_replay" spec_and_seed (fun (s, seed) ->
+      let p = path_of s in
+      let spec = Fault.solver_spec (Rng.create seed) in
+      let run () = Fault.with_spec spec (fun () -> Sens.solve_robust p) in
+      let r1 = run () and r2 = run () in
+      require (r1.Sens.fallback = r2.Sens.fallback) "replay changed the rung";
+      require (r1.Sens.sizing = r2.Sens.sizing)
+        "replay changed the sizing bit pattern")
+
+let () =
+  Prop.register ~name:"fault.unarmed_points_never_fire" Gen.int64 (fun seed ->
+      Fault.with_spec
+        (Printf.sprintf "solver.diverge.accel,seed=%Ld" seed)
+        (fun () ->
+          require (not (Fault.fire "pool.raise")) "unarmed pool point fired";
+          require (not (Fault.fire "bench.truncate")) "unarmed bench point fired";
+          require
+            (not (Fault.fire "solver.diverge.plain"))
+            "sibling point fired from a fully-qualified spec";
+          require (Fault.fire "solver.diverge.accel") "armed point did not fire");
+      List.iter
+        (fun p ->
+          requiref (not (Fault.fire p)) "point %s fired after the spec was restored" p)
+        Fault.points)
+
+let () =
+  Prop.register ~name:"fault.pool_contains_every_task"
+    (Gen.list_sized ~min_len:1 (Gen.int_range (-50) 50))
+    (fun xs ->
+      let slots =
+        Fault.with_spec "pool.raise" (fun () ->
+            Pool.map_list_contained (fun x -> x * 2) xs)
+      in
+      requiref (List.length slots = List.length xs)
+        "containment changed the slot count: %d <> %d" (List.length slots)
+        (List.length xs);
+      List.iter
+        (fun (result, _) ->
+          match result with
+          | Error d ->
+            requiref
+              (d.Diag.code = Diag.Pool_task_failed)
+              "contained slot carries %s, not pool-task-failed"
+              (Diag.code_name d.Diag.code)
+          | Ok _ -> Prop.failf "a task survived a prob-1 pool.raise")
+        slots;
+      (* disarmed, the same fan-out is exact *)
+      let healthy = Pool.map_list_contained (fun x -> x * 2) xs in
+      List.iter2
+        (fun x (result, _) ->
+          match result with
+          | Ok y -> requiref (y = 2 * x) "healthy slot wrong: %d <> %d" y (2 * x)
+          | Error d -> Prop.failf "healthy task contained: %s" (Diag.one_line d))
+        xs healthy)
+
+let () =
+  Prop.register ~name:"fault.pool_probabilistic_mix"
+    (Gen.pair (Gen.list_sized ~min_len:4 (Gen.int_range 0 50)) Gen.int64)
+    (fun (xs, seed) ->
+      let slots =
+        Fault.with_spec
+          (Printf.sprintf "pool.raise@0.5,seed=%Ld" seed)
+          (fun () -> Pool.map_list_contained (fun x -> x + 1) xs)
+      in
+      List.iter2
+        (fun x (result, _) ->
+          match result with
+          | Ok y -> requiref (y = x + 1) "surviving slot wrong: %d <> %d" y (x + 1)
+          | Error d ->
+            requiref
+              (d.Diag.code = Diag.Pool_task_failed)
+              "contained slot carries %s" (Diag.code_name d.Diag.code))
+        xs slots)
+
+let () =
+  Prop.register ~name:"fault.bench_truncation_contained"
+    (Gen.pair C.dag_spec Gen.int64)
+    (fun (d, seed) ->
+      let nl = C.build_dag d in
+      let text = Bench_io.to_string nl in
+      match
+        Fault.with_spec
+          (Printf.sprintf "bench.truncate,seed=%Ld" seed)
+          (fun () -> Bench_io.parse_o (Netlist.tech nl) text)
+      with
+      | Outcome.Failed diag ->
+        (* a cut file must be rejected with a typed, user-actionable
+           diagnostic, never an exception or an internal code *)
+        requiref
+          (Diag.classify diag.Diag.code = `Invalid_input)
+          "truncation produced a non-input diagnostic: %s"
+          (Diag.one_line diag)
+      | Outcome.Exact (b, _) | Outcome.Degraded ((b, _), _) -> (
+        (* the cut can land on a statement boundary and still parse;
+           then the result must be a valid netlist *)
+        match Netlist.validate b with
+        | Ok () -> ()
+        | Error e -> Prop.failf "truncated parse produced an invalid netlist: %s" e))
+
+let () =
+  (* [Fault.case_spec] draws one registered point per case — or keeps the
+     ambient POPS_FAULT selection under the CI fault leg — so this sweeps
+     the whole registry through a combined solve + parse + fan-out pass
+     without ever crashing *)
+  Prop.register ~name:"fault.engine_never_crashes" spec_and_seed (fun (s, seed) ->
+      let p = path_of s in
+      Fault.with_spec
+        (Fault.case_spec (Rng.create seed))
+        (fun () ->
+          let r = Sens.solve_robust p in
+          require
+            (Array.for_all Float.is_finite r.Sens.sizing)
+            "solve under an arbitrary fault point lost finiteness";
+          (match
+             Bench_io.parse_o Tech.cmos025
+               "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn1 = NAND(a, b)\ny = NOT(n1)\n"
+           with
+          | Outcome.Failed d ->
+            requiref
+              (Diag.classify d.Diag.code = `Invalid_input)
+              "parse under faults failed with a non-input code: %s"
+              (Diag.one_line d)
+          | Outcome.Exact _ | Outcome.Degraded _ -> ());
+          let slots = Pool.map_list_contained (fun x -> x + 1) [ 1; 2; 3 ] in
+          List.iter
+            (fun (result, _) ->
+              match result with
+              | Ok _ | Error { Diag.code = Diag.Pool_task_failed; _ } -> ()
+              | Error d ->
+                Prop.failf "fan-out under faults produced %s" (Diag.one_line d))
+            slots))
+
+let () =
+  Prop.register ~max_size:4 ~name:"fault.flow_survives_storm"
+    (Gen.pair (Gen.pair C.spine_spec (Gen.float_range 0.4 1.1)) Gen.int64)
+    (fun ((sp, factor), seed) ->
+      let nl, _ = C.build_spine Tech.cmos025 sp in
+      let lib = C.library Tech.cmos025 in
+      let t0 = Timing.critical_delay (Timing.analyze ~lib nl) in
+      let tc = t0 *. factor in
+      match
+        Fault.with_spec
+          (Printf.sprintf "all,seed=%Ld" seed)
+          (fun () -> Flow.optimize_o ~max_rounds:3 ~lib ~tc nl)
+      with
+      | Outcome.Failed diag ->
+        Prop.failf "flow failed on a valid netlist under faults: %s"
+          (Diag.one_line diag)
+      | Outcome.Exact r | Outcome.Degraded (r, _) ->
+        requiref
+          (r.Flow.final_delay <= (r.Flow.initial_delay *. (1. +. 1e-9)) +. 1e-6)
+          "faulted flow worsened the delay: %.6g -> %.6g" r.Flow.initial_delay
+          r.Flow.final_delay;
+        (match r.Flow.equivalence with
+        | Ok () -> ()
+        | Error e -> Prop.failf "faulted flow broke equivalence: %s" e);
+        match Netlist.validate nl with
+        | Ok () -> ()
+        | Error e -> Prop.failf "faulted flow left an invalid netlist: %s" e)
+
+let () =
+  Prop.register ~max_size:4 ~name:"fault.flow_reports_contained_tasks"
+    (Gen.pair C.spine_spec Gen.int64)
+    (fun (sp, seed) ->
+      let nl, _ = C.build_spine Tech.cmos025 sp in
+      let lib = C.library Tech.cmos025 in
+      let t0 = Timing.critical_delay (Timing.analyze ~lib nl) in
+      (* unreachable target, so at least one round must fan out *)
+      let tc = t0 *. 0.01 in
+      match
+        Fault.with_spec
+          (Printf.sprintf "pool.raise,seed=%Ld" seed)
+          (fun () -> Flow.optimize_o ~max_rounds:2 ~lib ~tc nl)
+      with
+      | Outcome.Failed diag ->
+        Prop.failf "contained tasks escalated to Failed: %s" (Diag.one_line diag)
+      | Outcome.Exact _ -> Prop.failf "every task was killed yet the run is Exact"
+      | Outcome.Degraded (_, diags) ->
+        require
+          (has_code Diag.Pool_task_failed diags)
+          "contained pool tasks left no diagnostic in the outcome")
+
 let () = Prop.main ()

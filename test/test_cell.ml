@@ -277,6 +277,10 @@ let prop_area_linear_in_cin =
         (2. *. Cell.area c ~cin)
         (Cell.area c ~cin:(2. *. cin)))
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_cell"
     [

@@ -703,6 +703,92 @@ let prop_protocol_always_met_when_feasible =
       let r = Protocol.run ~lib ~tc p in
       r.Protocol.met)
 
+(* --- fallback ladder: watchdogs and graceful degradation --- *)
+
+module Fault = Pops_check.Fault
+module Diag = Pops_robust.Diag
+
+let has_code code diags = List.exists (fun d -> d.Diag.code = code) diags
+
+let test_ladder_healthy_first_rung () =
+  (* faults disabled: the ladder never descends and its result is
+     bit-identical to the plain entry point *)
+  Fault.clear ();
+  let baseline = Sens.solve_worst path11 in
+  let r = Sens.solve_robust path11 in
+  Alcotest.(check bool) "accelerated rung" true (r.Sens.fallback = Sens.Accelerated);
+  Alcotest.(check bool) "no warnings" true
+    (List.for_all (fun d -> d.Diag.severity = Diag.Info) r.Sens.diags);
+  Alcotest.(check bool) "bit-identical to solve_worst" true (baseline = r.Sens.sizing);
+  match Sens.solve_o path11 with
+  | Pops_robust.Outcome.Exact x ->
+    Alcotest.(check bool) "solve_o Exact, same sizing" true (x = baseline)
+  | _ -> Alcotest.fail "healthy solve_o must be Exact"
+
+let forced_rung spec =
+  Fault.with_spec spec (fun () -> Sens.solve_robust path11)
+
+let check_near_healthy (r : Sens.robust_report) =
+  (* intermediate rungs converge to the same fixed point *)
+  let healthy = Sens.solve_worst path11 in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool) "close to healthy solve" true
+        (Float.abs (x -. healthy.(i)) <= 1e-3 *. healthy.(i)))
+    r.Sens.sizing
+
+let test_ladder_forced_plain () =
+  let r = forced_rung "solver.diverge.accel" in
+  Alcotest.(check string) "rung" "plain" (Sens.rung_name r.Sens.fallback);
+  Alcotest.(check bool) "divergence reported" true
+    (has_code Diag.Solver_divergence r.Sens.diags);
+  Alcotest.(check bool) "fallback reported" true
+    (has_code Diag.Solver_fallback r.Sens.diags);
+  check_near_healthy r
+
+let test_ladder_forced_damped () =
+  let r = forced_rung "solver.diverge.accel,solver.diverge.plain" in
+  Alcotest.(check string) "rung" "damped" (Sens.rung_name r.Sens.fallback);
+  check_near_healthy r
+
+let test_ladder_forced_tmax_safe () =
+  let b = Bounds.compute path11 in
+  let r = forced_rung "solver.diverge" in
+  Alcotest.(check string) "rung" "tmax-safe" (Sens.rung_name r.Sens.fallback);
+  let d = Path.delay_worst path11 r.Sens.sizing in
+  Alcotest.(check bool) "delay within the Tmax bound" true
+    (d <= b.Bounds.tmax *. (1. +. 1e-9))
+
+let test_ladder_nan_poisoning () =
+  let r = forced_rung "solver.nan.accel" in
+  Alcotest.(check string) "rung" "plain" (Sens.rung_name r.Sens.fallback);
+  Alcotest.(check bool) "non-finite iterate reported" true
+    (has_code Diag.Solver_nonfinite r.Sens.diags);
+  Alcotest.(check bool) "injection recorded" true
+    (has_code Diag.Fault_injected r.Sens.diags);
+  check_near_healthy r
+
+let test_ladder_degraded_outcome () =
+  match Fault.with_spec "solver.diverge.accel" (fun () -> Sens.solve_o path11) with
+  | Pops_robust.Outcome.Degraded (x, diags) ->
+    Alcotest.(check bool) "diags attached" true (diags <> []);
+    Alcotest.(check bool) "sizing finite" true
+      (Array.for_all Float.is_finite x)
+  | Pops_robust.Outcome.Exact _ -> Alcotest.fail "a forced descent must degrade"
+  | Pops_robust.Outcome.Failed _ -> Alcotest.fail "a forced descent must still size"
+
+let test_ladder_budget_keeps_iterate () =
+  let budget = Pops_robust.Budget.create ~sweeps:2 () in
+  let r = Sens.solve_robust ~budget path11 in
+  Alcotest.(check bool) "sizing finite under a starved budget" true
+    (Array.for_all Float.is_finite r.Sens.sizing);
+  Alcotest.(check bool) "budget trip reported" true
+    (has_code Diag.Budget_exceeded r.Sens.diags)
+
+(* an ambient POPS_FAULT must not perturb the deterministic cases above;
+   the ladder tests arm their own specs through [Fault.with_spec] *)
+let () = Fault.clear ()
+
 let () =
   Alcotest.run "pops_core"
     [
@@ -728,6 +814,18 @@ let () =
           Alcotest.test_case "frozen stages kept" `Quick test_frozen_stages_kept;
           Alcotest.test_case "beats sutherland area" `Quick test_sutherland_vs_sensitivity_area;
           qtest prop_constraint_met;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "healthy = first rung, bit-identical" `Quick
+            test_ladder_healthy_first_rung;
+          Alcotest.test_case "forced plain" `Quick test_ladder_forced_plain;
+          Alcotest.test_case "forced damped" `Quick test_ladder_forced_damped;
+          Alcotest.test_case "forced tmax-safe" `Quick test_ladder_forced_tmax_safe;
+          Alcotest.test_case "nan poisoning" `Quick test_ladder_nan_poisoning;
+          Alcotest.test_case "degraded outcome" `Quick test_ladder_degraded_outcome;
+          Alcotest.test_case "starved budget keeps iterate" `Quick
+            test_ladder_budget_keeps_iterate;
         ] );
       ( "buffers",
         [

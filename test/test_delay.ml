@@ -285,6 +285,10 @@ let prop_gradient_zero_entry_for_drive =
   QCheck.Test.make ~name:"gradient entry 0 is zero (input gate fixed)" ~count:50 path_arb
     (fun (p, x) -> (Path.gradient p x).(0) = 0.)
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_delay"
     [

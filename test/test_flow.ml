@@ -83,6 +83,10 @@ let prop_flow_keeps_logic_and_validity =
       let r = Flow.optimize ~max_rounds:8 ~lib ~tc t in
       Netlist.validate t = Ok () && r.Flow.equivalence = Ok ())
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_flow"
     [

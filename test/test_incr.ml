@@ -206,6 +206,10 @@ let test_flow_final_delay_matches_cold_sta () =
         (r.Pops_flow.Flow.equivalence = Ok ()))
     [ "fpd"; "c432"; "c880" ]
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_incr"
     [

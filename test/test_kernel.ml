@@ -400,6 +400,10 @@ let test_bisect_for_beta () =
   Alcotest.(check bool) "infeasible returns None" true
     (Sens.bisect_for_beta ~beta:0.5 path ~tc:(0.5 *. b.Bounds.tmin) = None)
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_kernel"
     [

@@ -610,6 +610,10 @@ let prop_bench_roundtrip_fuzz =
       | Ok (t2, _) ->
         Netlist.validate t2 = Ok () && Logic.equivalent ~vectors:192 t t2 = Ok ())
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_netlist"
     [

@@ -201,6 +201,10 @@ let test_random_search_deterministic () =
         seq.Random_search.sizing par.Random_search.sizing)
     Profiles.all
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_par"
     [

@@ -207,6 +207,10 @@ let prop_sim_vs_model_band =
       let ratio = sim /. analytic in
       ratio > 0.65 && ratio < 1.35)
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_spice"
     [

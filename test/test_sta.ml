@@ -399,6 +399,10 @@ let prop_pops_beats_or_ties_amps_area =
         || r.Sens.area <= amps.Pops_amps.Amps.area *. 1.02
       | Error _ -> false)
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_sta"
     [

@@ -298,6 +298,10 @@ let prop_percentile_bounded =
       let v = Stats.percentile a p in
       v >= Stats.minimum a -. 1e-9 && v <= Stats.maximum a +. 1e-9)
 
+(* a stray POPS_FAULT must not perturb this deterministic suite;
+   fault behaviour is covered by pops_prop and test_core's ladder *)
+let () = Pops_check.Fault.clear ()
+
 let () =
   Alcotest.run "pops_util"
     [
