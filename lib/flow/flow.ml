@@ -119,8 +119,9 @@ let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
   (* structural surgery is speculative: a De Morgan rewrite or shield can
      overshoot and the remaining rounds may never win the delay back.
      Track the best state seen so the run can rewind instead of returning
-     something worse than it ever had. *)
-  let best = ref (Netlist.copy t, initial_delay) in
+     something worse than it ever had.  The initial best IS the reference
+     snapshot — both are only ever read, so no second O(V) copy. *)
+  let best = ref (reference, initial_delay) in
   let buffers_added = ref 0 and rewrites_total = ref 0 in
   let iterations = ref [] in
   let protocol_ms = ref 0. in

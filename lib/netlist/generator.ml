@@ -114,6 +114,109 @@ let generate tech profile =
   | Error msg -> failwith ("Generator.generate: " ^ msg));
   (t, Array.to_list spine)
 
+(* ------------------------------------------------------------------ *)
+(* full-chip scale profiles                                            *)
+(* ------------------------------------------------------------------ *)
+
+type scale_shape = Grid | Spine | Iscas
+
+let scale_shape_name = function
+  | Grid -> "grid"
+  | Spine -> "spine"
+  | Iscas -> "iscas"
+
+(* layered datapath-like circuit: [depth ~ 3 log2 gates] layers of
+   roughly equal width, every gate reading the previous layer.  All
+   bookkeeping is per-gate constant work on dense arrays — no
+   intermediate per-layer lists — so generation streams at any size. *)
+let generate_grid tech ~name ~gates =
+  let rng = Rng.of_string name in
+  let t = Netlist.create tech in
+  let log2 n =
+    let r = ref 0 and v = ref n in
+    while !v > 1 do
+      incr r;
+      v := !v / 2
+    done;
+    !r
+  in
+  let depth = max 8 (3 * log2 (max 2 gates)) in
+  let width = max 4 (gates / depth) in
+  let mix =
+    [| (Gk.Inv, 0.22); (Gk.Nand 2, 0.34); (Gk.Nor 2, 0.22);
+       (Gk.Nand 3, 0.12); (Gk.Nor 3, 0.10) |]
+  in
+  let prev = ref (Array.init width (fun _ -> Netlist.add_input t)) in
+  let made = ref 0 in
+  while !made < gates do
+    let n_layer = min width (gates - !made) in
+    let layer = Array.make n_layer (-1) in
+    let src = !prev in
+    let n_src = Array.length src in
+    for j = 0 to n_layer - 1 do
+      let kind = Rng.weighted_pick rng mix in
+      let arity = Gk.arity kind in
+      (* pin 0 strides across the layer so every source keeps at least a
+         chance of a consumer; other pins are uniform *)
+      let fanins =
+        Array.init arity (fun pin ->
+            if pin = 0 then src.(j mod n_src) else src.(Rng.int rng n_src))
+      in
+      layer.(j) <- Netlist.add_gate t kind fanins
+    done;
+    made := !made + n_layer;
+    prev := layer
+  done;
+  (* every sink-less node becomes a primary output, so the circuit
+     validates and timing sees a load at each endpoint *)
+  let bound = Netlist.id_bound t in
+  for id = 0 to bound - 1 do
+    if
+      Netlist.node_exists t id
+      && (Netlist.node t id).Netlist.fanouts = []
+      && (match (Netlist.node t id).Netlist.kind with
+         | Netlist.Cell _ -> true
+         | Netlist.Primary_input -> false)
+    then Netlist.set_output t id ~load:(tech.Pops_process.Tech.cmin *. 4.)
+  done;
+  t
+
+(* one maximally deep chain — the Stack_overflow stress shape: depth
+   equals the gate count, so any depth-recursive traversal dies here
+   long before a million gates *)
+let generate_spine tech ~name ~gates =
+  let rng = Rng.of_string name in
+  let t = Netlist.create tech in
+  let n_inputs = 8 in
+  let pis = Array.init n_inputs (fun _ -> Netlist.add_input t) in
+  let mix = [| (Gk.Inv, 0.40); (Gk.Nand 2, 0.35); (Gk.Nor 2, 0.25) |] in
+  let prev = ref pis.(0) in
+  for _ = 1 to gates do
+    let kind = Rng.weighted_pick rng mix in
+    let arity = Gk.arity kind in
+    let fanins =
+      Array.init arity (fun pin ->
+          if pin = 0 then !prev else pis.(Rng.int rng n_inputs))
+    in
+    prev := Netlist.add_gate t kind fanins
+  done;
+  Netlist.set_output t !prev ~load:60.;
+  t
+
+let generate_scale tech ~name ~gates ~shape =
+  if gates < 8 then invalid_arg "Generator.generate_scale: gates < 8";
+  match shape with
+  | Grid -> generate_grid tech ~name ~gates
+  | Spine -> generate_spine tech ~name ~gates
+  | Iscas ->
+    (* the reference spine+side shape, spine depth capped so the bulk of
+       the budget goes to side fan-out the way a mapped ISCAS circuit
+       spends it *)
+    let path_gates = max 16 (min 2048 (gates / 48)) in
+    fst (generate tech (make_profile ~name ~path_gates ~total_gates:gates ()))
+
+let scale_trajectory = [ 100_000; 500_000; 1_000_000 ]
+
 module Diag = Pops_robust.Diag
 
 let generate_o tech profile =

@@ -32,6 +32,27 @@ val generate : Pops_process.Tech.t -> profile -> Netlist.t * int list
     satisfies {!Netlist.validate} and the spine realises
     {!Netlist.depth}. *)
 
+type scale_shape =
+  | Grid  (** layered datapath: [~ 3 log2 gates] layers of equal width *)
+  | Spine
+      (** one maximally deep chain (depth = gate count) — the
+          Stack_overflow stress shape *)
+  | Iscas  (** the reference spine+side shape with the spine depth capped *)
+
+val scale_shape_name : scale_shape -> string
+
+val generate_scale :
+  Pops_process.Tech.t -> name:string -> gates:int -> shape:scale_shape ->
+  Netlist.t
+(** A full-chip scale benchmark circuit with exactly [gates] gates,
+    deterministic in [name].  Generation is streamed — per-gate constant
+    work on dense arrays — so million-gate circuits build in linear time
+    and memory.  Every sink-less gate is promoted to a primary output.
+    @raise Invalid_argument when [gates < 8]. *)
+
+val scale_trajectory : int list
+(** The benchmark gate-count trajectory: 100k, 500k, 1M. *)
+
 val make_profile_r :
   ?total_gates:int -> ?out_load:float -> ?side_load:float ->
   name:string -> path_gates:int -> unit ->

@@ -174,20 +174,26 @@ let switching_activity t ?input_prob id =
 
 let cone_limit = 16
 
-(* transitive fan-in set of [id], including [id] itself *)
+(* transitive fan-in set of [id], including [id] itself; explicit
+   worklist so a million-gate-deep cone cannot overflow the stack *)
 let cone_set t id =
   ignore (Netlist.node t id);
   let seen = Hashtbl.create 64 in
-  let rec go id =
-    if not (Hashtbl.mem seen id) then begin
-      Hashtbl.add seen id ();
-      let n = Netlist.node t id in
-      match n.Netlist.kind with
-      | Netlist.Primary_input -> ()
-      | Netlist.Cell _ -> Array.iter go n.Netlist.fanins
-    end
-  in
-  go id;
+  let stack = ref [ id ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+      stack := rest;
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        let n = Netlist.node t id in
+        match n.Netlist.kind with
+        | Netlist.Primary_input -> ()
+        | Netlist.Cell _ ->
+          Array.iter (fun f -> stack := f :: !stack) n.Netlist.fanins
+      end
+  done;
   seen
 
 let cone_support t id =

@@ -115,6 +115,79 @@ val load_on : t -> int -> float
     invalidate only the nets they touch and the value is recomputed (with
     the identical fold, so bit-identical) on the next query. *)
 
+(** Flat compressed-sparse-row view of the netlist, the storage the
+    timing hot path runs on.  All arrays are indexed either by node id
+    (kind codes, sizes, loads, adjacency offsets) or by {e order index}
+    (the (level, id)-sorted live-node permutation), so a propagation
+    sweep touches only unboxed [int]/[float] arrays — no node records,
+    no lists, no allocation.
+
+    The snapshot is owned by the netlist and {e synced in place}: after
+    pure scalar edits (sizes, wires, kinds, terminal loads) {!csr}
+    refreshes only the dirtied entries from the dirty log; a structural
+    edit (adding, rewiring or deleting nodes) triggers a full O(V + E)
+    rebuild on the next call.  Do not hold a [Csr.t] across structural
+    edits. *)
+module Csr : sig
+  type t
+
+  val code_kinds : Pops_cell.Gate_kind.t array
+  (** The cell kinds in kind-code order: [code_kinds.(code)] is the kind
+      encoded as [code] in {!kind_code}. *)
+
+  val bound : t -> int
+  (** Exclusive id bound of the snapshot ({!Netlist.id_bound} at build). *)
+
+  val length : t -> int
+  (** Number of live nodes (the length of {!node_of}). *)
+
+  val node_of : t -> int array
+  (** Live ids sorted by (level, id) — the topological order. *)
+
+  val pos : t -> int array
+  (** By id: index into {!node_of}, [-1] for dead ids. *)
+
+  val level_off : t -> int array
+  (** Level [l] occupies {!node_of} indices [level_off.(l)] to
+      [level_off.(l+1) - 1]; length [depth + 2]. *)
+
+  val depth : t -> int
+
+  val kind_code : t -> int array
+  (** By id: [-1] for primary inputs, [-2] for cells outside
+      {!code_kinds}, else an index into {!code_kinds}. *)
+
+  val cin : t -> float array
+  (** By id: input capacitance per pin, fF. *)
+
+  val load : t -> float array
+  (** By id: {!Netlist.load_on} snapshot (bit-identical to the query). *)
+
+  val fanin_off : t -> int array
+  (** By id, length [bound + 1]: node [id]'s fan-ins are
+      [fanin.(fanin_off.(id))] to [fanin.(fanin_off.(id+1) - 1)], in pin
+      order. *)
+
+  val fanin : t -> int array
+
+  val fanout_off : t -> int array
+  (** Like {!fanin_off} for the packed consumer array; entries follow the
+      node's fanout-list order, so folds over them replay list folds
+      bit-identically. *)
+
+  val fanout : t -> int array
+
+  val fanout_pins : t -> int array
+  (** Parallel to {!fanout}: how many pins that consumer reads the net
+      on. *)
+end
+
+val csr : t -> Csr.t
+(** The current CSR snapshot, rebuilt or resynced as needed (see
+    {!Csr}).  Levels are (re)computed first when stale.
+    @raise Pops_robust.Diag.Fatal on a cyclic netlist (see
+    {!topological_order}). *)
+
 val revision : t -> int
 (** Monotone edit counter: the current length of the dirty log.  Equal
     revisions mean no timing-relevant mutation happened in between. *)

@@ -55,26 +55,31 @@ let extract ?input_slope ~lib t nodes =
 
 (* edge-agnostic per-gate delay estimate (nominal input slope, worst
    output edge) used as the additive metric for path enumeration; dense
-   array indexed by node id *)
+   array indexed by node id.  Iterates the CSR order array (no list
+   materialization) but evaluates each gate with the same library cell
+   and model call as always, so estimates are bit-identical to the
+   pre-CSR loop. *)
 let delay_estimates ~lib t =
   let tech = Netlist.tech t in
   let tau_in = 2. *. tech.Pops_process.Tech.tau in
   let est = Array.make (Netlist.id_bound t) 0. in
-  List.iter
-    (fun id ->
-      let n = Netlist.node t id in
-      match n.Netlist.kind with
-      | Netlist.Primary_input -> est.(id) <- 0.
-      | Netlist.Cell kind ->
-        let cell = Pops_cell.Library.find lib kind in
-        let cload =
-          Netlist.load_on t id +. Pops_cell.Cell.cpar cell ~cin:n.Netlist.cin
-        in
-        let d edge_out =
-          fst (Model.stage_delay cell ~edge_out ~tau_in ~cin:n.Netlist.cin ~cload)
-        in
-        est.(id) <- Float.max (d Edge.Rising) (d Edge.Falling))
-    (Netlist.topological_order t);
+  let c = Netlist.csr t in
+  let node_of = Netlist.Csr.node_of c in
+  for i = 0 to Netlist.Csr.length c - 1 do
+    let id = node_of.(i) in
+    let n = Netlist.node t id in
+    match n.Netlist.kind with
+    | Netlist.Primary_input -> est.(id) <- 0.
+    | Netlist.Cell kind ->
+      let cell = Pops_cell.Library.find lib kind in
+      let cload =
+        Netlist.load_on t id +. Pops_cell.Cell.cpar cell ~cin:n.Netlist.cin
+      in
+      let d edge_out =
+        fst (Model.stage_delay cell ~edge_out ~tau_in ~cin:n.Netlist.cin ~cload)
+      in
+      est.(id) <- Float.max (d Edge.Rising) (d Edge.Falling)
+  done;
   est
 
 let critical ?input_slope ?timing ~lib t =
@@ -135,7 +140,125 @@ module Pq = struct
     end
 end
 
+(* shared tail of both k_worst implementations: re-rank candidates by
+   exact extracted path delay; deduplicate on the gate-only node list
+   (two raw paths may share every gate and differ only in the primary
+   input) *)
+let rank_candidates ?input_slope ~lib t ~k candidates =
+  let seen = Hashtbl.create 16 in
+  let extracted =
+    List.filter_map
+      (fun nodes ->
+        match extract ?input_slope ~lib t nodes with
+        | e ->
+          let key = String.concat "," (List.map string_of_int e.nodes) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.replace seen key ();
+            Some e
+          end
+        | exception Invalid_argument _ -> None)
+      candidates
+  in
+  let with_delay =
+    List.map
+      (fun e ->
+        let sizing =
+          Array.of_list
+            (List.map (fun id -> (Netlist.node t id).Netlist.cin) e.nodes)
+        in
+        (Path.delay_worst e.path sizing, e))
+      extracted
+  in
+  List.sort (fun (d1, _) (d2, _) -> compare d2 d1) with_delay
+  |> List.filteri (fun i _ -> i < k)
+  |> List.map snd
+
+(* Best-first enumeration over the CSR arrays with an {e arena} of
+   search-tree entries (node, parent, distance) in three flat arrays:
+   the frontier never materializes a per-path list, so enumeration space
+   is O(V + E + pushes) regardless of path depth — on a 1M-gate design
+   the legacy cons-per-push variant kept the same asymptotic tree but
+   rebuilt every emitted path eagerly; here only the <= 3k winners are
+   materialized, by walking parent pointers.  Push order, priorities and
+   the pop bound are identical to the legacy enumeration, so the
+   surviving paths are too. *)
 let k_worst ?(k = 5) ?input_slope ~lib t =
+  let est = delay_estimates ~lib t in
+  let c = Netlist.csr t in
+  let node_of = Netlist.Csr.node_of c in
+  let fanout_off = Netlist.Csr.fanout_off c in
+  let fanout = Netlist.Csr.fanout c in
+  (* longest-suffix bound per node under the estimate metric; CSR fanout
+     entries replay the fanout-list fold order *)
+  let suffix = Array.make (Netlist.id_bound t) 0. in
+  for i = Netlist.Csr.length c - 1 downto 0 do
+    let id = node_of.(i) in
+    let best = ref 0. in
+    for fo = fanout_off.(id) to fanout_off.(id + 1) - 1 do
+      let cn = fanout.(fo) in
+      best := Float.max !best (est.(cn) +. suffix.(cn))
+    done;
+    suffix.(id) <- !best
+  done;
+  let output_flag = Array.make (Netlist.id_bound t) false in
+  List.iter (fun (id, _) -> output_flag.(id) <- true) (Netlist.outputs t);
+  let a_node = ref (Array.make 1024 0)
+  and a_parent = ref (Array.make 1024 (-1))
+  and a_d = ref (Array.make 1024 0.)
+  and a_len = ref 0 in
+  let push_entry node parent d =
+    if !a_len >= Array.length !a_node then begin
+      let cap = 2 * Array.length !a_node in
+      let grow_i a = Array.append a (Array.make (Array.length a) 0) in
+      a_node := grow_i !a_node;
+      a_parent := grow_i !a_parent;
+      a_d := Array.append !a_d (Array.make (Array.length !a_d) 0.);
+      ignore cap
+    end;
+    let e = !a_len in
+    !a_node.(e) <- node;
+    !a_parent.(e) <- parent;
+    !a_d.(e) <- d;
+    a_len := e + 1;
+    e
+  in
+  let q = Pq.create () in
+  List.iter
+    (fun pi -> Pq.push q suffix.(pi) (push_entry pi (-1) 0.))
+    (Netlist.inputs t);
+  let results = ref [] and n_results = ref 0 and pops = ref 0 in
+  let want = 3 * k in
+  let rec search () =
+    if !n_results >= want || !pops > 200_000 then ()
+    else
+      match Pq.pop q with
+      | None -> ()
+      | Some (_, e) ->
+        incr pops;
+        let head = !a_node.(e) in
+        if output_flag.(head) then begin
+          results := e :: !results;
+          incr n_results
+        end;
+        let d = !a_d.(e) in
+        for fo = fanout_off.(head) to fanout_off.(head + 1) - 1 do
+          let cn = fanout.(fo) in
+          let d' = d +. est.(cn) in
+          Pq.push q (d' +. suffix.(cn)) (push_entry cn e d')
+        done;
+        search ()
+  in
+  search ();
+  let path_of_entry e =
+    let rec go e acc = if e < 0 then acc else go !a_parent.(e) (!a_node.(e) :: acc) in
+    go e []
+  in
+  rank_candidates ?input_slope ~lib t ~k (List.rev_map path_of_entry !results)
+
+(* the pre-arena enumeration (cons-cell payloads, list topological
+   order); the oracle k_worst is tested against *)
+let k_worst_reference ?(k = 5) ?input_slope ~lib t =
   let est = delay_estimates ~lib t in
   (* longest-suffix bound per node under the estimate metric *)
   let suffix = Array.make (Netlist.id_bound t) 0. in
@@ -180,37 +303,7 @@ let k_worst ?(k = 5) ?input_slope ~lib t =
         search ()
   in
   search ();
-  (* re-rank candidates by exact extracted path delay; deduplicate on the
-     gate-only node list (two raw paths may share every gate and differ
-     only in the primary input) *)
-  let seen = Hashtbl.create 16 in
-  let extracted =
-    List.filter_map
-      (fun nodes ->
-        match extract ?input_slope ~lib t nodes with
-        | e ->
-          let key = String.concat "," (List.map string_of_int e.nodes) in
-          if Hashtbl.mem seen key then None
-          else begin
-            Hashtbl.replace seen key ();
-            Some e
-          end
-        | exception Invalid_argument _ -> None)
-      (List.rev !results)
-  in
-  let with_delay =
-    List.map
-      (fun e ->
-        let sizing =
-          Array.of_list
-            (List.map (fun id -> (Netlist.node t id).Netlist.cin) e.nodes)
-        in
-        (Path.delay_worst e.path sizing, e))
-      extracted
-  in
-  List.sort (fun (d1, _) (d2, _) -> compare d2 d1) with_delay
-  |> List.filteri (fun i _ -> i < k)
-  |> List.map snd
+  rank_candidates ?input_slope ~lib t ~k (List.rev !results)
 
 let apply_sizing t nodes sizing =
   if List.length nodes <> Array.length sizing then

@@ -35,7 +35,21 @@ val k_worst :
   Pops_netlist.Netlist.t -> extracted list
 (** The [k] (default 5) most critical {e distinct} input-to-output paths
     by STA delay, worst first, found by best-first enumeration with
-    longest-suffix pruning. *)
+    longest-suffix pruning.
+
+    The search tree lives in a flat arena (node, parent, distance
+    arrays) over the netlist's {!Pops_netlist.Netlist.Csr} snapshot —
+    no per-path lists are built while enumerating, so memory is
+    [O(V + E + k * depth)] even on million-gate designs; only the
+    surviving candidates are materialized by walking parent pointers. *)
+
+val k_worst_reference :
+  ?k:int -> ?input_slope:float -> lib:Pops_cell.Library.t ->
+  Pops_netlist.Netlist.t -> extracted list
+(** The pre-arena enumeration (cons-cell path payloads): the oracle
+    {!k_worst} is tested against in the equivalence suite, and the
+    baseline the [sta_scale] benchmark measures.  Same results as
+    {!k_worst}, not for production use. *)
 
 val apply_sizing : Pops_netlist.Netlist.t -> int list -> float array -> unit
 (** [apply_sizing t nodes sizing] writes the path sizing back into the

@@ -2,11 +2,74 @@ module Netlist = Pops_netlist.Netlist
 module Gk = Pops_cell.Gate_kind
 module Edge = Pops_delay.Edge
 module Model = Pops_delay.Model
+module Pool = Pops_util.Pool
 
 type arrival = { time : float; slope : float; from_ : (int * Edge.t) option }
 
-(* Arrivals live in dense arrays indexed by node id; [time = nan] means
-   no arrival is known for that (node, edge).  Provenance is packed as
+(* Per-kind-code delay coefficients, hoisted out of the propagation
+   sweep: everything {!Model.stage_delay} reads from the cell record,
+   pre-multiplied where the grouping keeps float results bit-identical
+   ([s *. tau] is the left-most association of eq. 1 either way).
+   Indexed by {!Netlist.Csr.kind_code}; a kind missing from the library
+   has [have = false] and propagating through it raises [Not_found],
+   exactly like the legacy per-node library lookup. *)
+type tables = {
+  have : bool array;
+  klass : int array;  (* 0 inverting, 1 xor-class, 2 buffer *)
+  stau_hl : float array;  (* s_hl *. tau *)
+  stau_lh : float array;
+  cm_hl : float array;  (* coupling-capacitance ratio, falling output *)
+  cm_lh : float array;
+  par : float array;  (* parasitic ratio: cpar = par *. cin *)
+  vtn_red : float;
+  vtp_red : float;
+}
+
+let build_tables ~lib =
+  let n = Array.length Netlist.Csr.code_kinds in
+  let have = Array.make n false
+  and klass = Array.make n 0
+  and stau_hl = Array.make n Float.nan
+  and stau_lh = Array.make n Float.nan
+  and cm_hl = Array.make n Float.nan
+  and cm_lh = Array.make n Float.nan
+  and par = Array.make n Float.nan in
+  Array.iteri
+    (fun code kind ->
+      match Pops_cell.Library.find lib kind with
+      | (cell : Pops_cell.Cell.t) ->
+        have.(code) <- true;
+        klass.(code) <-
+          (match kind with
+          | Gk.Xor2 | Gk.Xnor2 -> 1
+          | Gk.Buf -> 2
+          | Gk.Inv | Gk.Nand _ | Gk.Nor _ | Gk.Aoi21 | Gk.Oai21 | Gk.Aoi22
+          | Gk.Oai22 -> 0);
+        stau_hl.(code) <- cell.s_hl *. cell.tech.Pops_process.Tech.tau;
+        stau_lh.(code) <- cell.s_lh *. cell.tech.Pops_process.Tech.tau;
+        cm_hl.(code) <- cell.cm_ratio_hl;
+        cm_lh.(code) <- cell.cm_ratio_lh;
+        par.(code) <- cell.par_ratio
+      | exception Not_found -> ())
+    Netlist.Csr.code_kinds;
+  let tech = Pops_cell.Library.tech lib in
+  {
+    have;
+    klass;
+    stau_hl;
+    stau_lh;
+    cm_hl;
+    cm_lh;
+    par;
+    vtn_red = Pops_process.Tech.vtn_reduced tech;
+    vtp_red = Pops_process.Tech.vtp_reduced tech;
+  }
+
+(* Arrivals live in one dense float array with four slots per node id —
+   [4id] rise time, [4id+1] rise slope, [4id+2] fall time, [4id+3] fall
+   slope — so reading both edges of a fan-in in the propagation sweep
+   touches one cache line instead of four arrays.  [time = nan] means no
+   arrival is known for that (node, edge).  Provenance is packed as
    [2 * src + edge_bit], -1 for a primary input.  [cursor] is this
    analysis' position in the netlist's dirty log: queries first fold the
    log back in through {!update}, re-propagating only while arrivals
@@ -14,17 +77,19 @@ type arrival = { time : float; slope : float; from_ : (int * Edge.t) option }
 type t = {
   netlist : Netlist.t;
   lib : Pops_cell.Library.t;
+  tables : tables;
   input_slope : float;
   input_arrival : float;
+  level_par_min : int;  (* minimum level width to fan out across the pool *)
   mutable cap : int;  (* arrays valid for ids < cap *)
-  mutable rise_time : float array;
-  mutable rise_slope : float array;
+  mutable arr : float array;  (* 4 * cap arrival slots *)
   mutable rise_from : int array;
-  mutable fall_time : float array;
-  mutable fall_slope : float array;
   mutable fall_from : int array;
   mutable cursor : int;
 }
+
+(* slot offset of an edge's (time, slope) pair within a node's block *)
+let edge_off = function Edge.Rising -> 0 | Edge.Falling -> 2
 
 let edge_bit = function Edge.Rising -> 0 | Edge.Falling -> 1
 let pack_from src edge = (2 * src) + edge_bit edge
@@ -44,23 +109,20 @@ let grow t =
   let bound = Netlist.id_bound t.netlist in
   if bound > t.cap then begin
     let cap = max bound (2 * t.cap) in
-    let grow_f a = Array.append a (Array.make (cap - t.cap) Float.nan) in
     let grow_i a = Array.append a (Array.make (cap - t.cap) (-1)) in
-    t.rise_time <- grow_f t.rise_time;
-    t.rise_slope <- grow_f t.rise_slope;
+    t.arr <- Array.append t.arr (Array.make (4 * (cap - t.cap)) Float.nan);
     t.rise_from <- grow_i t.rise_from;
-    t.fall_time <- grow_f t.fall_time;
-    t.fall_slope <- grow_f t.fall_slope;
     t.fall_from <- grow_i t.fall_from;
     t.cap <- cap
   end
 
 let clear_node t id =
-  t.rise_time.(id) <- Float.nan;
-  t.rise_slope.(id) <- Float.nan;
+  let b = 4 * id in
+  t.arr.(b) <- Float.nan;
+  t.arr.(b + 1) <- Float.nan;
+  t.arr.(b + 2) <- Float.nan;
+  t.arr.(b + 3) <- Float.nan;
   t.rise_from.(id) <- -1;
-  t.fall_time.(id) <- Float.nan;
-  t.fall_slope.(id) <- Float.nan;
   t.fall_from.(id) <- -1
 
 (* recompute both edges of one node from its fan-ins' stored arrivals;
@@ -81,19 +143,16 @@ let eval_node t id =
       let best = ref None in
       List.iter
         (fun edge_in ->
-          let src_time, src_slope =
-            match edge_in with
-            | Edge.Rising -> (t.rise_time, t.rise_slope)
-            | Edge.Falling -> (t.fall_time, t.fall_slope)
-          in
+          let off = edge_off edge_in in
           Array.iter
             (fun fanin ->
-              if not (Float.is_nan src_time.(fanin)) then begin
+              let src = (4 * fanin) + off in
+              if not (Float.is_nan t.arr.(src)) then begin
                 let d, tau_out =
-                  Model.stage_delay cell ~edge_out ~tau_in:src_slope.(fanin)
+                  Model.stage_delay cell ~edge_out ~tau_in:t.arr.(src + 1)
                     ~cin:n.Netlist.cin ~cload
                 in
-                let time = src_time.(fanin) +. d in
+                let time = t.arr.(src) +. d in
                 match !best with
                 | Some (bt, _, _) when bt >= time -> ()
                 | Some _ | None ->
@@ -107,25 +166,27 @@ let eval_node t id =
 
 (* store one edge's result; returns true when time or slope moved (the
    only components downstream consumers read) *)
-let store_edge times slopes froms id = function
+let store_edge arr froms ~toff id = function
   | None ->
-    let changed = not (Float.is_nan times.(id)) in
-    times.(id) <- Float.nan;
-    slopes.(id) <- Float.nan;
+    let b = (4 * id) + toff in
+    let changed = not (Float.is_nan arr.(b)) in
+    arr.(b) <- Float.nan;
+    arr.(b + 1) <- Float.nan;
     froms.(id) <- -1;
     changed
   | Some (time, slope, from) ->
+    let b = (4 * id) + toff in
     let changed =
-      Float.is_nan times.(id) || times.(id) <> time || slopes.(id) <> slope
+      Float.is_nan arr.(b) || arr.(b) <> time || arr.(b + 1) <> slope
     in
-    times.(id) <- time;
-    slopes.(id) <- slope;
+    arr.(b) <- time;
+    arr.(b + 1) <- slope;
     froms.(id) <- from;
     changed
 
 let store_node t id (rise, fall) =
-  let r = store_edge t.rise_time t.rise_slope t.rise_from id rise in
-  let f = store_edge t.fall_time t.fall_slope t.fall_from id fall in
+  let r = store_edge t.arr t.rise_from ~toff:0 id rise in
+  let f = store_edge t.arr t.fall_from ~toff:2 id fall in
   r || f
 
 (* min-heap of node ids keyed by topological level: popping in level
@@ -181,6 +242,200 @@ module Heap = struct
     end
 end
 
+(* --- CSR level sweep -------------------------------------------------- *)
+
+(* Re-evaluate the order slice [lo, hi) straight off the CSR arrays.
+   This is {!eval_node}+{!store_node} with every indirection peeled off:
+   per-kind coefficients come from the prebuilt tables, loads and sizes
+   from the snapshot, and the whole loop touches only unboxed arrays —
+   no allocation per node (the running best lives in a one-slot float
+   array because a float ref would box on every update).  Arithmetic is
+   grouped exactly as {!Model.stage_delay} groups it and fan-ins are
+   visited in the same (edge, pin) order with the same keep-first tie
+   break, so results are bit-identical to the record-based evaluator.
+
+   Nodes only read arrivals of strictly lower levels, so any partition
+   of one level into slices — including a concurrent one — stores the
+   same values.
+
+   The loop body uses [Array.unsafe_get]/[unsafe_set]: every index is
+   in bounds by the CSR construction invariants — [node_of.(i)] for
+   [i] in [lo, hi) is a live id < [id_bound]; the per-id arrays
+   ([kind_code], [cin], [load], [rise_from], [fall_from]) have length
+   [id_bound] and [fanin_off] has [id_bound + 1]; [arr] has
+   [4 * id_bound] slots; every [fanin] entry is itself a live id; and
+   [code] indexes the per-kind tables only after [tb.have.(code)]
+   (a safe access) has confirmed it. *)
+let sweep_range t (c : Netlist.Csr.t) lo hi =
+  let tb = t.tables in
+  let node_of = Netlist.Csr.node_of c in
+  let kind_code = Netlist.Csr.kind_code c in
+  let cin = Netlist.Csr.cin c in
+  let load = Netlist.Csr.load c in
+  let fanin_off = Netlist.Csr.fanin_off c in
+  let fanin = Netlist.Csr.fanin c in
+  let arr = t.arr in
+  let rise_f = t.rise_from and fall_f = t.fall_from in
+  let vtp = tb.vtp_red and vtn = tb.vtn_red in
+  let best = Array.make 2 Float.nan in
+  let best_from = ref (-1) in
+  let best_from2 = ref (-1) in
+  for i = lo to hi - 1 do
+    let id = Array.unsafe_get node_of i in
+    let code = Array.unsafe_get kind_code id in
+    if code = -1 then begin
+      let b = 4 * id in
+      Array.unsafe_set arr b t.input_arrival;
+      Array.unsafe_set arr (b + 1) t.input_slope;
+      Array.unsafe_set arr (b + 2) t.input_arrival;
+      Array.unsafe_set arr (b + 3) t.input_slope;
+      Array.unsafe_set rise_f id (-1);
+      Array.unsafe_set fall_f id (-1)
+    end
+    else if code = -2 || not tb.have.(code) then raise Not_found
+    else begin
+      let cin_v = Array.unsafe_get cin id in
+      let cload =
+        Array.unsafe_get load id +. (Array.unsafe_get tb.par code *. cin_v)
+      in
+      let f_lo = Array.unsafe_get fanin_off id
+      and f_hi = Array.unsafe_get fanin_off (id + 1) in
+      let kl = Array.unsafe_get tb.klass code in
+      (* [x /. 2.] is written [x *. 0.5] throughout: exact for every
+         IEEE double, so results stay bit-identical to the reference *)
+      if kl <> 1 then begin
+        (* single causing input edge per output edge: one fused pass
+           over the pins evaluates both output edges, reading each
+           fan-in's arrival slots once.  Per output edge the candidate
+           order is still pin order, so the keep-first tie break (and
+           hence every stored bit) matches the two-pass loop. *)
+        let tau_r = Array.unsafe_get tb.stau_lh code *. cload /. cin_v in
+        let tau_f = Array.unsafe_get tb.stau_hl code *. cload /. cin_v in
+        let cm_r = Array.unsafe_get tb.cm_lh code *. cin_v in
+        let cm_f = Array.unsafe_get tb.cm_hl code *. cin_v in
+        let gterm_r = (1. +. (2. *. cm_r /. (cm_r +. cload))) *. tau_r *. 0.5 in
+        let gterm_f = (1. +. (2. *. cm_f /. (cm_f +. cload))) *. tau_f *. 0.5 in
+        (* rising output caused by a falling input for inverting cells,
+           by a rising input for buffers (and vice versa); [or_]/[of_]
+           are the slot offsets of those causing edges *)
+        let or_ = if kl = 2 then 0 else 2 in
+        let of_ = 2 - or_ in
+        let ei_r = or_ lsr 1 in
+        let ei_f = 1 - ei_r in
+        Array.unsafe_set best 0 Float.nan;
+        Array.unsafe_set best 1 Float.nan;
+        best_from := -1;
+        best_from2 := -1;
+        for p = f_lo to f_hi - 1 do
+          let f = Array.unsafe_get fanin p in
+          let b = 4 * f in
+          let str = Array.unsafe_get arr (b + or_) in
+          if not (Float.is_nan str) then begin
+            let time =
+              str
+              +. ((vtp *. Array.unsafe_get arr (b + or_ + 1) *. 0.5)
+                 +. gterm_r)
+            in
+            if not (Array.unsafe_get best 0 >= time) then begin
+              Array.unsafe_set best 0 time;
+              best_from := (2 * f) + ei_r
+            end
+          end;
+          let stf = Array.unsafe_get arr (b + of_) in
+          if not (Float.is_nan stf) then begin
+            let time =
+              stf
+              +. ((vtn *. Array.unsafe_get arr (b + of_ + 1) *. 0.5)
+                 +. gterm_f)
+            in
+            if not (Array.unsafe_get best 1 >= time) then begin
+              Array.unsafe_set best 1 time;
+              best_from2 := (2 * f) + ei_f
+            end
+          end
+        done;
+        let b = 4 * id in
+        if !best_from >= 0 then begin
+          Array.unsafe_set arr b (Array.unsafe_get best 0);
+          Array.unsafe_set arr (b + 1) tau_r;
+          Array.unsafe_set rise_f id !best_from
+        end
+        else begin
+          Array.unsafe_set arr b Float.nan;
+          Array.unsafe_set arr (b + 1) Float.nan;
+          Array.unsafe_set rise_f id (-1)
+        end;
+        if !best_from2 >= 0 then begin
+          Array.unsafe_set arr (b + 2) (Array.unsafe_get best 1);
+          Array.unsafe_set arr (b + 3) tau_f;
+          Array.unsafe_set fall_f id !best_from2
+        end
+        else begin
+          Array.unsafe_set arr (b + 2) Float.nan;
+          Array.unsafe_set arr (b + 3) Float.nan;
+          Array.unsafe_set fall_f id (-1)
+        end
+      end
+      else
+        for eo = 0 to 1 do
+          (* eo: 0 = rising output, 1 = falling output (= edge_bit) *)
+          let stau = if eo = 0 then tb.stau_lh.(code) else tb.stau_hl.(code) in
+          let cmr = if eo = 0 then tb.cm_lh.(code) else tb.cm_hl.(code) in
+          let v_t = if eo = 0 then vtp else vtn in
+          let tau_out = stau *. cload /. cin_v in
+          let cm = cmr *. cin_v in
+          let gate_term = (1. +. (2. *. cm /. (cm +. cload))) *. tau_out *. 0.5 in
+          best.(0) <- Float.nan;
+          best_from := -1;
+          (* xor-class: both causing input edges, rising first *)
+          for ei = 0 to 1 do
+            let off = 2 * ei in
+            for p = f_lo to f_hi - 1 do
+              let f = Array.unsafe_get fanin p in
+              let src = (4 * f) + off in
+              let st = Array.unsafe_get arr src in
+              if not (Float.is_nan st) then begin
+                let d = (v_t *. Array.unsafe_get arr (src + 1) *. 0.5) +. gate_term in
+                let time = st +. d in
+                if not (Array.unsafe_get best 0 >= time) then begin
+                  Array.unsafe_set best 0 time;
+                  best_from := (2 * f) + ei
+                end
+              end
+            done
+          done;
+          let b = (4 * id) + (2 * eo) in
+          let fr = if eo = 0 then rise_f else fall_f in
+          if !best_from >= 0 then begin
+            arr.(b) <- best.(0);
+            arr.(b + 1) <- tau_out;
+            fr.(id) <- !best_from
+          end
+          else begin
+            arr.(b) <- Float.nan;
+            arr.(b + 1) <- Float.nan;
+            fr.(id) <- -1
+          end
+        done
+    end
+  done
+
+(* level-by-level propagation from [from_level] to the sinks; a level
+   wider than [level_par_min] fans out across the shared pool (slices
+   write disjoint slots, see {!sweep_range}, so this is deterministic) *)
+let sweep_levels t (c : Netlist.Csr.t) ~from_level =
+  let level_off = Netlist.Csr.level_off c in
+  let top = Array.length level_off - 2 in
+  for l = from_level to top do
+    let lo = level_off.(l) and hi = level_off.(l + 1) in
+    if hi - lo >= t.level_par_min && Pool.default_size () > 1 then
+      Pool.parallel_chunks
+        ~min_chunk:(max 1 (t.level_par_min / 2))
+        (fun a b -> sweep_range t c a b)
+        ~lo ~hi
+    else sweep_range t c lo hi
+  done
+
 (* Fraction of the levelized order past which the event-driven worklist
    is abandoned for a straight-line sweep, and the maximum average level
    width at which the level-population cone bound is trusted.  On a deep
@@ -224,15 +479,11 @@ let update t =
            >= cone_fallback_fraction *. float_of_int live
       then
         (* Deep-spine fallback: re-evaluate every node at level >= lmin
-           straight off the levelized order.  Same evaluator, same order
-           as a cold analyze restricted to the suffix, so arrivals stay
-           bit-identical; nodes below lmin cannot have changed (dirt only
-           propagates downstream, i.e. to higher levels). *)
-        List.iter
-          (fun id ->
-            if Netlist.level nl id >= !lmin then
-              ignore (store_node t id (eval_node t id)))
-          (Netlist.topological_order nl)
+           straight off the levelized CSR order.  Same arithmetic, same
+           order as a cold analyze restricted to the suffix, so arrivals
+           stay bit-identical; nodes below lmin cannot have changed
+           (dirt only propagates downstream, i.e. to higher levels). *)
+        sweep_levels t (Netlist.csr nl) ~from_level:!lmin
       else begin
         let heap = Heap.create () in
         let queued = Hashtbl.create 64 in
@@ -257,28 +508,47 @@ let update t =
     end
   end
 
-let analyze ?input_slope ?(input_arrival = 0.) ~lib netlist =
+let make ?input_slope ?(input_arrival = 0.) ?(level_par_min = 2048) ~lib netlist =
   let tech = Netlist.tech netlist in
   let input_slope =
     Option.value input_slope ~default:(2. *. tech.Pops_process.Tech.tau)
   in
-  let cap = max 64 (Netlist.id_bound netlist) in
-  let t =
-    {
-      netlist;
-      lib;
-      input_slope;
-      input_arrival;
-      cap;
-      rise_time = Array.make cap Float.nan;
-      rise_slope = Array.make cap Float.nan;
-      rise_from = Array.make cap (-1);
-      fall_time = Array.make cap Float.nan;
-      fall_slope = Array.make cap Float.nan;
-      fall_from = Array.make cap (-1);
-      cursor = Netlist.revision netlist;
-    }
+  let bound = Netlist.id_bound netlist in
+  let cap = max 64 bound in
+  (* both callers immediately run a full pass that writes all four
+     slots of every live node before anything reads them, so when ids
+     are dense (no dead ids whose slots must read as NaN for the
+     {!arrival} Not_found contract, no padding beyond [bound]) the
+     O(cap) NaN prefill is redundant *)
+  let arr =
+    if cap = bound && Netlist.live_count netlist = bound then
+      Array.create_float (4 * cap)
+    else Array.make (4 * cap) Float.nan
   in
+  {
+    netlist;
+    lib;
+    tables = build_tables ~lib;
+    input_slope;
+    input_arrival;
+    level_par_min = max 1 level_par_min;
+    cap;
+    arr;
+    rise_from = Array.make cap (-1);
+    fall_from = Array.make cap (-1);
+    cursor = Netlist.revision netlist;
+  }
+
+let analyze ?input_slope ?input_arrival ?level_par_min ~lib netlist =
+  let t = make ?input_slope ?input_arrival ?level_par_min ~lib netlist in
+  sweep_levels t (Netlist.csr netlist) ~from_level:0;
+  t
+
+(* the pre-CSR from-scratch pass: one record-based {!eval_node} per node
+   of the (list) topological order.  Kept as the oracle the refactored
+   sweep is tested and benchmarked against. *)
+let analyze_reference ?input_slope ?input_arrival ~lib netlist =
+  let t = make ?input_slope ?input_arrival ~lib netlist in
   List.iter
     (fun id -> ignore (store_node t id (eval_node t id)))
     (Netlist.topological_order netlist);
@@ -287,18 +557,17 @@ let analyze ?input_slope ?(input_arrival = 0.) ~lib netlist =
 let arrival t id edge =
   update t;
   if id < 0 || id >= t.cap then raise Not_found;
-  let times, slopes, froms =
-    match edge with
-    | Edge.Rising -> (t.rise_time, t.rise_slope, t.rise_from)
-    | Edge.Falling -> (t.fall_time, t.fall_slope, t.fall_from)
+  let froms =
+    match edge with Edge.Rising -> t.rise_from | Edge.Falling -> t.fall_from
   in
-  if Float.is_nan times.(id) then raise Not_found;
-  { time = times.(id); slope = slopes.(id); from_ = unpack_from froms.(id) }
+  let b = (4 * id) + edge_off edge in
+  if Float.is_nan t.arr.(b) then raise Not_found;
+  { time = t.arr.(b); slope = t.arr.(b + 1); from_ = unpack_from froms.(id) }
 
 let node_worst t id =
   update t;
   if id < 0 || id >= t.cap then raise Not_found;
-  let r = t.rise_time.(id) and f = t.fall_time.(id) in
+  let r = t.arr.(4 * id) and f = t.arr.((4 * id) + 2) in
   match (Float.is_nan r, Float.is_nan f) with
   | false, false ->
     if r >= f then (Edge.Rising, arrival t id Edge.Rising)

@@ -34,10 +34,27 @@ type t
 (** Timing annotation of one netlist under one sizing state. *)
 
 val analyze :
-  ?input_slope:float -> ?input_arrival:float ->
+  ?input_slope:float -> ?input_arrival:float -> ?level_par_min:int ->
   lib:Pops_cell.Library.t -> Pops_netlist.Netlist.t -> t
 (** Run STA from scratch.  [input_slope] defaults to [2 * tau];
-    [input_arrival] to 0 for every primary input. *)
+    [input_arrival] to 0 for every primary input.
+
+    The pass sweeps the netlist's {!Pops_netlist.Netlist.Csr} snapshot
+    level by level with an allocation-free inner loop; levels wider than
+    [level_par_min] (default 2048) fan out across the shared
+    {!Pops_util.Pool}.  Parallel slices write disjoint arrival slots and
+    read only strictly lower levels, so the result is bit-identical to
+    the sequential sweep — and to {!analyze_reference} — at any domain
+    count. *)
+
+val analyze_reference :
+  ?input_slope:float -> ?input_arrival:float ->
+  lib:Pops_cell.Library.t -> Pops_netlist.Netlist.t -> t
+(** The pre-CSR implementation of {!analyze}: per-node record-based
+    evaluation over the list topological order, sequential.  The oracle
+    for the CSR-vs-legacy equivalence suite and the baseline the
+    [sta_scale] benchmark reports speedups against; not for production
+    use. *)
 
 val update : t -> unit
 (** Fold the netlist edits since the last analysis/update back into the

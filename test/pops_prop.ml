@@ -799,6 +799,51 @@ let () =
       let _, c = Rng.split p in
       require (draws 16 p <> draws 16 c) "child stream mirrors the parent stream")
 
+(* the level-parallel CSR sweep must be bit-identical to the sequential
+   record-based reference at every domain count: slices write disjoint
+   arrival slots and read only strictly lower levels, and chunk
+   boundaries are a pure function of the range and the pool size *)
+let () =
+  Prop.register ~cases:25 ~name:"sta.level_parallel_equals_sequential" C.dag_spec
+    (fun d ->
+      let nl = C.build_dag d in
+      let lib = C.library (Netlist.tech nl) in
+      let reference = Timing.analyze_reference ~lib nl in
+      let ids = Netlist.inputs nl @ Netlist.gate_ids nl in
+      let saved = Pool.default_size () in
+      Fun.protect
+        ~finally:(fun () -> Pool.set_default_size saved)
+        (fun () ->
+          List.iter
+            (fun domains ->
+              Pool.set_default_size domains;
+              (* level_par_min 2 forces the parallel path on every level
+                 wider than one node, even on these small circuits *)
+              let t = Timing.analyze ~level_par_min:2 ~lib nl in
+              requiref
+                (Timing.critical_delay t = Timing.critical_delay reference)
+                "%d domains: critical delay %.17g <> sequential %.17g" domains
+                (Timing.critical_delay t) (Timing.critical_delay reference);
+              List.iter
+                (fun id ->
+                  List.iter
+                    (fun e ->
+                      let a = Timing.arrival t id e
+                      and b = Timing.arrival reference id e in
+                      if
+                        not
+                          (a.Timing.time = b.Timing.time
+                          && a.Timing.slope = b.Timing.slope
+                          && a.Timing.from_ = b.Timing.from_)
+                      then
+                        Prop.failf
+                          "%d domains: node %d %s arrival differs from sequential"
+                          domains id
+                          (match e with Edge.Rising -> "rise" | Edge.Falling -> "fall"))
+                    [ Edge.Rising; Edge.Falling ])
+                ids)
+            [ 1; 2; 4 ]))
+
 let () =
   Prop.register ~name:"pool.parallel_map_ordered"
     (Gen.list_sized ~min_len:1 (Gen.int_range (-1000) 1000))
