@@ -546,11 +546,118 @@ let bench_file_cmd =
     Term.(const run_bench_file $ file $ do_flow $ tc_ps_arg $ tc_ratio $ out)
 
 (* ------------------------------------------------------------------ *)
+(* serve / optimize: the multi-tenant NDJSON job engine                *)
+(* ------------------------------------------------------------------ *)
+
+module Engine = Pops_serve.Engine
+module Server = Pops_serve.Server
+
+let engine_config window tenant_sweeps job_sweeps job_wall_ms cache_cap
+    bounds_cache no_times =
+  {
+    Engine.default_config with
+    Engine.window;
+    tenant_sweeps;
+    job_sweeps;
+    job_wall_ms;
+    netlist_cache = cache_cap;
+    bounds_cache;
+    times = not no_times;
+  }
+
+let window_arg =
+  Arg.(value & opt int Engine.default_config.Engine.window
+       & info [ "window" ] ~docv:"N"
+           ~doc:"Maximum jobs fanned out concurrently per batch.")
+
+let tenant_sweeps_arg =
+  Arg.(value & opt (some int) None & info [ "tenant-sweeps" ] ~docv:"N"
+         ~doc:"Aggregate solver-sweep budget per tenant; jobs beyond it are \
+               rejected at admission.")
+
+let job_sweeps_arg =
+  Arg.(value & opt (some int) None & info [ "job-sweeps" ] ~docv:"N"
+         ~doc:"Per-job solver-sweep cap (the flow degrades gracefully at the cap).")
+
+let job_wall_ms_arg =
+  Arg.(value & opt (some float) None & info [ "job-wall-ms" ] ~docv:"MS"
+         ~doc:"Per-job wall-clock cap. Protects the server from pathological \
+               inputs, at the cost of determinism.")
+
+let cache_cap_arg =
+  Arg.(value & opt int Engine.default_config.Engine.netlist_cache
+       & info [ "cache" ] ~docv:"N"
+           ~doc:"Parsed-netlist cache capacity (distinct netlist contents).")
+
+let bounds_cache_arg =
+  Arg.(value & opt int Engine.default_config.Engine.bounds_cache
+       & info [ "bounds-cache" ] ~docv:"N"
+           ~doc:"Path-characterisation (Bounds) memo capacity.")
+
+let no_times_arg =
+  Arg.(value & flag & info [ "no-times" ]
+         ~doc:"Omit wall-clock fields from result lines, making the output a \
+               pure function of the job stream (used by the test suites).")
+
+let no_summary_arg =
+  Arg.(value & flag & info [ "no-summary" ]
+         ~doc:"Do not append the summary line at end of stream.")
+
+let run_serve window tenant_sweeps job_sweeps job_wall_ms cache_cap bounds_cache
+    no_times no_summary =
+  guard @@ fun () ->
+  let config =
+    engine_config window tenant_sweeps job_sweeps job_wall_ms cache_cap
+      bounds_cache no_times
+  in
+  let engine = Engine.create ~config tech in
+  Server.serve engine ~summary:(not no_summary) Unix.stdin stdout
+
+let serve_cmd =
+  let doc = "Serve optimization jobs from an NDJSON stream (stdin -> stdout)" in
+  Cmd.v (Cmd.info "serve" ~doc
+           ~man:[ `S Manpage.s_description;
+                  `P "Long-lived multi-tenant job engine: one JSON request per \
+                      input line, one result per output line in submission \
+                      order, batched across the domain pool with per-tenant \
+                      budgets and cross-request netlist caching. See \
+                      docs/serving.md for the schema." ])
+    Term.(const run_serve $ window_arg $ tenant_sweeps_arg $ job_sweeps_arg
+          $ job_wall_ms_arg $ cache_cap_arg $ bounds_cache_arg $ no_times_arg
+          $ no_summary_arg)
+
+let run_optimize jobs window tenant_sweeps job_sweeps job_wall_ms cache_cap
+    bounds_cache no_times summary =
+  guard @@ fun () ->
+  let config =
+    engine_config window tenant_sweeps job_sweeps job_wall_ms cache_cap
+      bounds_cache no_times
+  in
+  let engine = Engine.create ~config tech in
+  Server.run_jobs_file engine ~summary jobs stdout
+
+let optimize_cmd =
+  let jobs =
+    Arg.(required & opt (some file) None & info [ "jobs" ] ~docv:"FILE"
+           ~doc:"NDJSON job file (one request object per line; blank and # \
+                 lines are skipped).")
+  in
+  let summary =
+    Arg.(value & flag & info [ "summary" ]
+           ~doc:"Append the cache/tenant summary line after the results.")
+  in
+  let doc = "Run a batch of jobs through the serve engine (worst job exit wins)" in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(const run_optimize $ jobs $ window_arg $ tenant_sweeps_arg
+          $ job_sweeps_arg $ job_wall_ms_arg $ cache_cap_arg $ bounds_cache_arg
+          $ no_times_arg $ summary)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc = "POPS - low-power oriented CMOS circuit optimization (DATE 2005 reproduction)" in
   Cmd.group (Cmd.info "pops" ~version:"1.0.0" ~doc)
     [ tmin_cmd; size_cmd; flimit_cmd; protocol_cmd; curve_cmd; circuit_cmd;
-      simulate_cmd; flow_cmd; bench_file_cmd ]
+      simulate_cmd; flow_cmd; bench_file_cmd; serve_cmd; optimize_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

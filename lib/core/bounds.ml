@@ -16,17 +16,35 @@ type t = {
    uid: a Path.t is immutable and every edit/flip makes a fresh uid, so
    a hit is always exact.  The table is mutex-guarded for the PR 2
    domain pool; the solve itself runs outside the lock (a racing
-   duplicate compute is deterministic, so last-write-wins is fine) and
-   the table is reset at a small bound instead of evicting — path uids
-   are never reused, so stale entries are only a space concern. *)
+   duplicate compute is deterministic, so last-write-wins is fine).
+
+   The memo is a bounded LRU: path uids are never reused, so in a
+   one-shot CLI run stale entries were only a space concern — but in the
+   long-lived serving engine an ever-growing (or periodically
+   reset-to-empty) table is respectively a leak or a recurring cold
+   start.  The LRU keeps the hot working set pinned at a fixed size;
+   [set_cache_capacity] lets the server scale it to its window. *)
 (* Entries carry the diagnostics their solves reported so that a miss
    can both cache and re-emit them; a hit deliberately does NOT re-emit
    (the characterisation was not re-run, and replaying the same warning
    on every feasibility probe would drown real signal — the tradeoff is
    documented on [compute_o]). *)
-let cache : (int, t * Diag.t list) Hashtbl.t = Hashtbl.create 64
+let default_cache_capacity = 256
+
+let cache : (int, t * Diag.t list) Pops_util.Lru.t =
+  Pops_util.Lru.create ~capacity:default_cache_capacity ()
+
 let cache_lock = Mutex.create ()
-let max_cached = 256
+
+let set_cache_capacity c =
+  Mutex.protect cache_lock (fun () -> Pops_util.Lru.set_capacity cache c)
+
+let cache_stats () = Mutex.protect cache_lock (fun () -> Pops_util.Lru.stats cache)
+
+let clear_cache ?(reset_stats = false) () =
+  Mutex.protect cache_lock (fun () ->
+      Pops_util.Lru.clear cache;
+      if reset_stats then Pops_util.Lru.reset_stats cache)
 
 let compute_uncached path =
   Watch.collect (fun () ->
@@ -37,7 +55,7 @@ let compute_uncached path =
 
 let compute_diags path =
   let key = Path.uid path in
-  let hit = Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key) in
+  let hit = Mutex.protect cache_lock (fun () -> Pops_util.Lru.find cache key) in
   match hit with
   | Some (b, diags) -> (b, diags)
   | None ->
@@ -45,9 +63,7 @@ let compute_diags path =
     (* re-emit to the ambient collector: Watch.collect above swallowed
        them into the cache entry *)
     Watch.emit_all diags;
-    Mutex.protect cache_lock (fun () ->
-        if Hashtbl.length cache >= max_cached then Hashtbl.reset cache;
-        Hashtbl.replace cache key (b, diags));
+    Mutex.protect cache_lock (fun () -> Pops_util.Lru.put cache key (b, diags));
     (b, diags)
 
 let compute path = fst (compute_diags path)
@@ -65,9 +81,9 @@ let tmin path = (compute path).tmin
 
 let tmax path =
   let key = Path.uid path in
-  let hit =
-    Mutex.protect cache_lock (fun () -> Hashtbl.find_opt cache key)
-  in
+  (* a peek, not a find: an absent entry is served by two cheap delay
+     evaluations, not a solve, so it must not count as a cache miss *)
+  let hit = Mutex.protect cache_lock (fun () -> Pops_util.Lru.peek cache key) in
   match hit with
   | Some (b, _) -> b.tmax
   | None -> Path.delay_worst path (Path.min_sizing path)

@@ -26,7 +26,28 @@ val compute : Pops_delay.Path.t -> t
     repeated characterisations of the same path — feasibility check,
     constraint sizing, reporting — pay the grid-scan solves once.
     Thread-safe (the table is mutex-guarded; the solve itself runs
-    outside the lock). *)
+    outside the lock).
+
+    The memo is a {e bounded LRU} ({!Pops_util.Lru}), so a long-lived
+    process (the serving engine) holds a fixed working set instead of
+    leaking one entry per path ever characterised.  The default capacity
+    ({!default_cache_capacity}) comfortably covers a one-shot CLI run,
+    preserving its historical behaviour. *)
+
+val default_cache_capacity : int
+(** 256 — the reset bound of the pre-LRU memo. *)
+
+val set_cache_capacity : int -> unit
+(** Resize the memo (shrinking evicts oldest-first).  The serving engine
+    scales it to its job window.  @raise Invalid_argument below 1. *)
+
+val cache_stats : unit -> Pops_util.Lru.stats
+(** Hit/miss/eviction counters of the memo — a miss is a full
+    characterisation solve.  Surfaced in serve-mode reports. *)
+
+val clear_cache : ?reset_stats:bool -> unit -> unit
+(** Drop every memo entry (benchmarks use this to measure cold starts);
+    [reset_stats] (default false) also zeroes the counters. *)
 
 val compute_o : Pops_delay.Path.t -> t Pops_robust.Outcome.t
 (** {!compute} with the characterisation's diagnostics attached:

@@ -15,6 +15,7 @@ type code =
   | Bench_truncated
   | Invalid_input
   | Constraint_infeasible
+  | Admission_rejected
   | Pool_task_failed
   | Fault_injected
   | Internal
@@ -44,6 +45,7 @@ let code_name = function
   | Bench_truncated -> "bench-truncated"
   | Invalid_input -> "invalid-input"
   | Constraint_infeasible -> "constraint-infeasible"
+  | Admission_rejected -> "admission-rejected"
   | Pool_task_failed -> "pool-task-failed"
   | Fault_injected -> "fault-injected"
   | Internal -> "internal"
@@ -54,7 +56,8 @@ let default_severity = function
   | Solver_divergence | Solver_nonfinite | Solver_stalled | Budget_exceeded
   | Pool_task_failed -> Warning
   | Netlist_cycle | Netlist_dangling | Netlist_bad_cin | Bench_syntax
-  | Bench_truncated | Invalid_input | Constraint_infeasible | Internal -> Error
+  | Bench_truncated | Invalid_input | Constraint_infeasible
+  | Admission_rejected | Internal -> Error
 
 (* what a front end should do with the diagnostic: reject the input,
    report an unmet constraint, keep going with a degraded result, or
@@ -62,7 +65,7 @@ let default_severity = function
 let classify = function
   | Netlist_cycle | Netlist_dangling | Netlist_bad_cin | Bench_syntax
   | Bench_truncated | Invalid_input -> `Invalid_input
-  | Constraint_infeasible -> `Constraint
+  | Constraint_infeasible | Admission_rejected -> `Constraint
   | Solver_divergence | Solver_nonfinite | Solver_stalled | Solver_fallback
   | Bracket_collapse | Budget_exceeded | Netlist_zero_fanout
   | Pool_task_failed | Fault_injected -> `Degradation
@@ -79,6 +82,8 @@ let default_hint = function
   | Bench_syntax | Bench_truncated -> Some "fix the .bench source line"
   | Constraint_infeasible ->
     Some "Tc is below Tmin: apply structure modification (pops protocol)"
+  | Admission_rejected ->
+    Some "the tenant's serve budget is exhausted: raise --tenant-sweeps or spread the jobs"
   | _ -> None
 
 let make ?severity ?subject ?hint code message =

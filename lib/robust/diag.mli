@@ -25,6 +25,9 @@ type code =
   | Bench_truncated  (** .bench input ends mid-statement *)
   | Invalid_input  (** other malformed user input *)
   | Constraint_infeasible  (** Tc below the achievable Tmin *)
+  | Admission_rejected
+      (** a serve-mode job was refused at admission: its tenant's
+          aggregate budget is exhausted (the job never ran) *)
   | Pool_task_failed  (** a contained domain task raised *)
   | Fault_injected  (** an injection point fired (testing only) *)
   | Internal  (** invariant violation inside the engine *)

@@ -1,0 +1,43 @@
+(** Cross-request parsed-netlist cache.
+
+    Serving repeated traffic, the dominant per-job fixed cost is
+    re-parsing the same [.bench] text and re-deriving its topology.
+    This cache keys a {e pristine} parsed netlist by the MD5 of the
+    request's netlist text (plus the output-load parameter, which
+    changes the parse result), and hands every job a deep
+    {!Pops_netlist.Netlist.copy} — jobs mutate their copy freely while
+    the pristine original, whose level/load caches and CSR snapshot were
+    warmed once at insertion, is never touched.  Copies inherit the
+    warmed level and load arrays, so a cache hit skips both the parse
+    and the topology derivation.
+
+    Parse {e failures} are cached too (bounded by the same LRU): a
+    malformed netlist resubmitted by a retrying client costs one table
+    probe, not one parse per retry.
+
+    All operations are mutex-guarded; the engine calls {!fetch} from its
+    sequential intake loop, so per-job hit/miss verdicts are
+    deterministic in the job stream. *)
+
+type t
+
+type verdict = [ `Hit | `Miss ]
+
+val create :
+  capacity:int -> ?out_load:float -> Pops_process.Tech.t -> t
+(** [out_load] is passed through to {!Pops_netlist.Bench_io.parse};
+    it is part of every cache key. *)
+
+val fetch :
+  t -> string ->
+  (Pops_netlist.Netlist.t * Pops_netlist.Bench_io.names * Pops_robust.Diag.t list,
+   Pops_robust.Diag.t)
+  result
+  * verdict
+(** [fetch t text] — the parse outcome for [text] (a private netlist
+    copy plus the parse/validation diagnostics captured when the text
+    was first parsed) and whether it was served from the cache. *)
+
+val stats : t -> Pops_util.Lru.stats
+val clear : t -> unit
+(** Drop the entries, keep the counters. *)

@@ -1,0 +1,201 @@
+module Line_source = struct
+  type t = {
+    fd : Unix.file_descr;
+    buf : Buffer.t;
+    mutable scan_from : int;  (* no '\n' in buf before this offset *)
+    mutable eof : bool;
+  }
+
+  let of_fd fd = { fd; buf = Buffer.create 4096; scan_from = 0; eof = false }
+
+  let chunk = Bytes.create 65536
+
+  (* take the first complete line out of the buffer, if any *)
+  let pop_line t =
+    let s = Buffer.contents t.buf in
+    match String.index_from_opt s t.scan_from '\n' with
+    | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+      t.scan_from <- 0;
+      (* tolerate CRLF clients *)
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+    | None ->
+      t.scan_from <- String.length s;
+      None
+
+  let pop_residue t =
+    if Buffer.length t.buf = 0 then None
+    else begin
+      let line = Buffer.contents t.buf in
+      Buffer.clear t.buf;
+      t.scan_from <- 0;
+      Some line
+    end
+
+  let refill t =
+    match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+    | 0 ->
+      t.eof <- true;
+      false
+    | n ->
+      Buffer.add_subbytes t.buf chunk 0 n;
+      true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+
+  let rec next t =
+    match pop_line t with
+    | Some _ as line -> line
+    | None ->
+      if t.eof then pop_residue t
+      else if refill t then next t
+      else pop_residue t
+
+  let readable_now fd =
+    match Unix.select [ fd ] [] [] 0. with
+    | [ _ ], _, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+  let rec next_ready t =
+    match pop_line t with
+    | Some line -> Some (Some line)
+    | None ->
+      if t.eof then Some (pop_residue t)
+      else if readable_now t.fd then
+        if refill t then next_ready t else Some (pop_residue t)
+      else None
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* a line that fails JSON or job decoding still yields a result line in
+   sequence position — the stream never skips or reorders *)
+let decode ~seq line =
+  match Json.parse line with
+  | Error e -> Error (Printf.sprintf "not a JSON object: %s" e)
+  | Ok json -> Job.of_json ~seq json
+
+let bad_line_result ~seq error =
+  {
+    Job.seq;
+    id = Printf.sprintf "job-%d" seq;
+    tenant = "default";
+    status = Job.Invalid;
+    cache = `None;
+    metrics = [ ("error", Json.Str error) ];
+    diags = [];
+    ms = 0.;
+  }
+
+let skippable line =
+  let line = String.trim line in
+  line = "" || line.[0] = '#'
+
+(* run one batch of decoded items: good jobs go through the engine
+   together, bad lines become Invalid results, and the merged output is
+   in submission order *)
+let run_items engine items =
+  let jobs =
+    List.filter_map (function Ok job -> Some job | Error _ -> None) items
+  in
+  let results = Engine.run_batch engine jobs in
+  let rec merge items results =
+    match (items, results) with
+    | [], [] -> []
+    | Error (seq, e) :: items, results ->
+      bad_line_result ~seq e :: merge items results
+    | Ok _ :: items, r :: results -> r :: merge items results
+    | Ok _ :: _, [] | [], _ :: _ -> assert false
+  in
+  merge items results
+
+let emit engine oc results =
+  let times = (Engine.config engine).Engine.times in
+  List.iter
+    (fun r -> output_string oc (Json.to_string (Job.to_json ~times r) ^ "\n"))
+    results;
+  flush oc
+
+let worst_exit results =
+  List.fold_left
+    (fun acc r -> max acc (Job.exit_of_status r.Job.status))
+    0 results
+
+(* ------------------------------------------------------------------ *)
+
+let serve engine ?(summary = true) fd oc =
+  let window = (Engine.config engine).Engine.window in
+  let src = Line_source.of_fd fd in
+  let seq = ref 0 in
+  let decode_next line =
+    let s = !seq in
+    incr seq;
+    match decode ~seq:s line with Ok j -> Ok j | Error e -> Error (s, e)
+  in
+  (* one batch: block for a first line, then drain what is already
+     pending up to the window *)
+  let rec fill acc n =
+    if n >= window then List.rev acc
+    else
+      match Line_source.next_ready src with
+      | Some (Some line) when skippable line -> fill acc n
+      | Some (Some line) -> fill (decode_next line :: acc) (n + 1)
+      | Some None | None -> List.rev acc
+  in
+  let rec loop () =
+    match Line_source.next src with
+    | None -> ()
+    | Some line when skippable line -> loop ()
+    | Some line ->
+      let items = fill [ decode_next line ] 1 in
+      emit engine oc (run_items engine items);
+      loop ()
+  in
+  loop ();
+  if summary then begin
+    output_string oc (Json.to_string (Engine.summary_json engine) ^ "\n");
+    flush oc
+  end;
+  0
+
+let run_jobs_file engine ?(summary = false) path oc =
+  let window = (Engine.config engine).Engine.window in
+  let lines = In_channel.with_open_bin path In_channel.input_lines in
+  let items =
+    List.filteri (fun _ line -> not (skippable line)) lines
+    |> List.mapi (fun seq line ->
+           match decode ~seq line with Ok j -> Ok j | Error e -> Error (seq, e))
+  in
+  let rec batches items =
+    match items with
+    | [] -> []
+    | _ ->
+      let rec split n = function
+        | x :: rest when n < window ->
+          let taken, rest = split (n + 1) rest in
+          (x :: taken, rest)
+        | rest -> ([], rest)
+      in
+      let batch, rest = split 0 items in
+      batch :: batches rest
+  in
+  let code =
+    List.fold_left
+      (fun acc batch ->
+        let results = run_items engine batch in
+        emit engine oc results;
+        max acc (worst_exit results))
+      0 (batches items)
+  in
+  if summary then begin
+    output_string oc (Json.to_string (Engine.summary_json engine) ^ "\n");
+    flush oc
+  end;
+  code

@@ -1,0 +1,49 @@
+(** The NDJSON stream front end of the engine.
+
+    [pops serve] speaks newline-delimited JSON over a pipe or socketpair:
+    one request object per input line, one result object per output line,
+    results in submission order, flushed as each batch completes, and an
+    optional summary object at end of stream.
+
+    Batching is adaptive: the intake loop blocks for the first request,
+    then drains whatever further lines are {e already available} (its
+    own buffer plus a zero-timeout poll of the descriptor) up to the
+    engine's window.  A client that streams jobs gets window-sized
+    batches and full pool fan-out; a client that sends one request and
+    waits gets a batch of one and minimum latency — no flags, no
+    timers. *)
+
+module Line_source : sig
+  (** Buffered line reader over a raw descriptor, with a non-blocking
+      probe.  [In_channel] cannot say whether bytes are already
+      buffered, which is exactly what adaptive batching needs, so the
+      server owns its buffering. *)
+
+  type t
+
+  val of_fd : Unix.file_descr -> t
+
+  val next : t -> string option
+  (** Blocking read of the next line; [None] at end of stream.  A final
+      unterminated line is returned as a line. *)
+
+  val next_ready : t -> string option option
+  (** Non-blocking: [Some (Some line)] when a full line is available
+      without waiting, [Some None] at end of stream, [None] when a read
+      would block. *)
+end
+
+val serve : Engine.t -> ?summary:bool -> Unix.file_descr -> out_channel -> int
+(** Run the request loop until end of stream; returns the process exit
+    code (0 — per-job failures are result lines, not server failures;
+    see docs/serving.md).  [summary] (default true) appends the
+    {!Engine.summary_json} line at shutdown. *)
+
+val run_jobs_file :
+  Engine.t -> ?summary:bool -> string -> out_channel -> int
+(** Batch mode ([pops optimize --jobs FILE]): feed every line of the
+    file through the engine in window-sized batches, print the result
+    lines, and return the {e worst} per-job exit code (the PR 5
+    contract: 3 internal > 2 invalid > 1 unmet/rejected > 0 ok).
+    Blank lines and [#] comment lines are skipped.  [summary] defaults
+    to false. *)

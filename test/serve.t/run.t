@@ -1,0 +1,62 @@
+The serving front end: NDJSON in, NDJSON out.  Results are rendered
+without wall-clock fields (--no-times) so this transcript is stable.
+
+  $ unset POPS_FAULT
+  $ export POPS_DOMAINS=1
+
+Three jobs through a pipe - a good analyze, an invalid netlist, and an
+optimize whose 0.95x constraint this 2-gate circuit cannot quite meet
+(status unmet, exit code 1 in the result line); one result line per
+request in submission order, then the summary.  The server itself
+exits 0: per-job failures are result lines, not server failures.
+
+  $ cat > stream.ndjson <<'EOF'
+  > {"bench":"INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn1 = NAND(a, b)\ny = NOT(n1)\n","action":"analyze"}
+  > {"id":"broken","bench":"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n","action":"analyze"}
+  > {"id":"opt1","bench":"INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn1 = NAND(a, b)\ny = NOT(n1)\n","tc_ratio":0.95,"max_rounds":2}
+  > EOF
+  $ pops serve --no-times < stream.ndjson
+  {"id":"job-0","tenant":"default","seq":0,"status":"ok","exit":0,"netlist_cache":"miss","gates":2,"inputs":2,"outputs":1,"depth":2,"delay_ps":156.196,"area_um":4.541,"power_uw":5.865}
+  {"id":"broken","tenant":"default","seq":1,"status":"invalid","exit":2,"netlist_cache":"miss","diags":["bench-syntax (line 3): unsupported gate FROB"]}
+  {"id":"opt1","tenant":"default","seq":2,"status":"unmet","exit":1,"netlist_cache":"hit","gates":2,"inputs":2,"outputs":1,"depth":2,"tc_ps":148.387,"initial_delay_ps":156.196,"final_delay_ps":148.469,"initial_area_um":4.541,"final_area_um":5.304,"rounds":2,"buffers":0,"rewrites":0,"flow":"budget-exhausted","met":false,"equivalence":true,"diags":["constraint-infeasible: constraint 148.387 ps not met: critical delay 148.469 ps after optimization"]}
+  {"summary":true,"jobs":3,"ok":1,"degraded":0,"unmet":1,"rejected":0,"invalid":1,"failed":0,"netlist_cache":{"hits":1,"misses":2,"evictions":0,"length":2},"bounds_cache":{"hits":0,"misses":2,"evictions":0,"length":2},"tenants":[{"tenant":"default","jobs":2,"rejected":0,"sweeps":2}]}
+
+Note the third job: its netlist text is byte-identical to the first
+job's, so it was served from the parsed-netlist cache ("hit") - and the
+optimize then ran on a private copy.
+
+Blank lines and comments are skipped; a line that is not JSON still
+produces a result line in sequence (the stream never skips a slot).
+
+  $ printf '\n# comment\nnot json\n' | pops serve --no-times --no-summary
+  {"id":"job-0","tenant":"default","seq":0,"status":"invalid","exit":2,"error":"not a JSON object: byte 0: expected null"}
+
+Batch mode reuses the same engine and exits with the worst per-job
+code: ok(0) < unmet/rejected(1) < invalid(2).
+
+  $ cat > jobs.ndjson <<'EOF'
+  > # tiny batch: two analyzes of the same netlist
+  > {"bench":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","action":"analyze"}
+  > {"bench":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","action":"analyze"}
+  > EOF
+  $ pops optimize --jobs jobs.ndjson --no-times
+  {"id":"job-0","tenant":"default","seq":0,"status":"ok","exit":0,"netlist_cache":"miss","gates":1,"inputs":1,"outputs":1,"depth":1,"delay_ps":90.98,"area_um":1.514,"power_uw":4.848}
+  {"id":"job-1","tenant":"default","seq":1,"status":"ok","exit":0,"netlist_cache":"hit","gates":1,"inputs":1,"outputs":1,"depth":1,"delay_ps":90.98,"area_um":1.514,"power_uw":4.848}
+
+  $ cat > mixed.ndjson <<'EOF'
+  > {"bench":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","action":"analyze"}
+  > {"id":"broken","bench":"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n","action":"analyze"}
+  > EOF
+  $ pops optimize --jobs mixed.ndjson --no-times
+  {"id":"job-0","tenant":"default","seq":0,"status":"ok","exit":0,"netlist_cache":"miss","gates":1,"inputs":1,"outputs":1,"depth":1,"delay_ps":90.98,"area_um":1.514,"power_uw":4.848}
+  {"id":"broken","tenant":"default","seq":1,"status":"invalid","exit":2,"netlist_cache":"miss","diags":["bench-syntax (line 3): unsupported gate FROB"]}
+  [2]
+
+A zero tenant budget rejects at admission (exit 1, the constraint
+code), with a diagnostic naming the remedy.
+
+  $ pops optimize --jobs jobs.ndjson --no-times --tenant-sweeps 0 --summary
+  {"id":"job-0","tenant":"default","seq":0,"status":"rejected","exit":1,"diags":["admission-rejected (default): job job-0 refused: tenant default spent its 0-sweep serve budget"]}
+  {"id":"job-1","tenant":"default","seq":1,"status":"rejected","exit":1,"diags":["admission-rejected (default): job job-1 refused: tenant default spent its 0-sweep serve budget"]}
+  {"summary":true,"jobs":2,"ok":0,"degraded":0,"unmet":0,"rejected":2,"invalid":0,"failed":0,"netlist_cache":{"hits":0,"misses":0,"evictions":0,"length":0},"bounds_cache":{"hits":0,"misses":0,"evictions":0,"length":0},"tenants":[{"tenant":"default","jobs":0,"rejected":2,"sweeps":0}]}
+  [1]

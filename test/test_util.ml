@@ -203,6 +203,84 @@ let test_stats_empty () =
 let test_geometric_mean () =
   check_close ~eps:1e-9 "geomean" 4. (Stats.geometric_mean [| 2.; 8. |])
 
+(* --- lru --- *)
+
+module Lru = Pops_util.Lru
+
+let lru_keys t = List.rev (Lru.fold (fun k _ acc -> k :: acc) t [])
+
+let test_lru_eviction_order () =
+  let t = Lru.create ~capacity:3 () in
+  List.iter (fun k -> Lru.put t k (10 * k)) [ 1; 2; 3 ];
+  (* touch 1 so it is most-recent; adding 4 must evict 2 *)
+  Alcotest.(check (option int)) "find 1" (Some 10) (Lru.find t 1);
+  Lru.put t 4 40;
+  Alcotest.(check (option int)) "2 evicted" None (Lru.find t 2);
+  Alcotest.(check (option int)) "3 kept" (Some 30) (Lru.find t 3);
+  Alcotest.(check (option int)) "1 kept" (Some 10) (Lru.find t 1);
+  Alcotest.(check int) "length" 3 (Lru.length t)
+
+let test_lru_counters () =
+  let t = Lru.create ~capacity:2 () in
+  Lru.put t "a" 1;
+  Lru.put t "b" 2;
+  ignore (Lru.find t "a");
+  (* hit *)
+  ignore (Lru.find t "z");
+  (* miss *)
+  ignore (Lru.mem t "b");
+  (* neutral *)
+  ignore (Lru.peek t "b");
+  (* neutral *)
+  Lru.put t "c" 3;
+  (* evicts the least-recent *)
+  let s = Lru.stats t in
+  Alcotest.(check int) "hits" 1 s.Lru.hits;
+  Alcotest.(check int) "misses" 1 s.Lru.misses;
+  Alcotest.(check int) "evictions" 1 s.Lru.evictions;
+  Alcotest.(check int) "length" 2 s.Lru.length;
+  Lru.clear t;
+  Alcotest.(check int) "clear keeps counters" 1 (Lru.stats t).Lru.hits;
+  Alcotest.(check int) "clear empties" 0 (Lru.length t);
+  Lru.reset_stats t;
+  Alcotest.(check int) "reset" 0 (Lru.stats t).Lru.hits
+
+let test_lru_set_capacity () =
+  let t = Lru.create ~capacity:8 () in
+  List.iter (fun k -> Lru.put t k k) [ 1; 2; 3; 4; 5 ];
+  Lru.set_capacity t 2;
+  Alcotest.(check int) "evicted down" 2 (Lru.length t);
+  Alcotest.(check (list int)) "most-recent survive" [ 5; 4 ] (lru_keys t);
+  (* put of an existing key updates in place, no eviction *)
+  Lru.put t 5 50;
+  Alcotest.(check (option int)) "update" (Some 50) (Lru.peek t 5);
+  Alcotest.(check int) "no growth" 2 (Lru.length t)
+
+let test_lru_peek_vs_find () =
+  let t = Lru.create ~capacity:2 () in
+  Lru.put t 1 1;
+  Lru.put t 2 2;
+  (* peek refreshes recency but does not count *)
+  ignore (Lru.peek t 1);
+  Lru.put t 3 3;
+  Alcotest.(check (option int)) "peeked key survives" (Some 1) (Lru.peek t 1);
+  Alcotest.(check (option int)) "other evicted" None (Lru.peek t 2);
+  Alcotest.(check int) "no hits counted" 0 (Lru.stats t).Lru.hits;
+  Lru.remove t 1;
+  Alcotest.(check int) "remove" 1 (Lru.length t)
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"lru length <= capacity, most-recent retained"
+    ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 20)))
+    (fun (cap, ops) ->
+      let t = Lru.create ~capacity:cap () in
+      List.iter (fun k -> Lru.put t k k) ops;
+      Lru.length t <= cap
+      && Lru.length t <= List.length (List.sort_uniq compare ops)
+      (* the most recently inserted key is always present *)
+      && (ops = [] || Lru.mem t (List.nth ops (List.length ops - 1))))
+
 (* --- table --- *)
 
 let contains hay needle =
@@ -341,6 +419,14 @@ let () =
           Alcotest.test_case "empty" `Quick test_stats_empty;
           Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
           qtest prop_percentile_bounded;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "counters" `Quick test_lru_counters;
+          Alcotest.test_case "set capacity" `Quick test_lru_set_capacity;
+          Alcotest.test_case "peek vs find" `Quick test_lru_peek_vs_find;
+          qtest prop_lru_never_exceeds_capacity;
         ] );
       ( "table",
         [
