@@ -626,31 +626,90 @@ let serve_cmd =
           $ job_wall_ms_arg $ cache_cap_arg $ bounds_cache_arg $ no_times_arg
           $ no_summary_arg)
 
-let run_optimize jobs window tenant_sweeps job_sweeps job_wall_ms cache_cap
-    bounds_cache no_times summary =
+(* one-shot mode: generate a scale benchmark circuit and close timing on
+   it with the incremental flow — the full-chip loop without needing a
+   job file or a netlist on disk *)
+let run_optimize_generated gates shape name tc_ps tc_ratio rounds =
   guard @@ fun () ->
-  let config =
-    engine_config window tenant_sweeps job_sweeps job_wall_ms cache_cap
-      bounds_cache no_times
+  let shape =
+    match String.lowercase_ascii shape with
+    | "grid" -> Pops_netlist.Generator.Grid
+    | "spine" -> Pops_netlist.Generator.Spine
+    | "iscas" -> Pops_netlist.Generator.Iscas
+    | s ->
+      prerr_endline ("pops: unknown shape " ^ s ^ " (grid, spine or iscas)");
+      exit exit_invalid
   in
-  let engine = Engine.create ~config tech in
-  Server.run_jobs_file engine ~summary jobs stdout
+  let nl = Pops_netlist.Generator.generate_scale tech ~name ~gates ~shape in
+  let d0 = Timing.critical_delay (Timing.analyze ~lib nl) in
+  let tc = match tc_ps with Some tc -> tc | None -> tc_ratio *. d0 in
+  Printf.printf
+    "%s: %d gates (%s), STA critical delay %.1f ps, target Tc = %.1f ps\n" name
+    (Netlist.gate_count nl)
+    (Pops_netlist.Generator.scale_shape_name shape)
+    d0 tc;
+  finish_flow (Pops_flow.Flow.optimize_o ~max_rounds:rounds ~lib ~tc nl)
+
+let run_optimize jobs gates shape name tc_ps tc_ratio rounds window
+    tenant_sweeps job_sweeps job_wall_ms cache_cap bounds_cache no_times summary
+    =
+  match (jobs, gates) with
+  | Some _, Some _ ->
+    prerr_endline "pops: give either --jobs or --gates, not both";
+    exit_invalid
+  | None, None ->
+    prerr_endline "pops: one of --jobs FILE or --gates N is required";
+    exit_invalid
+  | None, Some gates -> run_optimize_generated gates shape name tc_ps tc_ratio rounds
+  | Some jobs, None ->
+    guard @@ fun () ->
+    let config =
+      engine_config window tenant_sweeps job_sweeps job_wall_ms cache_cap
+        bounds_cache no_times
+    in
+    let engine = Engine.create ~config tech in
+    Server.run_jobs_file engine ~summary jobs stdout
 
 let optimize_cmd =
   let jobs =
-    Arg.(required & opt (some file) None & info [ "jobs" ] ~docv:"FILE"
+    Arg.(value & opt (some file) None & info [ "jobs" ] ~docv:"FILE"
            ~doc:"NDJSON job file (one request object per line; blank and # \
                  lines are skipped).")
+  in
+  let gates =
+    Arg.(value & opt (some int) None & info [ "gates" ] ~docv:"N"
+           ~doc:"One-shot mode: generate an N-gate scale benchmark circuit \
+                 and run the timing-closure flow on it.")
+  in
+  let shape =
+    Arg.(value & opt string "iscas" & info [ "shape" ] ~docv:"SHAPE"
+           ~doc:"Circuit shape for --gates: grid, spine or iscas.")
+  in
+  let gen_name =
+    Arg.(value & opt string "cli" & info [ "name" ] ~docv:"NAME"
+           ~doc:"Generator seed name for --gates (deterministic circuits).")
+  in
+  let tc_ratio =
+    Arg.(value & opt float 0.8 & info [ "tc-ratio" ] ~docv:"R"
+           ~doc:"One-shot flow target as a multiple of the initial critical \
+                 delay.")
+  in
+  let rounds =
+    Arg.(value & opt int 20 & info [ "rounds" ] ~doc:"One-shot iteration budget.")
   in
   let summary =
     Arg.(value & flag & info [ "summary" ]
            ~doc:"Append the cache/tenant summary line after the results.")
   in
-  let doc = "Run a batch of jobs through the serve engine (worst job exit wins)" in
+  let doc =
+    "Run a batch of jobs through the serve engine, or close timing on a \
+     generated circuit (--gates)"
+  in
   Cmd.v (Cmd.info "optimize" ~doc)
-    Term.(const run_optimize $ jobs $ window_arg $ tenant_sweeps_arg
-          $ job_sweeps_arg $ job_wall_ms_arg $ cache_cap_arg $ bounds_cache_arg
-          $ no_times_arg $ summary)
+    Term.(const run_optimize $ jobs $ gates $ shape $ gen_name $ tc_ps_arg
+          $ tc_ratio $ rounds $ window_arg $ tenant_sweeps_arg $ job_sweeps_arg
+          $ job_wall_ms_arg $ cache_cap_arg $ bounds_cache_arg $ no_times_arg
+          $ summary)
 
 (* ------------------------------------------------------------------ *)
 

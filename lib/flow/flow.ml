@@ -30,28 +30,23 @@ type report = {
   iterations : iteration list;
   buffers_added : int;
   rewrites : int;
+  stale_decisions : int;
   equivalence : (unit, string) result;
   protocol_ms : float;
+  analysis_ms : float;
+  loop_ms : float;
 }
 
 (* Map one path-level protocol decision back onto the netlist.  Sizing is
-   a direct write-back; structural moves go through the logic-preserving
-   Transform surgeries at the node the stage index points to.  After a
-   structural change the stage indexing is stale, so the caller re-runs
-   STA and sizes the fresh critical path on the next round. *)
-(* monotone write-back: never shrink a gate below its current size, so
-   paths sharing a prefix cannot degrade each other across rounds *)
-let apply_sizing_max t nodes sizing =
-  List.iteri
-    (fun i id ->
-      let current = (Netlist.node t id).Netlist.cin in
-      Netlist.set_cin t id (Float.max current sizing.(i)))
-    nodes
-
-let apply_decision t (nodes : int array) (r : Protocol.report) =
+   a direct write-back through [size] (monotone, journaled by the
+   caller); structural moves go through the logic-preserving Transform
+   surgeries at the node the stage index points to.  After a structural
+   change the stage indexing is stale, so the caller re-runs STA and
+   sizes the fresh critical path on the next round. *)
+let apply_decision ~size t (nodes : int array) (r : Protocol.report) =
   let buffers = ref 0 and rewrites = ref 0 in
   if r.Protocol.strategy = Protocol.Sizing_only then
-    apply_sizing_max t (Array.to_list nodes) r.Protocol.sizing
+    size (Array.to_list nodes) r.Protocol.sizing
   else begin
     (* shields: dilute each recorded branch with an off-path pair sized
        by the path-level decision *)
@@ -95,39 +90,148 @@ let apply_decision t (nodes : int array) (r : Protocol.report) =
   end;
   (!buffers, !rewrites)
 
-(* size the current critical path for tc (best effort below Tmin) *)
-let size_critical ~lib ~tc ~timing t =
-  let ex = Paths.critical ~timing ~lib t in
+(* Write-backs are snapped to a 2^-12 relative grid (~0.02%, far below
+   any physical sizing precision): once a solver has converged on a
+   gate, the next round's re-solve rewrites the same bits, the journal
+   skips the write, and the incremental re-time never hears about it —
+   without the snap, sub-ULP solver churn re-dirties the full fan-out
+   cone of every sized gate every round. *)
+let quantize x =
+  let m, e = Float.frexp x in
+  Float.ldexp (Float.round (m *. 4096.) /. 4096.) e
+
+(* the edit window handed to the bounded-path protocol and to the
+   end-of-round re-size; see {!Pops_sta.Paths.k_worst_incr} *)
+let max_cone = 48
+
+(* Retarget the global endpoint constraint onto a bounded window of its
+   critical path: the window meets its share when it gets faster by the
+   endpoint's violation, i.e. its local constraint is its own delay
+   plus the (negative) endpoint slack.  NaN-safe: returns [wd] (no
+   speedup required) when the slack is undefined. *)
+let window_tc ~slack wd = if Float.is_nan slack then wd else wd +. slack
+
+(* size the current critical path's [phase] window for tc (best effort
+   below the window's Tmin) *)
+let size_critical ~size ~lib ~tc ~timing ~phase t =
+  let d = Timing.critical_delay timing in
+  let ex = Paths.critical ~timing ~max_cone ~phase ~lib t in
+  let sizing_now =
+    Array.of_list
+      (List.map (fun id -> (Netlist.node t id).Netlist.cin) ex.Paths.nodes)
+  in
+  let wtc =
+    window_tc ~slack:(tc -. d) (Path.delay_worst ex.Paths.path sizing_now)
+  in
   let sizing =
-    match Sens.size_for_constraint ex.Paths.path ~tc with
+    match Sens.size_for_constraint ex.Paths.path ~tc:wtc with
     | Ok r -> r.Sens.sizing
     | Error (`Infeasible _) ->
       let _, x, _ = Sens.minimum_delay ex.Paths.path in
       x
   in
-  apply_sizing_max t ex.Paths.nodes sizing
+  size ex.Paths.nodes sizing
+
+(* Best-state bookkeeping without a copy per improving round.  Sizing
+   writes are journaled as (gate, old size); as long as only sizing
+   happened since the best state was seen, that state is [Best_mark]
+   (undo the journal suffix to get back).  The first structural surgery
+   of a round materializes the mark into a real [Best_copy] before the
+   netlist diverges unjournalably. *)
+type best_state = Best_mark of int * float | Best_copy of Netlist.t * float
 
 let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
-    ?(k_paths = 3) ~lib ~tc t =
-  let reference = Netlist.copy t in
-  (* one persistent analysis for the whole run: every query after an
-     edit re-propagates only the touched fan-out cone (Timing.update)
-     instead of re-running STA from scratch each round *)
-  let timing = Timing.analyze ~lib t in
-  let initial_delay = Timing.critical_delay timing in
+    ?(k_paths = 3) ?(reference = false) ~lib ~tc t =
+  let ref_nl = Netlist.copy t in
+  let t_loop = Unix.gettimeofday () in
+  (* The analysis portion of the loop — (re)building or updating
+     timing/slacks/selection and reading the critical delay — bracketed
+     directly, so the report can separate what the incremental engine
+     accelerates from solver time and from mode-independent bookkeeping
+     (best-state copies, journaling), which a loop-minus-protocol
+     subtraction would misattribute. *)
+  let analysis_ms = ref 0. in
+  let in_analysis f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    analysis_ms := !analysis_ms +. (1000. *. (Unix.gettimeofday () -. t0));
+    r
+  in
+  (* one persistent analysis + backward slack annotation + endpoint heap
+     for the whole run: every round re-propagates only the touched
+     fan-out cone forward (Timing.update) and the touched fan-in cones
+     backward (Timing.slacks_update), and re-examines only endpoints
+     whose slack moved (Paths.k_worst_incr).  [reference] mode rebuilds
+     all three from scratch every round — same policy, used by the
+     equivalence suite and the flow_scale baseline. *)
+  let timing = ref (in_analysis (fun () -> Timing.analyze ~lib t)) in
+  let slacks = ref (in_analysis (fun () -> Timing.slacks_make !timing ~tc)) in
+  let sel = ref (in_analysis (fun () -> Paths.incr_make t !slacks)) in
+  let initial_delay = Timing.critical_delay !timing in
   let initial_area = Netlist.total_area t lib in
   (* structural surgery is speculative: a De Morgan rewrite or shield can
      overshoot and the remaining rounds may never win the delay back.
      Track the best state seen so the run can rewind instead of returning
      something worse than it ever had.  The initial best IS the reference
      snapshot — both are only ever read, so no second O(V) copy. *)
-  let best = ref (reference, initial_delay) in
+  let journal = ref [] and journal_len = ref 0 in
+  let best = ref (Best_copy (ref_nl, initial_delay)) in
+  let best_delay () =
+    match !best with Best_mark (_, d) | Best_copy (_, d) -> d
+  in
+  (* rewind the journaled sizing writes made after the [keep] mark onto
+     [nl]; newest first, so re-sized gates land on their oldest value *)
+  let undo_suffix nl keep =
+    let n = !journal_len - keep in
+    let rec go i = function
+      | (id, old) :: rest when i < n ->
+        Netlist.set_cin nl id old;
+        go (i + 1) rest
+      | _ -> ()
+    in
+    go 0 !journal
+  in
+  let materialize () =
+    match !best with
+    | Best_copy _ -> ()
+    | Best_mark (keep, d) ->
+      let snap = Netlist.copy t in
+      undo_suffix snap keep;
+      best := Best_copy (snap, d);
+      journal := [];
+      journal_len := 0
+  in
+  (* monotone journaled write-back: never shrink a gate below its current
+     size, so cones sharing a gate cannot degrade each other across
+     rounds; bitwise no-op writes are skipped (no dirty-log traffic) *)
+  let size nodes sizing =
+    List.iteri
+      (fun i id ->
+        let current = (Netlist.node t id).Netlist.cin in
+        let v = Float.max current (quantize sizing.(i)) in
+        if v <> current then begin
+          journal := (id, current) :: !journal;
+          incr journal_len;
+          Netlist.set_cin t id v
+        end)
+      nodes
+  in
   let buffers_added = ref 0 and rewrites_total = ref 0 in
+  let stale_decisions = ref 0 in
   let iterations = ref [] in
   let protocol_ms = ref 0. in
-  let rec loop round prev_delay =
-    let d = Timing.critical_delay timing in
-    if d < snd !best then best := (Netlist.copy t, d);
+  (* how many [max_cone] windows the longest cone selected last round
+     has: the stall handler below walks the window phase through them
+     before concluding the run is out of headroom *)
+  let segments_avail = ref 1 in
+  let rec loop round phase prev_delay =
+    if reference then
+      in_analysis (fun () ->
+          timing := Timing.analyze ~lib t;
+          slacks := Timing.slacks_make !timing ~tc;
+          sel := Paths.incr_make t !slacks);
+    let d = in_analysis (fun () -> Timing.critical_delay !timing) in
+    if d < best_delay () then best := Best_mark (!journal_len, d);
     if d <= tc *. (1. +. 1e-6) +. 0.02 then Met
     else if round > max_rounds then Budget_exhausted
     else if
@@ -137,13 +241,31 @@ let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
         true
       | _ -> false
     then Budget_exhausted
-    else if round > 1 && d >= prev_delay -. (0.001 *. prev_delay) then No_progress
     else begin
-      (* Phase 1 (sequential): extract the K worst paths.  Each
-         [Paths.extracted] is an immutable snapshot — stage geometry,
-         branch loads and the sizes current at the start of the round —
-         fully decoupled from the mutable netlist. *)
-      let worst = Paths.k_worst ~k:k_paths ~lib t in
+      (* a stalled round means the current windows are saturated (the
+         monotone sizing has taken what they had to give): walk the
+         window phase one segment upstream and keep going; only when
+         every window of the longest path has been visited is the run
+         genuinely out of progress *)
+      let stalled = round > 1 && d >= prev_delay -. (0.001 *. prev_delay) in
+      if stalled && phase + 1 >= !segments_avail then No_progress
+      else begin
+      let phase = if stalled then phase + 1 else phase in
+      (* Phase 1 (sequential): select up to K worst gate-disjoint
+         critical cones off the endpoint heap.  Each [Paths.extracted]
+         is an immutable snapshot — stage geometry, branch loads and the
+         sizes current at the start of the round — fully decoupled from
+         the mutable netlist; disjointness means the protocol runs
+         cannot claim each other's gates. *)
+      let worst =
+        in_analysis (fun () ->
+            Paths.k_worst_incr ~k:k_paths ~max_cone ~phase ~lib !sel)
+      in
+      segments_avail :=
+        List.fold_left
+          (fun acc (ex : Paths.extracted) ->
+            max acc ((ex.Paths.total_gates + max_cone - 1) / max_cone))
+          1 worst;
       let snapshots =
         List.map
           (fun (ex : Paths.extracted) ->
@@ -153,24 +275,33 @@ let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
                    (fun id -> (Netlist.node t id).Netlist.cin)
                    ex.Paths.nodes)
             in
-            (ex, sizing_now))
+            (* the window's local constraint: absorb the (negative)
+               slack at its tail gate — on the worst path that equals
+               the endpoint violation this cone was selected for *)
+            let tail = List.fold_left (fun _ id -> id) (-1) ex.Paths.nodes in
+            let wtc =
+              window_tc
+                ~slack:(Timing.node_slack !slacks tail)
+                (Path.delay_worst ex.Paths.path sizing_now)
+            in
+            (ex, sizing_now, wtc))
           worst
       in
-      (* Phase 2 (parallel): run the protocol on every violating path
+      (* Phase 2 (parallel): run the protocol on every violating cone
          concurrently.  The workers only read their snapshots, never the
          netlist, so the decisions are a pure function of the round's
          starting state — bit-identical at any domain count. *)
       let t0 = Unix.gettimeofday () in
-      (* contained fan-out: a protocol task that crashes on one path
+      (* contained fan-out: a protocol task that crashes on one cone
          degrades to a diagnostic and a skipped decision — the other
-         paths' decisions still apply and the flow completes.  Per-task
+         cones' decisions still apply and the flow completes.  Per-task
          diagnostics re-emit in submission order below, keeping the
          run's report deterministic at any domain count. *)
       let slots =
         Pops_util.Pool.map_list_contained
-          (fun ((ex : Paths.extracted), sizing_now) ->
-            if Path.delay_worst ex.Paths.path sizing_now > tc then
-              Some (Protocol.run ~allow_restructure ~lib ~tc ex.Paths.path)
+          (fun ((ex : Paths.extracted), sizing_now, wtc) ->
+            if wtc < Path.delay_worst ex.Paths.path sizing_now then
+              Some (Protocol.run ~allow_restructure ~lib ~tc:wtc ex.Paths.path)
             else None)
           snapshots
       in
@@ -188,22 +319,22 @@ let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
       protocol_ms := !protocol_ms +. (1000. *. (Unix.gettimeofday () -. t0));
       (match budget with Some b -> Budget.spend b 1 | None -> ());
       (* Phase 3 (sequential): apply the winners in submission order.
-         Conflicts between paths sharing gates resolve deterministically:
-         [apply_sizing_max] never shrinks, so a gate claimed by two paths
-         keeps the larger size; structural surgeries land in K-worst
-         order. *)
+         The cones are gate-disjoint, so decisions cannot invalidate each
+         other through sizing; a structural surgery can still delete a
+         node another snapshot points to (e.g. an absorbed fan-in
+         inverter off-cone), which makes that decision stale — counted
+         and dropped, the end-of-round [size_critical] covers its
+         endpoint. *)
       let structural_change = ref false in
       List.iter2
-        (fun ((ex : Paths.extracted), _) decision ->
+        (fun ((ex : Paths.extracted), _, _) decision ->
           match decision with
           | None -> ()
-          (* a surgery applied earlier this round (e.g. a De Morgan
-             rewrite on a shared gate) may have deleted nodes this
-             snapshot still points to; the decision is stale, and the
-             end-of-round [size_critical] covers the path it was for *)
-          | Some _ when not (List.for_all (Netlist.node_exists t) ex.Paths.nodes) -> ()
+          | Some _ when not (List.for_all (Netlist.node_exists t) ex.Paths.nodes)
+            -> incr stale_decisions
           | Some r ->
-            let b, rw = apply_decision t (Array.of_list ex.Paths.nodes) r in
+            if r.Protocol.strategy <> Protocol.Sizing_only then materialize ();
+            let b, rw = apply_decision ~size t (Array.of_list ex.Paths.nodes) r in
             buffers_added := !buffers_added + b;
             rewrites_total := !rewrites_total + rw;
             if b > 0 || rw > 0 then structural_change := true;
@@ -216,23 +347,33 @@ let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
               }
               :: !iterations)
         snapshots decisions;
-      (* after surgery the indices moved: re-size the fresh critical path *)
-      if !structural_change then size_critical ~lib ~tc ~timing t;
-      loop (round + 1) d
+      (* after surgery the indices moved: re-size the fresh critical
+         path.  Solver time, like the fan-out above — counted in
+         protocol_ms, not analysis_ms: it is identical in both modes
+         and would otherwise dilute the analysis comparison. *)
+      if !structural_change then begin
+        let t0 = Unix.gettimeofday () in
+        size_critical ~size ~lib ~tc ~timing:!timing ~phase t;
+        protocol_ms := !protocol_ms +. (1000. *. (Unix.gettimeofday () -. t0))
+      end;
+      loop (round + 1) phase d
+      end
     end
   in
-  let outcome = loop 1 Float.infinity in
+  let outcome = loop 1 0 Float.infinity in
   (* rewind if the exploration ended worse than its best state; the
-     persistent analysis resyncs off the restore's dirty entries *)
+     persistent analysis resyncs off the rewind's dirty entries *)
   let final_delay =
-    let d = Timing.critical_delay timing in
-    let best_t, best_d = !best in
-    if d > best_d then begin
-      Netlist.restore t ~from:best_t;
-      Timing.critical_delay timing
+    let d = Timing.critical_delay !timing in
+    if d > best_delay () then begin
+      (match !best with
+      | Best_mark (keep, _) -> undo_suffix t keep
+      | Best_copy (snap, _) -> Netlist.restore t ~from:snap);
+      Timing.critical_delay !timing
     end
     else d
   in
+  let loop_ms = 1000. *. (Unix.gettimeofday () -. t_loop) in
   {
     outcome;
     initial_delay;
@@ -242,16 +383,19 @@ let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
     iterations = List.rev !iterations;
     buffers_added = !buffers_added;
     rewrites = !rewrites_total;
-    equivalence = Logic.equivalent reference t;
+    stale_decisions = !stale_decisions;
+    equivalence = Logic.equivalent ref_nl t;
     protocol_ms = !protocol_ms;
+    analysis_ms = !analysis_ms;
+    loop_ms;
   }
 
 (* The boundary entry point: validate first (a malformed netlist is the
    caller's bug, not a degradation), then run the flow under a Watch
    collector so every ladder descent, contained crash and budget trip
    surfaces in the returned Outcome. *)
-let optimize_o ?budget ?max_rounds ?allow_restructure ?k_paths ?name ~lib ~tc t
-    =
+let optimize_o ?budget ?max_rounds ?allow_restructure ?k_paths ?reference ?name
+    ~lib ~tc t =
   let problems =
     List.filter
       (fun d -> d.Diag.severity = Diag.Error)
@@ -262,7 +406,8 @@ let optimize_o ?budget ?max_rounds ?allow_restructure ?k_paths ?name ~lib ~tc t
   | [] -> (
     match
       Watch.collect (fun () ->
-          optimize ?budget ?max_rounds ?allow_restructure ?k_paths ~lib ~tc t)
+          optimize ?budget ?max_rounds ?allow_restructure ?k_paths ?reference
+            ~lib ~tc t)
     with
     | r, diags ->
       let diags =
@@ -291,9 +436,10 @@ let outcome_to_string = function
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>flow: %s@ delay %.1f -> %.1f ps@ area %.1f -> %.1f um@ \
-     %d rounds, %d buffer inverters, %d rewrites@ equivalence: %s@]"
+     %d rounds, %d buffer inverters, %d rewrites, %d stale dropped@ \
+     equivalence: %s@]"
     (outcome_to_string r.outcome)
     r.initial_delay r.final_delay r.initial_area r.final_area
     (List.length r.iterations)
-    r.buffers_added r.rewrites
+    r.buffers_added r.rewrites r.stale_decisions
     (match r.equivalence with Ok () -> "PASS" | Error m -> "FAIL: " ^ m)

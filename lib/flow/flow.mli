@@ -35,11 +35,30 @@ type report = {
   iterations : iteration list;  (** oldest first *)
   buffers_added : int;  (** inverters added by pairs and shields *)
   rewrites : int;  (** De Morgan rewrites applied *)
+  stale_decisions : int;
+      (** protocol decisions dropped because a structural surgery earlier
+          in the same round deleted a node their cone snapshot still
+          points to (previously discarded silently) *)
   equivalence : (unit, string) result;
       (** logic check of the final netlist against the input *)
   protocol_ms : float;
-      (** wall-clock time spent in the per-round parallel protocol
-          fan-outs (the domain-pool phase), summed over all rounds *)
+      (** wall-clock solver time: the per-round parallel protocol
+          fan-outs (the domain-pool phase) plus the end-of-round
+          critical-path re-size after structural surgery, summed over
+          all rounds. *)
+  analysis_ms : float;
+      (** wall-clock time of the timing-analysis portion the
+          incremental engine accelerates, bracketed directly: the
+          initial analyze/slack/selector build (and, in
+          [~reference:true] mode, the per-round full rebuilds), the
+          per-round critical-delay query, and the per-round worst-cone
+          selection with its backward slack sweep.  Everything else in
+          [loop_ms] — protocol fan-outs, structural surgery,
+          best-state bookkeeping — is mode-independent. *)
+  loop_ms : float;
+      (** wall-clock time of the whole optimization loop — analysis,
+          selection, protocol, apply, rewind — excluding the initial
+          reference copy and the final equivalence check *)
 }
 
 val optimize :
@@ -47,15 +66,25 @@ val optimize :
   ?max_rounds:int ->
   ?allow_restructure:bool ->
   ?k_paths:int ->
+  ?reference:bool ->
   lib:Pops_cell.Library.t ->
   tc:float ->
   Pops_netlist.Netlist.t ->
   report
 (** [optimize ~lib ~tc netlist] mutates [netlist] in place and returns
     the report.  [max_rounds] defaults to 20; [k_paths] (default 3) is
-    how many of the worst paths are optimised per round;
-    [allow_restructure] defaults to true.  The equivalence check runs on
-    a pre-flow copy kept internally.
+    how many of the worst {e gate-disjoint} critical cones are optimised
+    per round; [allow_restructure] defaults to true.  The equivalence
+    check runs on a pre-flow copy kept internally.
+
+    The loop is {e incremental}: one {!Pops_sta.Timing.t}, one
+    {!Pops_sta.Timing.slacks} and one endpoint heap
+    ({!Pops_sta.Paths.incr_make}) persist across rounds, so each round
+    costs the touched forward/backward cones plus the changed endpoints
+    instead of a full re-analysis and path re-enumeration.  With
+    [reference] (default false) all three are rebuilt from scratch every
+    round — same policy, bit-identical final netlist and report, used by
+    the equivalence suite and as the [flow_scale] benchmark baseline.
 
     Resilience: the per-round protocol fan-out is {e contained} (a
     crashing path task degrades to a diagnostic, the other decisions
@@ -74,6 +103,7 @@ val optimize_o :
   ?max_rounds:int ->
   ?allow_restructure:bool ->
   ?k_paths:int ->
+  ?reference:bool ->
   ?name:(int -> string) ->
   lib:Pops_cell.Library.t ->
   tc:float ->
@@ -88,4 +118,5 @@ val optimize_o :
     the constraint finished unmet ({!Pops_robust.Diag.Constraint_infeasible}
     appended), [Failed] instead of raising. *)
 
+val outcome_to_string : outcome -> string
 val pp_report : Format.formatter -> report -> unit

@@ -498,6 +498,9 @@ let set_output t id ~load =
 let inputs t = List.rev t.input_ids
 let outputs t = List.rev t.output_loads
 
+let is_output t id =
+  id >= 0 && id < t.next_id && not (Float.is_nan t.out_load.(id))
+
 let gate_ids t =
   let acc = ref [] in
   for id = t.next_id - 1 downto 0 do

@@ -58,6 +58,10 @@ val inputs : t -> int list
 val outputs : t -> (int * float) list
 (** Primary output ids with terminal loads, in designation order. *)
 
+val is_output : t -> int -> bool
+(** O(1) test against the dense terminal-load mirror; false for unknown
+    ids. *)
+
 val gate_ids : t -> int list
 (** All live cell-node ids, ascending. *)
 
@@ -134,6 +138,11 @@ module Csr : sig
   val code_kinds : Pops_cell.Gate_kind.t array
   (** The cell kinds in kind-code order: [code_kinds.(code)] is the kind
       encoded as [code] in {!kind_code}. *)
+
+  val code_of_kind : node_kind -> int
+  (** The {!kind_code} encoding of one node kind: [-1] for primary
+      inputs, [-2] for cells outside {!code_kinds} (per-kind coefficient
+      tables index by this without a snapshot in hand). *)
 
   val bound : t -> int
   (** Exclusive id bound of the snapshot ({!Netlist.id_bound} at build). *)

@@ -4,7 +4,7 @@ module Edge = Pops_delay.Edge
 module Path = Pops_delay.Path
 module Model = Pops_delay.Model
 
-type extracted = { nodes : int list; path : Path.t }
+type extracted = { nodes : int list; path : Path.t; total_gates : int }
 
 let is_gate t id =
   match (Netlist.node t id).Netlist.kind with
@@ -51,38 +51,124 @@ let extract ?input_slope ~lib t nodes =
   in
   let drive_cin = (Netlist.node t arr.(0)).Netlist.cin in
   let path = Path.make ?input_slope ~drive_cin ~tech ~c_out stages in
-  { nodes; path }
+  { nodes; path; total_gates = n }
+
+(* Per-kind-code delay coefficients for the estimate pass, mirroring
+   {!Timing.build_tables}: everything {!Model.stage_delay} reads,
+   pre-multiplied where the grouping keeps results bit-identical
+   ([s *. tau] is the left-most association either way).  Building them
+   is 14 library lookups per call; using them is allocation-free per
+   gate, where the [Model.stage_delay] call boxed a tuple per edge. *)
+type est_coeffs = {
+  ec_have : bool array;
+  ec_stau_hl : float array;  (* s_hl *. tau *)
+  ec_stau_lh : float array;
+  ec_cm_hl : float array;
+  ec_cm_lh : float array;
+  ec_par : float array;
+  ec_slope_r : float;  (* vtp_red *. tau_in *. 0.5, tau_in = 2 tau *)
+  ec_slope_f : float;  (* vtn_red *. tau_in *. 0.5 *)
+}
+
+let est_coeffs ~lib tech =
+  let n = Array.length Netlist.Csr.code_kinds in
+  let have = Array.make n false
+  and stau_hl = Array.make n Float.nan
+  and stau_lh = Array.make n Float.nan
+  and cm_hl = Array.make n Float.nan
+  and cm_lh = Array.make n Float.nan
+  and par = Array.make n Float.nan in
+  Array.iteri
+    (fun code kind ->
+      match Pops_cell.Library.find lib kind with
+      | (cell : Pops_cell.Cell.t) ->
+        have.(code) <- true;
+        stau_hl.(code) <- cell.s_hl *. cell.tech.Pops_process.Tech.tau;
+        stau_lh.(code) <- cell.s_lh *. cell.tech.Pops_process.Tech.tau;
+        cm_hl.(code) <- cell.cm_ratio_hl;
+        cm_lh.(code) <- cell.cm_ratio_lh;
+        par.(code) <- cell.par_ratio
+      | exception Not_found -> ())
+    Netlist.Csr.code_kinds;
+  let tau_in = 2. *. tech.Pops_process.Tech.tau in
+  {
+    ec_have = have;
+    ec_stau_hl = stau_hl;
+    ec_stau_lh = stau_lh;
+    ec_cm_hl = cm_hl;
+    ec_cm_lh = cm_lh;
+    ec_par = par;
+    ec_slope_r = Pops_process.Tech.vtp_reduced tech *. tau_in *. 0.5;
+    ec_slope_f = Pops_process.Tech.vtn_reduced tech *. tau_in *. 0.5;
+  }
 
 (* edge-agnostic per-gate delay estimate (nominal input slope, worst
    output edge) used as the additive metric for path enumeration; dense
-   array indexed by node id.  Iterates the CSR order array (no list
-   materialization) but evaluates each gate with the same library cell
-   and model call as always, so estimates are bit-identical to the
-   pre-CSR loop. *)
-let delay_estimates ~lib t =
-  let tech = Netlist.tech t in
-  let tau_in = 2. *. tech.Pops_process.Tech.tau in
-  let est = Array.make (Netlist.id_bound t) 0. in
+   array indexed by node id, written into [est] (caller-sized).  The
+   arithmetic groups exactly as {!Model.stage_delay} groups it
+   ([x /. 2.] written [x *. 0.5] is exact), so estimates are
+   bit-identical to the per-gate model-call loop this replaces. *)
+let delay_estimates_into ~lib t est =
+  let ec = est_coeffs ~lib (Netlist.tech t) in
   let c = Netlist.csr t in
   let node_of = Netlist.Csr.node_of c in
+  let kind_code = Netlist.Csr.kind_code c in
+  let cin = Netlist.Csr.cin c in
+  let load = Netlist.Csr.load c in
   for i = 0 to Netlist.Csr.length c - 1 do
     let id = node_of.(i) in
-    let n = Netlist.node t id in
-    match n.Netlist.kind with
-    | Netlist.Primary_input -> est.(id) <- 0.
-    | Netlist.Cell kind ->
-      let cell = Pops_cell.Library.find lib kind in
-      let cload =
-        Netlist.load_on t id +. Pops_cell.Cell.cpar cell ~cin:n.Netlist.cin
+    let code = kind_code.(id) in
+    if code = -1 then est.(id) <- 0.
+    else if code = -2 || not ec.ec_have.(code) then raise Not_found
+    else begin
+      let cin_v = cin.(id) in
+      let cload = load.(id) +. (ec.ec_par.(code) *. cin_v) in
+      let tau_r = ec.ec_stau_lh.(code) *. cload /. cin_v in
+      let tau_f = ec.ec_stau_hl.(code) *. cload /. cin_v in
+      let cm_r = ec.ec_cm_lh.(code) *. cin_v in
+      let cm_f = ec.ec_cm_hl.(code) *. cin_v in
+      let d_r =
+        ec.ec_slope_r
+        +. ((1. +. (2. *. cm_r /. (cm_r +. cload))) *. tau_r *. 0.5)
       in
-      let d edge_out =
-        fst (Model.stage_delay cell ~edge_out ~tau_in ~cin:n.Netlist.cin ~cload)
+      let d_f =
+        ec.ec_slope_f
+        +. ((1. +. (2. *. cm_f /. (cm_f +. cload))) *. tau_f *. 0.5)
       in
-      est.(id) <- Float.max (d Edge.Rising) (d Edge.Falling)
-  done;
+      est.(id) <- Float.max d_r d_f
+    end
+  done
+
+let delay_estimates ~lib t =
+  let est = Array.make (Netlist.id_bound t) 0. in
+  delay_estimates_into ~lib t est;
   est
 
-let critical ?input_slope ?timing ~lib t =
+(* The [phase]-th window of at most [max_cone] elements, counted from
+   the {e end} of [l]: phase 0 is the endpoint-side window, each higher
+   phase moves one window upstream, and phases wrap once they pass the
+   head — so walking the phase visits every segment of a long path.
+   Lists shorter than [max_cone] are returned whole at every phase. *)
+let cone_window ~max_cone ~phase l =
+  let len = List.length l in
+  if len <= max_cone then l
+  else begin
+    let segments = (len + max_cone - 1) / max_cone in
+    let p = phase mod segments in
+    let stop = len - (p * max_cone) in
+    let start = max 0 (stop - max_cone) in
+    let rec drop i = function
+      | _ :: rest when i > 0 -> drop (i - 1) rest
+      | rest -> rest
+    in
+    let rec take i = function
+      | x :: rest when i > 0 -> x :: take (i - 1) rest
+      | _ -> []
+    in
+    take (stop - start) (drop start l)
+  end
+
+let critical ?input_slope ?timing ?max_cone ?(phase = 0) ~lib t =
   let timing =
     match timing with
     | Some tm ->
@@ -90,7 +176,14 @@ let critical ?input_slope ?timing ~lib t =
       tm
     | None -> Timing.analyze ?input_slope ~lib t
   in
-  extract ?input_slope ~lib t (Timing.critical_path timing)
+  let nodes = Timing.critical_path timing in
+  let total = List.length nodes in
+  let nodes =
+    match max_cone with
+    | Some n -> cone_window ~max_cone:n ~phase nodes
+    | None -> nodes
+  in
+  { (extract ?input_slope ~lib t nodes) with total_gates = total }
 
 module Pq = struct
   (* tiny max-priority queue on (priority, payload) *)
@@ -174,24 +267,144 @@ let rank_candidates ?input_slope ~lib t ~k candidates =
   |> List.filteri (fun i _ -> i < k)
   |> List.map snd
 
+(* Reusable enumeration state: the estimate/suffix/output metric arrays,
+   the arena of search-tree entries and the unboxed priority queue
+   (parallel float-priority / int-payload arrays — the tuple-based
+   {!Pq} boxed a float and a pair per push, the dominant term of the
+   enumerator's ~40 minor words per gate).  Hand one scratch to repeated
+   {!k_worst} calls and the steady-state allocation per call drops to
+   the materialized winner paths. *)
+type scratch = {
+  mutable sc_est : float array;
+  mutable sc_suffix : float array;
+  mutable sc_out : bool array;
+  mutable sc_qp : float array;  (* priorities *)
+  mutable sc_qe : int array;  (* payloads: arena entry indices *)
+  mutable sc_qn : int;
+  mutable sc_node : int array;
+  mutable sc_parent : int array;
+  mutable sc_d : float array;
+  mutable sc_len : int;
+}
+
+let make_scratch () =
+  {
+    sc_est = [||];
+    sc_suffix = [||];
+    sc_out = [||];
+    sc_qp = Array.make 1024 0.;
+    sc_qe = Array.make 1024 0;
+    sc_qn = 0;
+    sc_node = Array.make 1024 0;
+    sc_parent = Array.make 1024 (-1);
+    sc_d = Array.make 1024 0.;
+    sc_len = 0;
+  }
+
+let scratch_fit sc bound =
+  if Array.length sc.sc_est < bound then begin
+    sc.sc_est <- Array.make bound 0.;
+    sc.sc_suffix <- Array.make bound 0.;
+    sc.sc_out <- Array.make bound false
+  end;
+  sc.sc_qn <- 0;
+  sc.sc_len <- 0
+
+(* max-heap on (priority, entry); same sift order as {!Pq}, so pop
+   sequences — and hence the surviving paths — are identical *)
+let q_push sc prio e =
+  if sc.sc_qn >= Array.length sc.sc_qp then begin
+    let n = Array.length sc.sc_qp in
+    let qp = Array.make (2 * n) 0. and qe = Array.make (2 * n) 0 in
+    Array.blit sc.sc_qp 0 qp 0 n;
+    Array.blit sc.sc_qe 0 qe 0 n;
+    sc.sc_qp <- qp;
+    sc.sc_qe <- qe
+  end;
+  let qp = sc.sc_qp and qe = sc.sc_qe in
+  qp.(sc.sc_qn) <- prio;
+  qe.(sc.sc_qn) <- e;
+  let i = ref sc.sc_qn in
+  sc.sc_qn <- sc.sc_qn + 1;
+  while !i > 0 && qp.((!i - 1) / 2) < qp.(!i) do
+    let p = (!i - 1) / 2 in
+    let tp = qp.(p) and te = qe.(p) in
+    qp.(p) <- qp.(!i);
+    qe.(p) <- qe.(!i);
+    qp.(!i) <- tp;
+    qe.(!i) <- te;
+    i := p
+  done
+
+(* pops the top entry index, -1 when empty *)
+let q_pop sc =
+  if sc.sc_qn = 0 then -1
+  else begin
+    let qp = sc.sc_qp and qe = sc.sc_qe in
+    let top = qe.(0) in
+    sc.sc_qn <- sc.sc_qn - 1;
+    qp.(0) <- qp.(sc.sc_qn);
+    qe.(0) <- qe.(sc.sc_qn);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let largest = ref !i in
+      if l < sc.sc_qn && qp.(l) > qp.(!largest) then largest := l;
+      if r < sc.sc_qn && qp.(r) > qp.(!largest) then largest := r;
+      if !largest <> !i then begin
+        let tp = qp.(!i) and te = qe.(!i) in
+        qp.(!i) <- qp.(!largest);
+        qe.(!i) <- qe.(!largest);
+        qp.(!largest) <- tp;
+        qe.(!largest) <- te;
+        i := !largest
+      end
+      else continue := false
+    done;
+    top
+  end
+
+let arena_push sc node parent d =
+  if sc.sc_len >= Array.length sc.sc_node then begin
+    let n = Array.length sc.sc_node in
+    let grow_i a =
+      let b = Array.make (2 * n) 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    sc.sc_node <- grow_i sc.sc_node;
+    sc.sc_parent <- grow_i sc.sc_parent;
+    let d' = Array.make (2 * n) 0. in
+    Array.blit sc.sc_d 0 d' 0 n;
+    sc.sc_d <- d'
+  end;
+  let e = sc.sc_len in
+  sc.sc_node.(e) <- node;
+  sc.sc_parent.(e) <- parent;
+  sc.sc_d.(e) <- d;
+  sc.sc_len <- e + 1;
+  e
+
 (* Best-first enumeration over the CSR arrays with an {e arena} of
    search-tree entries (node, parent, distance) in three flat arrays:
    the frontier never materializes a per-path list, so enumeration space
-   is O(V + E + pushes) regardless of path depth — on a 1M-gate design
-   the legacy cons-per-push variant kept the same asymptotic tree but
-   rebuilt every emitted path eagerly; here only the <= 3k winners are
-   materialized, by walking parent pointers.  Push order, priorities and
-   the pop bound are identical to the legacy enumeration, so the
+   is O(V + E + pushes) regardless of path depth; only the <= 3k winners
+   are materialized, by walking parent pointers.  Push order, priorities
+   and the pop bound are identical to the legacy enumeration, so the
    surviving paths are too. *)
-let k_worst ?(k = 5) ?input_slope ~lib t =
-  let est = delay_estimates ~lib t in
+let k_worst ?scratch ?(k = 5) ?input_slope ~lib t =
+  let sc = match scratch with Some sc -> sc | None -> make_scratch () in
+  scratch_fit sc (Netlist.id_bound t);
+  delay_estimates_into ~lib t sc.sc_est;
+  let est = sc.sc_est in
   let c = Netlist.csr t in
   let node_of = Netlist.Csr.node_of c in
   let fanout_off = Netlist.Csr.fanout_off c in
   let fanout = Netlist.Csr.fanout c in
   (* longest-suffix bound per node under the estimate metric; CSR fanout
      entries replay the fanout-list fold order *)
-  let suffix = Array.make (Netlist.id_bound t) 0. in
+  let suffix = sc.sc_suffix in
   for i = Netlist.Csr.length c - 1 downto 0 do
     let id = node_of.(i) in
     let best = ref 0. in
@@ -201,60 +414,47 @@ let k_worst ?(k = 5) ?input_slope ~lib t =
     done;
     suffix.(id) <- !best
   done;
-  let output_flag = Array.make (Netlist.id_bound t) false in
-  List.iter (fun (id, _) -> output_flag.(id) <- true) (Netlist.outputs t);
-  let a_node = ref (Array.make 1024 0)
-  and a_parent = ref (Array.make 1024 (-1))
-  and a_d = ref (Array.make 1024 0.)
-  and a_len = ref 0 in
-  let push_entry node parent d =
-    if !a_len >= Array.length !a_node then begin
-      let cap = 2 * Array.length !a_node in
-      let grow_i a = Array.append a (Array.make (Array.length a) 0) in
-      a_node := grow_i !a_node;
-      a_parent := grow_i !a_parent;
-      a_d := Array.append !a_d (Array.make (Array.length !a_d) 0.);
-      ignore cap
-    end;
-    let e = !a_len in
-    !a_node.(e) <- node;
-    !a_parent.(e) <- parent;
-    !a_d.(e) <- d;
-    a_len := e + 1;
-    e
-  in
-  let q = Pq.create () in
+  let output_flag = sc.sc_out in
+  let outputs = Netlist.outputs t in
+  List.iter (fun (id, _) -> output_flag.(id) <- true) outputs;
   List.iter
-    (fun pi -> Pq.push q suffix.(pi) (push_entry pi (-1) 0.))
+    (fun pi -> q_push sc suffix.(pi) (arena_push sc pi (-1) 0.))
     (Netlist.inputs t);
   let results = ref [] and n_results = ref 0 and pops = ref 0 in
   let want = 3 * k in
   let rec search () =
     if !n_results >= want || !pops > 200_000 then ()
     else
-      match Pq.pop q with
-      | None -> ()
-      | Some (_, e) ->
+      let e = q_pop sc in
+      if e < 0 then ()
+      else begin
         incr pops;
-        let head = !a_node.(e) in
+        let head = sc.sc_node.(e) in
         if output_flag.(head) then begin
           results := e :: !results;
           incr n_results
         end;
-        let d = !a_d.(e) in
+        let d = sc.sc_d.(e) in
         for fo = fanout_off.(head) to fanout_off.(head + 1) - 1 do
           let cn = fanout.(fo) in
           let d' = d +. est.(cn) in
-          Pq.push q (d' +. suffix.(cn)) (push_entry cn e d')
+          q_push sc (d' +. suffix.(cn)) (arena_push sc cn e d')
         done;
         search ()
+      end
   in
   search ();
+  (* un-flag before returning: the scratch may be reused on a netlist
+     with a different output set *)
   let path_of_entry e =
-    let rec go e acc = if e < 0 then acc else go !a_parent.(e) (!a_node.(e) :: acc) in
+    let rec go e acc =
+      if e < 0 then acc else go sc.sc_parent.(e) (sc.sc_node.(e) :: acc)
+    in
     go e []
   in
-  rank_candidates ?input_slope ~lib t ~k (List.rev_map path_of_entry !results)
+  let candidates = List.rev_map path_of_entry !results in
+  List.iter (fun (id, _) -> output_flag.(id) <- false) outputs;
+  rank_candidates ?input_slope ~lib t ~k candidates
 
 (* the pre-arena enumeration (cons-cell payloads, list topological
    order); the oracle k_worst is tested against *)
@@ -304,6 +504,192 @@ let k_worst_reference ?(k = 5) ?input_slope ~lib t =
   in
   search ();
   rank_candidates ?input_slope ~lib t ~k (List.rev !results)
+
+(* Persistent endpoint heap for slack-driven selection: a lazy-deletion
+   min-heap over (slack, endpoint id), lexicographic so the pop sequence
+   over valid entries is exactly the endpoints sorted worst-slack-first.
+   Stale entries (endpoint deleted, undesignated, or slack moved since
+   the push) are detected on pop by comparing the stored priority
+   against the current {!Timing.node_slack} bitwise, and dropped;
+   {!Timing.slacks_changed_take} feeds fresh entries after every update,
+   so every output with a defined slack always has at least one live
+   entry.  Valid pops are re-pushed (after the selection loop, through a
+   buffer), keeping the heap correct across rounds without rebuilds. *)
+type incr = {
+  in_s : Timing.slacks;
+  in_nl : Netlist.t;
+  mutable in_hp : float array;  (* slack priorities *)
+  mutable in_hi : int array;  (* endpoint ids *)
+  mutable in_hn : int;
+}
+
+(* lexicographic (slack, id) min-order; unique per endpoint *)
+let incr_less p1 i1 p2 i2 = p1 < p2 || (p1 = p2 && i1 < i2)
+
+let incr_push q prio id =
+  if Float.is_nan prio then ()
+  else begin
+    if q.in_hn >= Array.length q.in_hp then begin
+      let n = Array.length q.in_hp in
+      let hp = Array.make (2 * n) 0. and hi = Array.make (2 * n) 0 in
+      Array.blit q.in_hp 0 hp 0 n;
+      Array.blit q.in_hi 0 hi 0 n;
+      q.in_hp <- hp;
+      q.in_hi <- hi
+    end;
+    let hp = q.in_hp and hi = q.in_hi in
+    hp.(q.in_hn) <- prio;
+    hi.(q.in_hn) <- id;
+    let i = ref q.in_hn in
+    q.in_hn <- q.in_hn + 1;
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      incr_less hp.(!i) hi.(!i) hp.(p) hi.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tp = hp.(p) and ti = hi.(p) in
+      hp.(p) <- hp.(!i);
+      hi.(p) <- hi.(!i);
+      hp.(!i) <- tp;
+      hi.(!i) <- ti;
+      i := p
+    done
+  end
+
+(* pops the minimum (slack, id); [None] when empty *)
+let incr_pop q =
+  if q.in_hn = 0 then None
+  else begin
+    let hp = q.in_hp and hi = q.in_hi in
+    let top = (hp.(0), hi.(0)) in
+    q.in_hn <- q.in_hn - 1;
+    hp.(0) <- hp.(q.in_hn);
+    hi.(0) <- hi.(q.in_hn);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.in_hn && incr_less hp.(l) hi.(l) hp.(!smallest) hi.(!smallest)
+      then smallest := l;
+      if r < q.in_hn && incr_less hp.(r) hi.(r) hp.(!smallest) hi.(!smallest)
+      then smallest := r;
+      if !smallest <> !i then begin
+        let tp = hp.(!i) and ti = hi.(!i) in
+        hp.(!i) <- hp.(!smallest);
+        hi.(!i) <- hi.(!smallest);
+        hp.(!smallest) <- tp;
+        hi.(!smallest) <- ti;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some top
+  end
+
+let incr_make nl slacks =
+  let q =
+    {
+      in_s = slacks;
+      in_nl = nl;
+      in_hp = Array.make 256 0.;
+      in_hi = Array.make 256 0;
+      in_hn = 0;
+    }
+  in
+  List.iter
+    (fun (id, _) -> incr_push q (Timing.node_slack slacks id) id)
+    (Netlist.outputs nl);
+  q
+
+let k_worst_incr ?(k = 5) ?(min_slack = 0.) ?(max_cone = 48) ?(phase = 0)
+    ?input_slope ~lib q =
+  let s = q.in_s and t = q.in_nl in
+  Timing.slacks_update s;
+  List.iter
+    (fun id ->
+      if Netlist.is_output t id then incr_push q (Timing.node_slack s id) id)
+    (Timing.slacks_changed_take s);
+  let tm = Timing.slacks_timing s in
+  let seen = Hashtbl.create 16 in
+  let stamped = Hashtbl.create 64 in
+  let deferred = ref [] in
+  let defer prio id = deferred := (prio, id) :: !deferred in
+  let results = ref [] and n_results = ref 0 in
+  (* Bound the candidates probed for disjointness, not just the winners:
+     on high-fanout designs thousands of violating endpoints share one
+     critical spine, and probing every one of them each round costs more
+     than the round's re-timing.  The bound counts only {e valid} pops
+     (stale entries evaporate for free), so a carried heap and a fresh
+     {!incr_make} heap — whose valid pop sequences are identical — give
+     up after the same candidates and select the same cones. *)
+  let probe_limit = max 64 (16 * k) in
+  let probes = ref 0 in
+  let rec select () =
+    if !n_results >= k || !probes >= probe_limit then ()
+    else
+      match incr_pop q with
+      | None -> ()
+      | Some (prio, id) ->
+        let cur = Timing.node_slack s id in
+        (* lazy deletion: entry must match the live slack bitwise (a NaN
+           current slack never matches — the endpoint left the defined
+           set and its entries just evaporate) *)
+        if not (Netlist.node_exists t id && Netlist.is_output t id && cur = prio)
+        then select ()
+        else if prio >= min_slack then
+          (* heap is sorted: nothing more critical remains *)
+          defer prio id
+        else if Hashtbl.mem seen id then select () (* duplicate entry *)
+        else begin
+          incr probes;
+          Hashtbl.replace seen id ();
+          defer prio id;
+          (* bounded cone: the protocol underneath is a bounded-path
+             engine, so hand it one [max_cone]-node window of the
+             critical path — phase 0 is the endpoint-side window, each
+             higher phase walks one window upstream (the flow advances
+             the phase when the current windows saturate).  A bounded
+             edit window also keeps the next round's incremental re-time
+             confined to a small fan-out cone.  Only the window is ever
+             materialized ({!Timing.path_window}): most pops lose the
+             disjointness test below, and paying a full path walk per
+             discarded probe dominated the selection. *)
+          (* phase 0 needs no length: the endpoint-side window stops at
+             [max_cone] nodes (or the head) on its own, so losing
+             probes cost O(max_cone), not O(depth); the full-path walk
+             is deferred to the winners (and to walked phases, where
+             the window index depends on the path length) *)
+          let skip, len_ =
+            if phase = 0 then (0, max_cone)
+            else begin
+              let total = Timing.path_length tm id in
+              let segments = (total + max_cone - 1) / max_cone in
+              let skip = phase mod segments * max_cone in
+              (skip, min max_cone (total - skip))
+            end
+          in
+          let nodes = Timing.path_window tm id ~skip ~len:len_ in
+          let gates = List.filter (is_gate t) nodes in
+          let disjoint =
+            not (List.exists (fun g -> Hashtbl.mem stamped g) gates)
+          in
+          (if disjoint then
+             match extract ?input_slope ~lib t nodes with
+             | e ->
+               List.iter (fun g -> Hashtbl.replace stamped g ()) gates;
+               results :=
+                 { e with total_gates = Timing.path_length tm id } :: !results;
+               incr n_results
+             | exception Invalid_argument _ -> ());
+          select ()
+        end
+  in
+  select ();
+  List.iter (fun (prio, id) -> incr_push q prio id) !deferred;
+  List.rev !results
 
 let apply_sizing t nodes sizing =
   if List.length nodes <> Array.length sizing then

@@ -10,6 +10,11 @@
 type extracted = {
   nodes : int list;  (** gate ids along the path, source side first *)
   path : Pops_delay.Path.t;  (** the bounded-path view *)
+  total_gates : int;
+      (** length of the full source path this extraction was windowed
+          from ([List.length nodes] when nothing was windowed away);
+          lets the flow tell a saturated short path from a long one
+          with un-walked upstream windows *)
 }
 
 val extract :
@@ -23,16 +28,29 @@ val extract :
     @raise Invalid_argument if the ids are not a connected gate chain. *)
 
 val critical :
-  ?input_slope:float -> ?timing:Timing.t -> lib:Pops_cell.Library.t ->
-  Pops_netlist.Netlist.t -> extracted
+  ?input_slope:float -> ?timing:Timing.t -> ?max_cone:int -> ?phase:int ->
+  lib:Pops_cell.Library.t -> Pops_netlist.Netlist.t -> extracted
 (** {!extract} on the STA critical path.  Pass [timing] (an analysis of
     the same netlist) to reuse it incrementally — it is brought up to
     date with {!Timing.update} instead of re-running {!Timing.analyze}
-    from scratch. *)
+    from scratch.  [max_cone] windows the extraction to [max_cone] path
+    nodes — [phase] (default 0) picks which window, counted from the
+    endpoint, wrapping past the head; by default the whole path is
+    extracted. *)
+
+type scratch
+(** Reusable enumeration state for {!k_worst}: the per-node metric
+    arrays, the search-tree arena and the unboxed priority queue.
+    Create one with {!make_scratch}, hand it to repeated calls (grown on
+    demand, never shrunk) and the enumerator's steady-state allocation
+    drops to the materialized winner paths.  Not thread-safe: one
+    scratch per domain. *)
+
+val make_scratch : unit -> scratch
 
 val k_worst :
-  ?k:int -> ?input_slope:float -> lib:Pops_cell.Library.t ->
-  Pops_netlist.Netlist.t -> extracted list
+  ?scratch:scratch -> ?k:int -> ?input_slope:float ->
+  lib:Pops_cell.Library.t -> Pops_netlist.Netlist.t -> extracted list
 (** The [k] (default 5) most critical {e distinct} input-to-output paths
     by STA delay, worst first, found by best-first enumeration with
     longest-suffix pruning.
@@ -41,7 +59,50 @@ val k_worst :
     arrays) over the netlist's {!Pops_netlist.Netlist.Csr} snapshot —
     no per-path lists are built while enumerating, so memory is
     [O(V + E + k * depth)] even on million-gate designs; only the
-    surviving candidates are materialized by walking parent pointers. *)
+    surviving candidates are materialized by walking parent pointers.
+    Pass [scratch] to reuse the arrays across calls; results are
+    identical with or without it. *)
+
+type incr
+(** Persistent endpoint state for slack-driven path selection: a
+    lazy-deletion min-heap over (slack, endpoint id) entries, kept
+    current across netlist edits by the {!Timing.slacks} change feed.
+    Build once per optimization loop with {!incr_make}. *)
+
+val incr_make : Pops_netlist.Netlist.t -> Timing.slacks -> incr
+(** Seed the endpoint heap with every primary output whose slack is
+    defined.  The slacks annotation must belong to a timing of the same
+    netlist. *)
+
+val k_worst_incr :
+  ?k:int -> ?min_slack:float -> ?max_cone:int -> ?phase:int ->
+  ?input_slope:float -> lib:Pops_cell.Library.t -> incr -> extracted list
+(** Up to [k] (default 5) {e gate-disjoint} critical cones through the
+    currently worst-slack endpoints, worst first: brings the slacks up
+    to date ({!Timing.slacks_update}), folds changed endpoints into the
+    heap, then pops endpoints in (slack, id) order — skipping stale
+    entries and any cone sharing a gate with an already selected one —
+    until [k] cones are selected, the next endpoint's slack is
+    [>= min_slack] (default [0.]: timing met there, nothing critical
+    remains), or [max 64 (16 k)] distinct candidates have been probed
+    (on high-fanout designs thousands of violating endpoints share one
+    spine; probing them all costs more than the round's re-timing, and
+    the flow only needs the worst few disjoint cones).  Each cone is
+    one window of at most [max_cone] (default
+    48) path nodes: the protocol underneath is a bounded-path engine,
+    and a bounded edit window keeps the next round's incremental re-time
+    confined to a small cone.  [phase] (default 0) picks the window —
+    0 is the endpoint side, each higher phase one window further
+    upstream, wrapping past the head; callers advance it when the
+    current windows stop yielding improvement ({!extracted.total_gates}
+    tells how many windows a cone has).  Only endpoints whose slack
+    changed since the previous call cost heap work, so a converging
+    optimization round is [O(changed + k * depth)] instead of a full
+    re-enumeration.  The selection is deterministic: the probe bound
+    counts only valid, non-duplicate pops, and the valid pop sequence
+    of a carried heap equals a freshly built one's, so the result is
+    what sorting all endpoints by (slack, id) from scratch and probing
+    the same bounded prefix would pick. *)
 
 val k_worst_reference :
   ?k:int -> ?input_slope:float -> lib:Pops_cell.Library.t ->

@@ -86,7 +86,64 @@ type t = {
   mutable rise_from : int array;
   mutable fall_from : int array;
   mutable cursor : int;
+  (* Arrival change log: ids whose stored (time, slope) moved during
+     {!update}, appended in processing order so a backward slack
+     observer can re-seed from exactly the nodes the forward wave
+     touched.  Off until a {!slacks} attaches ([log_enabled]); the
+     deep-spine fallback logs every swept id (conservative — the sweep
+     does not track per-node change). *)
+  mutable log_enabled : bool;
+  mutable change_log : int array;
+  mutable change_len : int;
+  (* per-entry classification of [change_log]: ['\001'] (heavy) when a
+     slope moved or an edge crossed defined/undefined — the moves that
+     can shift REQUIRED times downstream of the node; ['\000'] (light)
+     when only arrival time values moved on already-defined edges.  A
+     gate's output slope is [stau * cload / cin] — a function of its own
+     size and load, not of its inputs — so slope changes die out one
+     level past an edit and almost the whole forward wave is light: the
+     backward engine re-evaluates required times only from heavy
+     entries and patches the (req - arrival) slack of light ones in a
+     flat O(1)-per-node pass. *)
+  mutable change_heavy : Bytes.t;
+  (* worklist scratch: per-id queued marks, reused across updates (both
+     directions — the forward drain completes before the backward one
+     starts, and each drain unmarks every node it pops, so the buffer is
+     all-zero between uses) *)
+  mutable wl_mark : Bytes.t;
+  (* eval scratch (running best per edge): one block reused across every
+     {!eval_store_csr} call instead of a per-call allocation *)
+  wl_best : float array;
+  (* Lazy-deletion max-heap over (worst output arrival, endpoint id),
+     for {!critical_delay}: a flat scan over all outputs costs O(P)
+     plus an O(P) list allocation per query, which an optimization
+     loop pays every round; the heap answers from the entries whose
+     arrivals actually moved.  Built on the third query (so a
+     one-shot/per-round-rebuilt [t] — the reference flow mode — never
+     pays the O(P) build), maintained by {!update} pushing every
+     changed or dirtied output; stale entries are dropped on peek by
+     comparing against the live arrival bitwise. *)
+  mutable cd_hp : float array;
+  mutable cd_hi : int array;
+  mutable cd_hn : int;
+  mutable cd_on : bool;
+  mutable cd_queries : int;
 }
+
+let log_change t id ~heavy =
+  if t.log_enabled then begin
+    if t.change_len >= Array.length t.change_log then begin
+      let bigger = Array.make (2 * Array.length t.change_log) 0 in
+      Array.blit t.change_log 0 bigger 0 t.change_len;
+      t.change_log <- bigger;
+      let hv = Bytes.make (Array.length bigger) '\000' in
+      Bytes.blit t.change_heavy 0 hv 0 t.change_len;
+      t.change_heavy <- hv
+    end;
+    t.change_log.(t.change_len) <- id;
+    Bytes.set t.change_heavy t.change_len (if heavy then '\001' else '\000');
+    t.change_len <- t.change_len + 1
+  end
 
 (* slot offset of an edge's (time, slope) pair within a node's block *)
 let edge_off = function Edge.Rising -> 0 | Edge.Falling -> 2
@@ -113,6 +170,9 @@ let grow t =
     t.arr <- Array.append t.arr (Array.make (4 * (cap - t.cap)) Float.nan);
     t.rise_from <- grow_i t.rise_from;
     t.fall_from <- grow_i t.fall_from;
+    let mark = Bytes.make cap '\000' in
+    Bytes.blit t.wl_mark 0 mark 0 t.cap;
+    t.wl_mark <- mark;
     t.cap <- cap
   end
 
@@ -188,59 +248,6 @@ let store_node t id (rise, fall) =
   let r = store_edge t.arr t.rise_from ~toff:0 id rise in
   let f = store_edge t.arr t.fall_from ~toff:2 id fall in
   r || f
-
-(* min-heap of node ids keyed by topological level: popping in level
-   order guarantees a node is re-evaluated only after all its dirty
-   fan-ins settled *)
-module Heap = struct
-  type t = { mutable a : (int * int) array; mutable size : int }
-
-  let create () = { a = Array.make 64 (0, 0); size = 0 }
-
-  let push h key v =
-    if h.size >= Array.length h.a then begin
-      let bigger = Array.make (2 * Array.length h.a) (0, 0) in
-      Array.blit h.a 0 bigger 0 h.size;
-      h.a <- bigger
-    end;
-    h.a.(h.size) <- (key, v);
-    let i = ref h.size in
-    h.size <- h.size + 1;
-    while
-      !i > 0
-      && fst h.a.((!i - 1) / 2) > fst h.a.(!i)
-    do
-      let p = (!i - 1) / 2 in
-      let tmp = h.a.(p) in
-      h.a.(p) <- h.a.(!i);
-      h.a.(!i) <- tmp;
-      i := p
-    done
-
-  let pop h =
-    if h.size = 0 then None
-    else begin
-      let top = h.a.(0) in
-      h.size <- h.size - 1;
-      h.a.(0) <- h.a.(h.size);
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.size && fst h.a.(l) < fst h.a.(!smallest) then smallest := l;
-        if r < h.size && fst h.a.(r) < fst h.a.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.a.(!i) in
-          h.a.(!i) <- h.a.(!smallest);
-          h.a.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done;
-      Some (snd top)
-    end
-end
 
 (* --- CSR level sweep -------------------------------------------------- *)
 
@@ -436,15 +443,232 @@ let sweep_levels t (c : Netlist.Csr.t) ~from_level =
     else sweep_range t c lo hi
   done
 
+(* Single-node re-evaluation straight off the CSR arrays — the worklist
+   counterpart of {!sweep_range}: the same hoisted coefficients, fan-in
+   visit order and keep-first tie break (so stored bits match both the
+   full sweep and the record-based {!eval_node}), with {!store_edge}'s
+   NaN-aware change test folded into the store.  Returns a move mask:
+   0 when neither edge's stored (time, slope) moved, bit 0 when an
+   arrival time value moved, bit 1 ({e heavy}) when a slope moved or an
+   edge crossed defined/undefined — the only moves that can shift
+   REQUIRED times downstream, since required reads a producer's slope
+   but never its time.  The event-driven {!update} runs this per popped
+   node; keeping the per-node cost at sweep constants (shared scratch
+   block, no boxed floats, no record or list traffic) is what lets the
+   incremental path beat the flat sweep on small cones instead of
+   losing its asymptotic win to per-node overhead. *)
+
+(* store one edge with {!store_edge}'s change test and classify the
+   move as above.  Top-level (not a closure over the eval) so the hot
+   drain allocates nothing per node. *)
+let store_slot arr (fr : int array) id b time tau from =
+  if from >= 0 then begin
+    let old_t = Array.unsafe_get arr b in
+    let old_s = Array.unsafe_get arr (b + 1) in
+    Array.unsafe_set arr b time;
+    Array.unsafe_set arr (b + 1) tau;
+    Array.unsafe_set fr id from;
+    if Float.is_nan old_t then 3
+    else (if old_t <> time then 1 else 0) lor (if old_s <> tau then 2 else 0)
+  end
+  else begin
+    let was = not (Float.is_nan (Array.unsafe_get arr b)) in
+    Array.unsafe_set arr b Float.nan;
+    Array.unsafe_set arr (b + 1) Float.nan;
+    Array.unsafe_set fr id (-1);
+    if was then 3 else 0
+  end
+
+let eval_store_csr t (c : Netlist.Csr.t) id =
+  let tb = t.tables in
+  let arr = t.arr in
+  let code = (Netlist.Csr.kind_code c).(id) in
+  if code = -1 then begin
+    let b = 4 * id in
+    let slot b0 =
+      if Float.is_nan arr.(b0) then 3
+      else
+        (if arr.(b0) <> t.input_arrival then 1 else 0)
+        lor if arr.(b0 + 1) <> t.input_slope then 2 else 0
+    in
+    let mask = slot b lor slot (b + 2) in
+    arr.(b) <- t.input_arrival;
+    arr.(b + 1) <- t.input_slope;
+    arr.(b + 2) <- t.input_arrival;
+    arr.(b + 3) <- t.input_slope;
+    t.rise_from.(id) <- -1;
+    t.fall_from.(id) <- -1;
+    mask
+  end
+  else if code = -2 || not tb.have.(code) then raise Not_found
+  else begin
+    let cin = Netlist.Csr.cin c and load = Netlist.Csr.load c in
+    let fanin_off = Netlist.Csr.fanin_off c and fanin = Netlist.Csr.fanin c in
+    let vtp = tb.vtp_red and vtn = tb.vtn_red in
+    let cin_v = Array.unsafe_get cin id in
+    let cload =
+      Array.unsafe_get load id +. (Array.unsafe_get tb.par code *. cin_v)
+    in
+    let f_lo = Array.unsafe_get fanin_off id
+    and f_hi = Array.unsafe_get fanin_off (id + 1) in
+    let kl = Array.unsafe_get tb.klass code in
+    let mask = ref 0 in
+    let best = t.wl_best in
+    let best_from = ref (-1) in
+    let best_from2 = ref (-1) in
+    if kl <> 1 then begin
+      let tau_r = Array.unsafe_get tb.stau_lh code *. cload /. cin_v in
+      let tau_f = Array.unsafe_get tb.stau_hl code *. cload /. cin_v in
+      let cm_r = Array.unsafe_get tb.cm_lh code *. cin_v in
+      let cm_f = Array.unsafe_get tb.cm_hl code *. cin_v in
+      let gterm_r = (1. +. (2. *. cm_r /. (cm_r +. cload))) *. tau_r *. 0.5 in
+      let gterm_f = (1. +. (2. *. cm_f /. (cm_f +. cload))) *. tau_f *. 0.5 in
+      let or_ = if kl = 2 then 0 else 2 in
+      let of_ = 2 - or_ in
+      let ei_r = or_ lsr 1 in
+      let ei_f = 1 - ei_r in
+      Array.unsafe_set best 0 Float.nan;
+      Array.unsafe_set best 1 Float.nan;
+      for p = f_lo to f_hi - 1 do
+        let f = Array.unsafe_get fanin p in
+        let b = 4 * f in
+        let str = Array.unsafe_get arr (b + or_) in
+        if not (Float.is_nan str) then begin
+          let time =
+            str +. ((vtp *. Array.unsafe_get arr (b + or_ + 1) *. 0.5) +. gterm_r)
+          in
+          if not (Array.unsafe_get best 0 >= time) then begin
+            Array.unsafe_set best 0 time;
+            best_from := (2 * f) + ei_r
+          end
+        end;
+        let stf = Array.unsafe_get arr (b + of_) in
+        if not (Float.is_nan stf) then begin
+          let time =
+            stf +. ((vtn *. Array.unsafe_get arr (b + of_ + 1) *. 0.5) +. gterm_f)
+          in
+          if not (Array.unsafe_get best 1 >= time) then begin
+            Array.unsafe_set best 1 time;
+            best_from2 := (2 * f) + ei_f
+          end
+        end
+      done;
+      let b = 4 * id in
+      mask := store_slot arr t.rise_from id b best.(0) tau_r !best_from;
+      mask :=
+        !mask lor store_slot arr t.fall_from id (b + 2) best.(1) tau_f !best_from2
+    end
+    else
+      for eo = 0 to 1 do
+        let stau = if eo = 0 then tb.stau_lh.(code) else tb.stau_hl.(code) in
+        let cmr = if eo = 0 then tb.cm_lh.(code) else tb.cm_hl.(code) in
+        let v_t = if eo = 0 then vtp else vtn in
+        let tau_out = stau *. cload /. cin_v in
+        let cm = cmr *. cin_v in
+        let gate_term = (1. +. (2. *. cm /. (cm +. cload))) *. tau_out *. 0.5 in
+        best.(0) <- Float.nan;
+        best_from := -1;
+        for ei = 0 to 1 do
+          let off = 2 * ei in
+          for p = f_lo to f_hi - 1 do
+            let f = Array.unsafe_get fanin p in
+            let src = (4 * f) + off in
+            let st = Array.unsafe_get arr src in
+            if not (Float.is_nan st) then begin
+              let d =
+                (v_t *. Array.unsafe_get arr (src + 1) *. 0.5) +. gate_term
+              in
+              let time = st +. d in
+              if not (Array.unsafe_get best 0 >= time) then begin
+                Array.unsafe_set best 0 time;
+                best_from := (2 * f) + ei
+              end
+            end
+          done
+        done;
+        let fr = if eo = 0 then t.rise_from else t.fall_from in
+        mask :=
+          !mask
+          lor store_slot arr fr id ((4 * id) + (2 * eo)) best.(0) tau_out
+                !best_from
+      done;
+    !mask
+  end
+
+(* worst defined arrival over both edges of a node, NaN when neither
+   edge is defined — the value {!critical_delay} maximizes over the
+   outputs *)
+let cd_worst_of t id =
+  let r = t.arr.(4 * id) and f = t.arr.((4 * id) + 2) in
+  if Float.is_nan r then f else if Float.is_nan f then r else Float.max r f
+
+(* push one (arrival, id) entry onto the endpoint-arrival max-heap;
+   NaN arrivals (undefined endpoint) have no entry by construction *)
+let cd_push t v id =
+  if not (Float.is_nan v) then begin
+    if t.cd_hn >= Array.length t.cd_hp then begin
+      let n = Array.length t.cd_hp in
+      let hp = Array.make (2 * n) 0. and hi = Array.make (2 * n) 0 in
+      Array.blit t.cd_hp 0 hp 0 n;
+      Array.blit t.cd_hi 0 hi 0 n;
+      t.cd_hp <- hp;
+      t.cd_hi <- hi
+    end;
+    let hp = t.cd_hp and hi = t.cd_hi in
+    hp.(t.cd_hn) <- v;
+    hi.(t.cd_hn) <- id;
+    let i = ref t.cd_hn in
+    t.cd_hn <- t.cd_hn + 1;
+    while !i > 0 && hp.(!i) > hp.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tv = hp.(p) and ti = hi.(p) in
+      hp.(p) <- hp.(!i);
+      hi.(p) <- hi.(!i);
+      hp.(!i) <- tv;
+      hi.(!i) <- ti;
+      i := p
+    done
+  end
+
+(* drop the heap's top entry (stale) *)
+let cd_drop t =
+  let hp = t.cd_hp and hi = t.cd_hi in
+  t.cd_hn <- t.cd_hn - 1;
+  hp.(0) <- hp.(t.cd_hn);
+  hi.(0) <- hi.(t.cd_hn);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let largest = ref !i in
+    if l < t.cd_hn && hp.(l) > hp.(!largest) then largest := l;
+    if r < t.cd_hn && hp.(r) > hp.(!largest) then largest := r;
+    if !largest <> !i then begin
+      let tv = hp.(!i) and ti = hi.(!i) in
+      hp.(!i) <- hp.(!largest);
+      hi.(!i) <- hi.(!largest);
+      hp.(!largest) <- tv;
+      hi.(!largest) <- ti;
+      i := !largest
+    end
+    else continue := false
+  done
+
 (* Fraction of the levelized order past which the event-driven worklist
    is abandoned for a straight-line sweep, and the maximum average level
    width at which the level-population cone bound is trusted.  On a deep
    spine (width ~1) a mid-chain edit reaches half the design: paying
    heap + dedup overhead per node there is slower than a plain pass over
    the suffix of the topological order.  On wide circuits the bound
-   wildly overestimates the true cone, so the worklist stays. *)
+   wildly overestimates the true cone, so the worklist stays.  The
+   dense-level factor governs the same trade within one worklist level:
+   once the queued fraction of a level passes 1/8, re-evaluating the
+   whole level linearly off the CSR order beats scattered pops (a
+   no-change re-evaluation stores the same bits and wakes nobody, so
+   the result is identical either way). *)
 let cone_fallback_fraction = 0.6
 let narrow_width_limit = 8
+let dense_level_factor = 8
 
 let update t =
   let nl = t.netlist in
@@ -477,33 +701,93 @@ let update t =
         narrow
         && float_of_int cone_bound
            >= cone_fallback_fraction *. float_of_int live
-      then
+      then begin
         (* Deep-spine fallback: re-evaluate every node at level >= lmin
            straight off the levelized CSR order.  Same arithmetic, same
            order as a cold analyze restricted to the suffix, so arrivals
            stay bit-identical; nodes below lmin cannot have changed
            (dirt only propagates downstream, i.e. to higher levels). *)
-        sweep_levels t (Netlist.csr nl) ~from_level:!lmin
+        let c = Netlist.csr nl in
+        sweep_levels t c ~from_level:!lmin;
+        let node_of = Netlist.Csr.node_of c in
+        let level_off = Netlist.Csr.level_off c in
+        if t.log_enabled then
+          for i = level_off.(!lmin) to Netlist.Csr.length c - 1 do
+            log_change t node_of.(i) ~heavy:true
+          done;
+        if t.cd_on then
+          for i = level_off.(!lmin) to Netlist.Csr.length c - 1 do
+            let id = node_of.(i) in
+            if Netlist.is_output nl id then cd_push t (cd_worst_of t id) id
+          done
+      end
       else begin
-        let heap = Heap.create () in
-        let queued = Hashtbl.create 64 in
+        (* Event-driven drain in level order: a per-level bucket queue
+           (arrivals only flow to strictly deeper levels, so processing
+           level [l] can only wake levels above it) and the persistent
+           byte-mark dedup.  O(1) push/pop with no boxed (key, value)
+           pairs and no hashing; evaluation within one level is
+           order-independent (nodes read only lower levels), so bucket
+           LIFO order stores the same bits as any other order. *)
+        let c = Netlist.csr nl in
+        let depth = Netlist.Csr.depth c in
+        let buckets = Array.make (depth + 1) [] in
+        let mark = t.wl_mark in
         let enqueue id =
-          if (not (Hashtbl.mem queued id)) && Netlist.node_exists nl id then begin
-            Hashtbl.replace queued id ();
-            Heap.push heap (Netlist.level nl id) id
+          if Bytes.get mark id = '\000' && Netlist.node_exists nl id then begin
+            Bytes.set mark id '\001';
+            let l = Netlist.level nl id in
+            buckets.(l) <- id :: buckets.(l)
           end
         in
         List.iter enqueue live_dirty;
-        let rec drain () =
-          match Heap.pop heap with
-          | None -> ()
-          | Some id ->
-            Hashtbl.remove queued id;
-            if store_node t id (eval_node t id) then
-              List.iter enqueue (Netlist.node nl id).Netlist.fanouts;
-            drain ()
+        let fo_off = Netlist.Csr.fanout_off c in
+        let fo = Netlist.Csr.fanout c in
+        let node_of = Netlist.Csr.node_of c in
+        let level_off = Netlist.Csr.level_off c in
+        let process id =
+          let m = eval_store_csr t c id in
+          if m <> 0 then begin
+            log_change t id ~heavy:(m land 2 <> 0);
+            if t.cd_on && Netlist.is_output nl id then
+              cd_push t (cd_worst_of t id) id;
+            for p = fo_off.(id) to fo_off.(id + 1) - 1 do
+              enqueue fo.(p)
+            done
+          end
         in
-        drain ()
+        for l = !lmin to depth do
+          match buckets.(l) with
+          | [] -> ()
+          | bucket ->
+            let queued = List.length bucket in
+            let lo = level_off.(l) and hi = level_off.(l + 1) in
+            if queued * dense_level_factor >= hi - lo then begin
+              (* dense level: one linear pass over the level's CSR
+                 slice beats scattered evaluation — un-queued nodes
+                 have unchanged fan-ins (any change would have queued
+                 them), so their re-evaluation stores the same bits,
+                 logs nothing and wakes nobody *)
+              List.iter (fun id -> Bytes.set mark id '\000') bucket;
+              for i = lo to hi - 1 do
+                process node_of.(i)
+              done
+            end
+            else
+              List.iter
+                (fun id ->
+                  Bytes.set mark id '\000';
+                  process id)
+                bucket
+        done;
+        (* an output freshly (un)designated without an arrival move
+           never goes through [process]; its final arrival is live by
+           now, so push it directly (stale entries just evaporate) *)
+        if t.cd_on then
+          List.iter
+            (fun id ->
+              if Netlist.is_output nl id then cd_push t (cd_worst_of t id) id)
+            live_dirty
       end
     end
   end
@@ -537,6 +821,17 @@ let make ?input_slope ?(input_arrival = 0.) ?(level_par_min = 2048) ~lib netlist
     rise_from = Array.make cap (-1);
     fall_from = Array.make cap (-1);
     cursor = Netlist.revision netlist;
+    log_enabled = false;
+    change_log = Array.make 64 0;
+    change_len = 0;
+    change_heavy = Bytes.make 64 '\000';
+    wl_mark = Bytes.make cap '\000';
+    wl_best = [| Float.nan; Float.nan |];
+    cd_hp = Array.make 256 0.;
+    cd_hi = Array.make 256 0;
+    cd_hn = 0;
+    cd_on = false;
+    cd_queries = 0;
   }
 
 let analyze ?input_slope ?input_arrival ?level_par_min ~lib netlist =
@@ -590,8 +885,57 @@ let critical_endpoint t =
     (Netlist.outputs t.netlist);
   !best
 
+(* Same value as [critical_endpoint]'s arrival time (max is
+   order-independent), without the per-output arrival records.  The
+   first two queries are a flat pass over the arrival slots; from the
+   third, the query comes off the lazy-deletion max-heap (see the
+   [cd_*] fields) — every output's current worst arrival has a live
+   entry (full build at activation, {!update} pushes every change
+   after), so the first top entry matching its live arrival bitwise is
+   the maximum.  Deleted or unreachable endpoints have NaN arrivals
+   and drop out exactly like their Not_found in the record walk; an
+   empty (or fully stale) heap means no defined endpoint, 0 like the
+   scan. *)
 let critical_delay t =
-  match critical_endpoint t with Some (_, _, a) -> a.time | None -> 0.
+  update t;
+  t.cd_queries <- t.cd_queries + 1;
+  if (not t.cd_on) && t.cd_queries >= 3 then begin
+    t.cd_on <- true;
+    List.iter
+      (fun (id, _) ->
+        if id >= 0 && id < t.cap then cd_push t (cd_worst_of t id) id)
+      (Netlist.outputs t.netlist)
+  end;
+  if t.cd_on then begin
+    let nl = t.netlist in
+    let rec top () =
+      if t.cd_hn = 0 then 0.
+      else begin
+        let v = t.cd_hp.(0) and id = t.cd_hi.(0) in
+        if
+          id < t.cap && Netlist.node_exists nl id && Netlist.is_output nl id
+          && cd_worst_of t id = v
+        then v
+        else begin
+          cd_drop t;
+          top ()
+        end
+      end
+    in
+    top ()
+  end
+  else begin
+    let best = ref Float.nan in
+    List.iter
+      (fun (id, _) ->
+        if id >= 0 && id < t.cap then begin
+          let r = t.arr.(4 * id) and f = t.arr.((4 * id) + 2) in
+          if (not (Float.is_nan r)) && not (r <= !best) then best := r;
+          if (not (Float.is_nan f)) && not (f <= !best) then best := f
+        end)
+      (Netlist.outputs t.netlist);
+    if Float.is_nan !best then 0. else !best
+  end
 
 let backtrack t id edge =
   let rec go id edge acc =
@@ -611,6 +955,42 @@ let path_through t id =
   let edge, _ = node_worst t id in
   backtrack t id edge
 
+(* node_worst's edge pick without the arrival record: rising wins ties
+   and single-sided cases, exactly like the record walk *)
+let worst_edge_bit t id =
+  if id < 0 || id >= t.cap then raise Not_found;
+  let r = t.arr.(4 * id) and f = t.arr.((4 * id) + 2) in
+  match (Float.is_nan r, Float.is_nan f) with
+  | false, false -> if r >= f then 0 else 1
+  | false, true -> 0
+  | true, false -> 1
+  | true, true -> raise Not_found
+
+(* Provenance-chain walks at pointer cost: {!path_through} allocates an
+   arrival record per step, which is fine for materializing one path
+   but not for a selection loop that probes thousands of candidate
+   endpoints per round and discards most of them.  Both walk the same
+   stored provenance as {!backtrack}, so (length, window) agree with
+   {!path_through} node for node. *)
+
+let path_length t id =
+  update t;
+  let rec go id eb n =
+    let from = if eb = 0 then t.rise_from.(id) else t.fall_from.(id) in
+    if from < 0 then n + 1 else go (from / 2) (from land 1) (n + 1)
+  in
+  go id (worst_edge_bit t id) 0
+
+let path_window t id ~skip ~len =
+  update t;
+  let rec go id eb i acc =
+    let acc = if i >= skip && i < skip + len then id :: acc else acc in
+    let from = if eb = 0 then t.rise_from.(id) else t.fall_from.(id) in
+    if from < 0 || i + 1 >= skip + len then acc
+    else go (from / 2) (from land 1) (i + 1) acc
+  in
+  go id (worst_edge_bit t id) 0 []
+
 let min_clock_period ?setup t =
   let setup =
     match setup with
@@ -622,3 +1002,384 @@ let min_clock_period ?setup t =
 let slack t ~tc id =
   let _, a = node_worst t id in
   tc -. a.time
+
+(* --- required times and slacks (backward sweep) ----------------------- *)
+
+(* Required times live in a dense float array with two slots per node id
+   — [2id] rising, [2id+1] falling; nan = undefined (no arrival through
+   that edge, or no constrained path downstream).  The recurrence is the
+   exact mirror of the forward one: a node's required time per edge is
+   [tc] if it is a primary output, minimized with, for every consumer
+   and every consumer output edge its input edge can cause,
+   [required(consumer, out_edge) - stage_delay(consumer, out_edge)]
+   where the stage delay uses {e this} node's stored slope as [tau_in].
+   [slk.(id)] caches the worst (most negative) [required - arrival]
+   over both edges, nan when neither edge has both defined. *)
+type slacks = {
+  s_tm : t;
+  s_tc : float;
+  mutable s_cap : int;
+  mutable req : float array;  (* 2 * s_cap required slots *)
+  mutable slk : float array;  (* s_cap worst-slack slots *)
+  mutable nl_cursor : int;  (* position in the netlist dirty log *)
+  mutable ch_cursor : int;  (* position in s_tm's arrival change log *)
+  mutable changed : int list;  (* endpoints touched since last take *)
+  (* per-id membership marks for [changed] (a hash set here costs a
+     lookup per popped worklist node on wide designs); unmarked by
+     {!slacks_changed_take} walking [changed], so all-zero between
+     drains *)
+  mutable changed_set : Bytes.t;
+  (* eval scratch (running min): one slot reused across every
+     {!eval_req_csr} call — a float ref would box every update, a
+     per-call array would allocate per popped node *)
+  s_scr : float array;
+}
+
+let nan_ne a b = not (a = b || (Float.is_nan a && Float.is_nan b))
+
+let slacks_grow s =
+  let bound = Netlist.id_bound s.s_tm.netlist in
+  if bound > s.s_cap then begin
+    let cap = max bound (2 * s.s_cap) in
+    s.req <- Array.append s.req (Array.make (2 * (cap - s.s_cap)) Float.nan);
+    s.slk <- Array.append s.slk (Array.make (cap - s.s_cap) Float.nan);
+    let cs = Bytes.make cap '\000' in
+    Bytes.blit s.changed_set 0 cs 0 s.s_cap;
+    s.changed_set <- cs;
+    s.s_cap <- cap
+  end
+
+let slacks_clear_node s id =
+  s.req.(2 * id) <- Float.nan;
+  s.req.((2 * id) + 1) <- Float.nan;
+  s.slk.(id) <- Float.nan
+
+(* Recompute both required slots of one node from its consumers' stored
+   required times, straight off the CSR arrays — the backward
+   counterpart of {!eval_store_csr}.  The same coefficient tables and
+   float groupings as the forward {!sweep_range} (so [x /. 2.] is
+   [x *. 0.5] etc.), and min is commutative, so any evaluation order
+   over the same consumer set yields the same bits — full sweeps and
+   worklist re-evaluations agree bit for bit.  Per-node cost is sweep
+   constants: the CSR fanout slice replaces the consumer-list walk and
+   its per-consumer record reads, and the running min lives in a
+   one-slot scratch array (a float ref would box every update).
+   Returns true when either slot moved. *)
+let eval_req_csr s (c : Netlist.Csr.t) id =
+  let tm = s.s_tm in
+  let tb = tm.tables in
+  let arr = tm.arr in
+  let req = s.req in
+  let kind_code = Netlist.Csr.kind_code c in
+  let cin = Netlist.Csr.cin c in
+  let load = Netlist.Csr.load c in
+  let fo_off = Netlist.Csr.fanout_off c in
+  let fo = Netlist.Csr.fanout c in
+  let is_out = Netlist.is_output tm.netlist id in
+  let f_lo = fo_off.(id) and f_hi = fo_off.(id + 1) in
+  let acc = s.s_scr in
+  let changed = ref false in
+  for eo = 0 to 1 do
+    let a = arr.((4 * id) + (2 * eo)) in
+    let r =
+      if Float.is_nan a then Float.nan
+      else begin
+        let slope = arr.((4 * id) + (2 * eo) + 1) in
+        acc.(0) <- (if is_out then s.s_tc else Float.nan);
+        for p = f_lo to f_hi - 1 do
+          let cid = Array.unsafe_get fo p in
+          let code = Array.unsafe_get kind_code cid in
+          (* a primary input cannot consume a net; [-1] is only
+             defensive, mirroring the record walk's kind match *)
+          if code = -1 then ()
+          else if code = -2 || not tb.have.(code) then raise Not_found
+          else begin
+            let cin_v = Array.unsafe_get cin cid in
+            let cload =
+              Array.unsafe_get load cid
+              +. (Array.unsafe_get tb.par code *. cin_v)
+            in
+            (* which consumer output edges our edge can cause: the
+               backward image of {!causing_input_edges}; per edge the
+               term is the consumer's required time minus the stage
+               delay through it at our slope *)
+            let kl = Array.unsafe_get tb.klass code in
+            let ob_lo = if kl = 1 then 0 else if kl = 2 then eo else 1 - eo in
+            let ob_hi = if kl = 1 then 1 else ob_lo in
+            for ob = ob_lo to ob_hi do
+              let rc = Array.unsafe_get req ((2 * cid) + ob) in
+              if not (Float.is_nan rc) then begin
+                let stau =
+                  if ob = 0 then Array.unsafe_get tb.stau_lh code
+                  else Array.unsafe_get tb.stau_hl code
+                in
+                let cmr =
+                  if ob = 0 then Array.unsafe_get tb.cm_lh code
+                  else Array.unsafe_get tb.cm_hl code
+                in
+                let v_t = if ob = 0 then tb.vtp_red else tb.vtn_red in
+                let tau_out = stau *. cload /. cin_v in
+                let cm = cmr *. cin_v in
+                let gterm =
+                  (1. +. (2. *. cm /. (cm +. cload))) *. tau_out *. 0.5
+                in
+                let term = rc -. ((v_t *. slope *. 0.5) +. gterm) in
+                if
+                  not (Float.is_nan term)
+                  && (Float.is_nan acc.(0) || term < acc.(0))
+                then acc.(0) <- term
+              end
+            done
+          end
+        done;
+        acc.(0)
+      end
+    in
+    let slot = (2 * id) + eo in
+    if nan_ne req.(slot) r then changed := true;
+    req.(slot) <- r
+  done;
+  !changed
+
+let eval_slack s id =
+  let tm = s.s_tm in
+  let worst = ref Float.nan in
+  for eo = 0 to 1 do
+    let a = tm.arr.((4 * id) + (2 * eo)) in
+    let r = s.req.((2 * id) + eo) in
+    if not (Float.is_nan a || Float.is_nan r) then begin
+      let sl = r -. a in
+      if Float.is_nan !worst || sl < !worst then worst := sl
+    end
+  done;
+  let changed = nan_ne s.slk.(id) !worst in
+  s.slk.(id) <- !worst;
+  changed
+
+let record_endpoint s id =
+  if
+    Netlist.is_output s.s_tm.netlist id
+    && Bytes.get s.changed_set id = '\000'
+  then begin
+    Bytes.set s.changed_set id '\001';
+    s.changed <- id :: s.changed
+  end
+
+(* full backward pass: reverse levelized CSR order, so every consumer's
+   required time is stored before its producers read it *)
+let slacks_sweep s =
+  let c = Netlist.csr s.s_tm.netlist in
+  let node_of = Netlist.Csr.node_of c in
+  for i = Netlist.Csr.length c - 1 downto 0 do
+    let id = node_of.(i) in
+    ignore (eval_req_csr s c id);
+    ignore (eval_slack s id)
+  done
+
+let slacks_make tm ~tc =
+  update tm;
+  tm.log_enabled <- true;
+  let cap = max 64 (Netlist.id_bound tm.netlist) in
+  let s =
+    {
+      s_tm = tm;
+      s_tc = tc;
+      s_cap = cap;
+      req = Array.make (2 * cap) Float.nan;
+      slk = Array.make cap Float.nan;
+      nl_cursor = Netlist.revision tm.netlist;
+      ch_cursor = tm.change_len;
+      changed = [];
+      changed_set = Bytes.make cap '\000';
+      s_scr = [| Float.nan |];
+    }
+  in
+  slacks_sweep s;
+  s
+
+(* the from-scratch oracle: per-node {!Pops_delay.Model.stage_delay}
+   over the reverse list topological order, record-based — the backward
+   counterpart of {!analyze_reference}, for the equivalence suites *)
+let slacks_reference tm ~tc =
+  update tm;
+  let nl = tm.netlist in
+  let cap = max 64 (Netlist.id_bound nl) in
+  let s =
+    {
+      s_tm = tm;
+      s_tc = tc;
+      s_cap = cap;
+      req = Array.make (2 * cap) Float.nan;
+      slk = Array.make cap Float.nan;
+      nl_cursor = Netlist.revision nl;
+      ch_cursor = tm.change_len;
+      changed = [];
+      changed_set = Bytes.make cap '\000';
+      s_scr = [| Float.nan |];
+    }
+  in
+  List.iter
+    (fun id ->
+      let n = Netlist.node nl id in
+      let is_out = Netlist.is_output nl id in
+      List.iter
+        (fun edge ->
+          let eo = edge_bit edge in
+          let a = tm.arr.((4 * id) + (2 * eo)) in
+          let r =
+            if Float.is_nan a then Float.nan
+            else begin
+              let slope = tm.arr.((4 * id) + (2 * eo) + 1) in
+              let acc = ref (if is_out then tc else Float.nan) in
+              let add term =
+                if
+                  not (Float.is_nan term)
+                  && (Float.is_nan !acc || term < !acc)
+                then acc := term
+              in
+              List.iter
+                (fun c ->
+                  let cn = Netlist.node nl c in
+                  match cn.Netlist.kind with
+                  | Netlist.Primary_input -> ()
+                  | Netlist.Cell kind ->
+                    let cell = Pops_cell.Library.find tm.lib kind in
+                    let cload =
+                      Netlist.load_on nl c
+                      +. Pops_cell.Cell.cpar cell ~cin:cn.Netlist.cin
+                    in
+                    let term edge_out =
+                      let rc = s.req.((2 * c) + edge_bit edge_out) in
+                      if Float.is_nan rc then Float.nan
+                      else
+                        let d, _ =
+                          Model.stage_delay cell ~edge_out ~tau_in:slope
+                            ~cin:cn.Netlist.cin ~cload
+                        in
+                        rc -. d
+                    in
+                    List.iter
+                      (fun edge_out ->
+                        if
+                          List.mem edge
+                            (causing_input_edges kind edge_out)
+                        then add (term edge_out))
+                      [ Edge.Rising; Edge.Falling ])
+                n.Netlist.fanouts;
+              !acc
+            end
+          in
+          s.req.((2 * id) + eo) <- r)
+        [ Edge.Rising; Edge.Falling ];
+      ignore (eval_slack s id))
+    (List.rev (Netlist.topological_order nl));
+  s
+
+let slacks_update s =
+  let tm = s.s_tm in
+  update tm;
+  let nl = tm.netlist in
+  let rev = Netlist.revision nl in
+  if rev <> s.nl_cursor || tm.change_len <> s.ch_cursor then begin
+    slacks_grow s;
+    grow tm;
+    (* Deepest-first drain over per-level buckets: required times flow
+       backward, so processing level [l] only wakes strictly shallower
+       levels and a node is re-evaluated only after all its touched
+       consumers settled.  Same bucket queue + byte-mark dedup as the
+       forward {!update} (the forward drain has completed and left the
+       marks all-zero), for the same reason: O(1) push/pop at sweep
+       constants instead of heap + hash overhead per popped node. *)
+    let c = Netlist.csr nl in
+    let depth = Netlist.Csr.depth c in
+    let buckets = Array.make (depth + 1) [] in
+    let mark = tm.wl_mark in
+    let enqueue id =
+      if Bytes.get mark id = '\000' && Netlist.node_exists nl id then begin
+        Bytes.set mark id '\001';
+        let l = Netlist.level nl id in
+        buckets.(l) <- id :: buckets.(l)
+      end
+    in
+    let fi_off = Netlist.Csr.fanin_off c in
+    let fi = Netlist.Csr.fanin c in
+    (* Seeds: (a) every {e heavy} arrival change — a slope move or a
+       defined/undefined transition: the delay consumers charge the node
+       (i.e. its own required time) reads its slope, never its time, so
+       only these can move required times.  A time-only move leaves
+       every required time in the design bitwise intact (a node's
+       required depends on its consumers' required and its own slope;
+       its fan-ins' on {e its} required) — those nodes skip the drain
+       and get their slack patched in the flat pass below.  Since a
+       gate's output slope is [stau * cload / cin] — its own size and
+       load, not its inputs — slope changes die out one level past an
+       edit and almost the whole forward wave is light.  (b) every
+       netlist-dirty node and its fan-ins (a resize or rewire changes
+       the delay {e through} the dirty node even when no slope moved
+       bitwise; output designation changes the base term).  Deleted
+       nodes are cleared; their fan-ins were marked dirty by the
+       deletion. *)
+    List.iter
+      (fun id ->
+        if Netlist.node_exists nl id then begin
+          enqueue id;
+          for p = fi_off.(id) to fi_off.(id + 1) - 1 do
+            enqueue fi.(p)
+          done
+        end
+        else if id < s.s_cap then slacks_clear_node s id)
+      (Netlist.dirty_since nl s.nl_cursor);
+    let ch_lo = s.ch_cursor in
+    for i = ch_lo to tm.change_len - 1 do
+      if Bytes.get tm.change_heavy i = '\001' then enqueue tm.change_log.(i)
+    done;
+    s.nl_cursor <- rev;
+    s.ch_cursor <- tm.change_len;
+    for l = depth downto 0 do
+      List.iter
+        (fun id ->
+          Bytes.set mark id '\000';
+          let req_moved = eval_req_csr s c id in
+          ignore (eval_slack s id);
+          (* conservative: every touched endpoint is reported, whether
+             or not its slack moved bitwise — consumers of the change
+             list tolerate duplicates (persistent heaps validate
+             against the current slack on pop) *)
+          record_endpoint s id;
+          if req_moved then
+            for p = fi_off.(id) to fi_off.(id + 1) - 1 do
+              enqueue fi.(p)
+            done)
+        buckets.(l)
+    done;
+    (* light pass: arrival-time-only moves — required times settled
+       above (bit-identical whether or not these ran through the
+       drain), so only [slk] and the endpoint report need refreshing,
+       at a handful of array reads per node *)
+    for i = ch_lo to tm.change_len - 1 do
+      if Bytes.get tm.change_heavy i = '\000' then begin
+        let id = tm.change_log.(i) in
+        if Netlist.node_exists nl id then begin
+          ignore (eval_slack s id);
+          record_endpoint s id
+        end
+      end
+    done
+  end
+
+let slacks_timing s = s.s_tm
+let slacks_tc s = s.s_tc
+
+let required s id edge =
+  if id < 0 || id >= s.s_cap then raise Not_found;
+  let r = s.req.((2 * id) + edge_bit edge) in
+  if Float.is_nan r then raise Not_found;
+  r
+
+let node_slack s id = if id < 0 || id >= s.s_cap then Float.nan else s.slk.(id)
+
+let slacks_changed_take s =
+  let l = List.rev s.changed in
+  List.iter (fun id -> Bytes.set s.changed_set id '\000') s.changed;
+  s.changed <- [];
+  l

@@ -83,6 +83,21 @@ val critical_path : t -> int list
 val path_through : t -> int -> int list
 (** Critical path constrained to end at the given node. *)
 
+val path_length : t -> int -> int
+(** [List.length (path_through t id)] at provenance-pointer-walk cost:
+    no per-step arrival records.
+    @raise Not_found if no arrival reaches [id]. *)
+
+val path_window : t -> int -> skip:int -> len:int -> int list
+(** The [len] nodes of {!path_through}'s result starting [skip] steps
+    upstream of the endpoint (so [skip = 0] is the endpoint-side
+    window), source side first; shorter when the path ends inside the
+    window.  Only the window is materialized — the probe-and-discard
+    selection in {!Paths.k_worst_incr} calls this per candidate
+    endpoint, where building the full path per probe dominated the
+    round.
+    @raise Not_found if no arrival reaches [id]. *)
+
 val min_clock_period : ?setup:float -> t -> float
 (** Minimum clock period for a netlist whose registers were split into
     pseudo primary inputs/outputs (as {!Pops_netlist.Bench_io} does for
@@ -93,3 +108,60 @@ val slack : t -> tc:float -> int -> float
 (** [tc - worst arrival at node] — positive means timing met at that
     node for constraint [tc] (a path-level required-time view; the
     protocol operates on extracted paths, this is for reporting). *)
+
+(** {2 Required times and slacks}
+
+    The backward mirror of the arrival engine: per-node, per-edge
+    {e required} times propagated from the primary outputs (required
+    [tc] there) against the signal flow, and the per-node worst slack
+    [required - arrival].  Like arrivals, slacks are {e incremental}: a
+    {!slacks} holds cursors into the netlist dirty log {e and} into its
+    timing's arrival change log, and {!slacks_update} re-propagates
+    required times backward only while they actually move bitwise. *)
+
+type slacks
+(** Required-time/slack annotation bound to one {!t} and one [tc]. *)
+
+val slacks_make : t -> tc:float -> slacks
+(** Full backward sweep over the reverse levelized CSR order.  Attaches
+    the arrival change log to [t] (subsequent {!update}s record which
+    arrivals moved, feeding {!slacks_update}). *)
+
+val slacks_reference : t -> tc:float -> slacks
+(** The record-based from-scratch oracle (per-consumer
+    {!Pops_delay.Model.stage_delay} over the reverse list topological
+    order): what the equivalence suites compare {!slacks_make} and
+    {!slacks_update} against.  Not for production use. *)
+
+val slacks_update : slacks -> unit
+(** Fold netlist edits and arrival changes since the last make/update
+    back into the required/slack arrays: runs {!update} first, seeds a
+    deepest-first worklist with every {e heavy} arrival change (slope
+    moved, or an edge crossed defined/undefined — a gate's output slope
+    depends only on its own size and load, so a time-only move cannot
+    shift any required time) plus every dirty node and its fan-ins,
+    re-evaluates required times backward, propagating to fan-ins only
+    on a bitwise change, then patches the slack of time-only moves in a
+    flat O(1)-per-node pass.  Results
+    are bit-identical to a fresh {!slacks_make} of the mutated
+    netlist.  Unlike arrivals this is {e not} called implicitly by the
+    accessors — call it once per round, then query. *)
+
+val slacks_timing : slacks -> t
+val slacks_tc : slacks -> float
+
+val required : slacks -> int -> Pops_delay.Edge.t -> float
+(** Required time of the given edge at a node's output, as of the last
+    make/update.  @raise Not_found when undefined (no arrival through
+    that edge, or no constrained path downstream). *)
+
+val node_slack : slacks -> int -> float
+(** Worst [required - arrival] over both edges, as of the last
+    make/update; negative means the node lies on a violating path.
+    [nan] when undefined. *)
+
+val slacks_changed_take : slacks -> int list
+(** Drain the endpoint change list: primary outputs touched by
+    {!slacks_update} calls since the last take (conservative — a
+    touched endpoint's slack may be bitwise unchanged).  Feeds the
+    persistent endpoint heap of {!Paths.k_worst_incr}. *)

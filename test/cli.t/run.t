@@ -112,13 +112,24 @@ worsening the circuit:
   flow: no-progress
   delay 317.9 -> 317.9 ps
   area 19.6 -> 22.6 um
-  3 rounds, 2 buffer inverters, 0 rewrites
+  2 rounds, 2 buffer inverters, 0 rewrites, 0 stale dropped
   equivalence: PASS
     round 1: 317.9 ps, sizing on a 2-gate path
     round 1: 317.9 ps, buffers+sizing on a 1-gate path
-    round 1: 317.9 ps, sizing on a 1-gate path
   [1]
 
+
+The full-chip flow runs on a generated circuit straight from the CLI
+(the incremental slack-driven loop at 10k gates):
+
+  $ pops optimize --gates 10000 --shape iscas --name c10k --tc-ratio 0.9
+  c10k: 10000 gates (iscas), STA critical delay 2295272.5 ps, target Tc = 2065745.2 ps
+  flow: met
+  delay 2295272.5 -> 2065723.1 ps
+  area 171700.3 -> 171787.5 um
+  1 rounds, 0 buffer inverters, 0 rewrites, 0 stale dropped
+  equivalence: PASS
+    round 1: 2295272.5 ps, sizing on a 48-gate path
 
 Parse errors carry the offending line number and exit 2 (invalid input):
 

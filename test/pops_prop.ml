@@ -720,6 +720,43 @@ let () =
             [ Edge.Rising; Edge.Falling ])
         (Netlist.inputs nl @ Netlist.gate_ids nl))
 
+(* the backward mirror of the invariant above: required times and slacks
+   folded incrementally through an edit sequence must equal a fresh
+   backward sweep of the final netlist, bit for bit (NaN-aware) *)
+let () =
+  Prop.register ~name:"sta.incremental_slack_equals_fresh"
+    (Gen.pair C.dag_spec (Gen.list_sized ~min_len:1 C.edit))
+    (fun (d, edits) ->
+      let nl = C.build_dag d in
+      let lib = C.library (Netlist.tech nl) in
+      let t = Timing.analyze ~lib nl in
+      let tc = 0.75 *. Timing.critical_delay t in
+      let s = Timing.slacks_make t ~tc in
+      List.iter
+        (fun e ->
+          C.apply_edit nl e;
+          Timing.slacks_update s)
+        edits;
+      let fresh = Timing.slacks_make (Timing.analyze ~lib nl) ~tc in
+      let same a b = a = b || (Float.is_nan a && Float.is_nan b) in
+      let required_opt s id e =
+        match Timing.required s id e with r -> r | exception Not_found -> Float.nan
+      in
+      List.iter
+        (fun id ->
+          List.iter
+            (fun e ->
+              let a = required_opt s id e and b = required_opt fresh id e in
+              if not (same a b) then
+                Prop.failf "node %d %s: incremental required %.17g <> fresh %.17g"
+                  id (match e with Edge.Rising -> "rise" | Edge.Falling -> "fall")
+                  a b)
+            [ Edge.Rising; Edge.Falling ];
+          let a = Timing.node_slack s id and b = Timing.node_slack fresh id in
+          if not (same a b) then
+            Prop.failf "node %d: incremental slack %.17g <> fresh %.17g" id a b)
+        (Netlist.inputs nl @ Netlist.gate_ids nl))
+
 let () =
   Prop.register ~name:"sta.critical_path_consistent" C.dag_spec (fun d ->
       let nl = C.build_dag d in

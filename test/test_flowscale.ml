@@ -1,0 +1,225 @@
+(* Incremental-flow equivalence: the slack-driven incremental
+   optimization loop (persistent arrivals, backward required/slack
+   sweep, endpoint heap) must reproduce the full-rebuild reference loop
+   bit for bit — same selected cones, same decisions, same final netlist
+   — on the paper's benchmark suite, on random edit-heavy circuits, and
+   at 10k-gate scale.  Also covers the backward slack engine against its
+   record-based oracle. *)
+
+module Tech = Pops_process.Tech
+module Library = Pops_cell.Library
+module Edge = Pops_delay.Edge
+module Netlist = Pops_netlist.Netlist
+module Transform = Pops_netlist.Transform
+module Generator = Pops_netlist.Generator
+module Timing = Pops_sta.Timing
+module Paths = Pops_sta.Paths
+module Flow = Pops_flow.Flow
+module Profiles = Pops_circuits.Profiles
+module Rng = Pops_util.Rng
+
+let qtest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0xF10 |]) t
+let tech = Tech.cmos025
+let lib = Library.make tech
+let same_f a b = a = b || (Float.is_nan a && Float.is_nan b)
+
+let required_opt s id e =
+  match Timing.required s id e with r -> r | exception Not_found -> Float.nan
+
+(* CSR backward sweep vs the record-based oracle: required times (both
+   edges) and worst slacks, bit for bit *)
+let check_slacks_oracle ~what ?slacks t =
+  let tc, csr =
+    match slacks with
+    | Some s -> (Timing.slacks_tc s, s)
+    | None ->
+      let tm = Timing.analyze ~lib t in
+      let tc = 0.8 *. Timing.critical_delay tm in
+      (tc, Timing.slacks_make tm ~tc)
+  in
+  let ref_ = Timing.slacks_reference (Timing.analyze ~lib t) ~tc in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun e ->
+          let a = required_opt csr id e and b = required_opt ref_ id e in
+          if not (same_f a b) then
+            Alcotest.failf "%s: node %d required differs: %.17g vs %.17g" what
+              id a b)
+        [ Edge.Rising; Edge.Falling ];
+      let a = Timing.node_slack csr id and b = Timing.node_slack ref_ id in
+      if not (same_f a b) then
+        Alcotest.failf "%s: node %d slack differs: %.17g vs %.17g" what id a b)
+    (Netlist.topological_order t)
+
+(* persistent-heap cone selection vs a from-scratch heap over the same
+   netlist state and constraint *)
+let check_incr_selection ~what ~tc sel t =
+  let live = Paths.k_worst_incr ~k:4 ~lib sel in
+  let fresh =
+    Paths.incr_make t (Timing.slacks_make (Timing.analyze ~lib t) ~tc)
+  in
+  let scratch = Paths.k_worst_incr ~k:4 ~lib fresh in
+  let nodes l = List.map (fun (e : Paths.extracted) -> e.Paths.nodes) l in
+  if nodes live <> nodes scratch then
+    Alcotest.failf "%s: persistent cone selection differs from from-scratch"
+      what
+
+(* --- the slack engine on the paper's benchmark suite ------------------ *)
+
+let test_slacks_profiles () =
+  List.iter
+    (fun (p : Profiles.t) ->
+      let t, _ = Profiles.circuit tech p in
+      check_slacks_oracle ~what:p.Profiles.name t)
+    Profiles.all
+
+(* --- the slack engine and heap through random edit sequences ---------- *)
+
+let random_edit rng t =
+  let gates = Array.of_list (Netlist.gate_ids t) in
+  let any_gate () = gates.(Rng.int rng (Array.length gates)) in
+  let pis = Array.of_list (Netlist.inputs t) in
+  match Rng.int rng 6 with
+  | 0 ->
+    Netlist.set_cin t (any_gate ()) (tech.Tech.cmin *. Rng.log_range rng 1. 40.)
+  | 1 -> Netlist.set_wire t (any_gate ()) (tech.Tech.cmin *. Rng.float rng 5.)
+  | 2 -> ignore (Transform.insert_buffer t ~after:(any_gate ()))
+  | 3 ->
+    let g = any_gate () in
+    let n = Netlist.node t g in
+    let pin = Rng.int rng (Array.length n.Netlist.fanins) in
+    Netlist.set_fanin t g ~pin pis.(Rng.int rng (Array.length pis))
+  | 4 -> ignore (Transform.de_morgan t (any_gate ()))
+  | _ -> Netlist.set_output t (any_gate ()) ~load:(Rng.float rng 50.)
+
+let prop_incr_slacks_and_selection =
+  QCheck.Test.make
+    ~name:"incremental slacks + endpoint heap == from-scratch through edits"
+    ~count:60
+    QCheck.(pair (int_range 4 12) (int_range 0 1_000_000))
+    (fun (path_gates, salt) ->
+      let p =
+        Generator.make_profile
+          ~name:(Printf.sprintf "fs%d_%d" path_gates salt)
+          ~path_gates ()
+      in
+      let t, _ = Generator.generate tech p in
+      let tm = Timing.analyze ~lib t in
+      (* a tight constraint so plenty of endpoints violate and the heap
+         actually has critical cones to hand out *)
+      let tc = 0.6 *. Timing.critical_delay tm in
+      let s = Timing.slacks_make tm ~tc in
+      let sel = Paths.incr_make t s in
+      check_incr_selection ~what:"initial" ~tc sel t;
+      let rng = Rng.create (Int64.of_int (salt + (path_gates * 7_919))) in
+      for step = 1 to 6 do
+        random_edit rng t;
+        let what = Printf.sprintf "step %d" step in
+        check_incr_selection ~what ~tc sel t;
+        check_slacks_oracle ~what ~slacks:s t
+      done;
+      true)
+
+(* --- incremental flow vs the full-rebuild reference loop -------------- *)
+
+let netlist_sig t =
+  ( List.map
+      (fun id ->
+        let n = Netlist.node t id in
+        ( id,
+          n.Netlist.kind,
+          Array.to_list n.Netlist.fanins,
+          n.Netlist.cin,
+          n.Netlist.wire ))
+      (Netlist.topological_order t),
+    Netlist.outputs t )
+
+let check_flow_equiv ~what ?max_rounds ?(tc_ratio = 0.8) t =
+  let t_inc = Netlist.copy t and t_ref = Netlist.copy t in
+  let tc = tc_ratio *. Timing.critical_delay (Timing.analyze ~lib t) in
+  let r_inc = Flow.optimize ?max_rounds ~lib ~tc t_inc in
+  let r_ref = Flow.optimize ?max_rounds ~reference:true ~lib ~tc t_ref in
+  if r_inc.Flow.outcome <> r_ref.Flow.outcome then
+    Alcotest.failf "%s: outcome differs" what;
+  if not (same_f r_inc.Flow.final_delay r_ref.Flow.final_delay) then
+    Alcotest.failf "%s: final delay differs: %.17g vs %.17g" what
+      r_inc.Flow.final_delay r_ref.Flow.final_delay;
+  if not (same_f r_inc.Flow.final_area r_ref.Flow.final_area) then
+    Alcotest.failf "%s: final area differs" what;
+  if r_inc.Flow.buffers_added <> r_ref.Flow.buffers_added then
+    Alcotest.failf "%s: buffers differ: %d vs %d" what r_inc.Flow.buffers_added
+      r_ref.Flow.buffers_added;
+  if r_inc.Flow.rewrites <> r_ref.Flow.rewrites then
+    Alcotest.failf "%s: rewrites differ" what;
+  if r_inc.Flow.stale_decisions <> r_ref.Flow.stale_decisions then
+    Alcotest.failf "%s: stale decisions differ: %d vs %d" what
+      r_inc.Flow.stale_decisions r_ref.Flow.stale_decisions;
+  if r_inc.Flow.iterations <> r_ref.Flow.iterations then
+    Alcotest.failf "%s: iteration traces differ (%d vs %d entries)" what
+      (List.length r_inc.Flow.iterations)
+      (List.length r_ref.Flow.iterations);
+  (match (r_inc.Flow.equivalence, r_ref.Flow.equivalence) with
+  | Ok (), Ok () -> ()
+  | Error m, _ | _, Error m ->
+    Alcotest.failf "%s: flow broke equivalence: %s" what m);
+  if netlist_sig t_inc <> netlist_sig t_ref then
+    Alcotest.failf "%s: final netlists differ" what
+
+let test_flow_profiles () =
+  List.iter
+    (fun (p : Profiles.t) ->
+      let t, _ = Profiles.circuit tech p in
+      check_flow_equiv ~what:p.Profiles.name t)
+    Profiles.all
+
+let prop_flow_equiv_random =
+  QCheck.Test.make
+    ~name:"incremental flow == reference flow on random edited circuits"
+    ~count:25
+    QCheck.(pair (int_range 4 10) (int_range 0 1_000_000))
+    (fun (path_gates, salt) ->
+      let p =
+        Generator.make_profile
+          ~name:(Printf.sprintf "fw%d_%d" path_gates salt)
+          ~path_gates ()
+      in
+      let t, _ = Generator.generate tech p in
+      (* pre-flow edit storm: flows starting from an already-mutated
+         netlist exercise the restore/rewind interactions too *)
+      let rng = Rng.create (Int64.of_int (salt + (path_gates * 104_729))) in
+      for _ = 1 to 4 do
+        random_edit rng t
+      done;
+      (match Netlist.validate t with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "edit storm broke invariants: %s" m);
+      let ratio = 0.5 +. (0.1 *. float_of_int (salt mod 5)) in
+      check_flow_equiv ~what:"random" ~max_rounds:8 ~tc_ratio:ratio t;
+      true)
+
+(* --- scale ------------------------------------------------------------ *)
+
+let test_flow_scale_10k () =
+  let t =
+    Generator.generate_scale tech ~name:"fs10k" ~gates:10_000
+      ~shape:Generator.Iscas
+  in
+  check_flow_equiv ~what:"iscas10k" ~tc_ratio:0.9 t
+
+let () =
+  Alcotest.run "pops_flowscale"
+    [
+      ( "slacks",
+        [
+          Alcotest.test_case "paper benchmark suite" `Quick test_slacks_profiles;
+          qtest prop_incr_slacks_and_selection;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "paper benchmark suite" `Quick test_flow_profiles;
+          qtest prop_flow_equiv_random;
+        ] );
+      ( "scale",
+        [ Alcotest.test_case "10k iscas equivalence" `Slow test_flow_scale_10k ] );
+    ]
