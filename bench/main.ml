@@ -1640,20 +1640,21 @@ let write_flow_json () =
     close_out oc;
     Printf.printf "wrote %s (%d records)\n%!" file (List.length records)
 
-(* structural digest of a netlist: kinds, fan-ins, sizes, wires and
-   output loads over the topological order — equal digests mean the two
-   final netlists are the same circuit with the same sizing, bit for
-   bit *)
+(* structural digest of a netlist: kinds, Vt classes, fan-ins, sizes,
+   wires and output loads over the topological order — equal digests
+   mean the two final netlists are the same circuit with the same
+   sizing and threshold assignment, bit for bit *)
 let netlist_fingerprint t =
   let b = Buffer.create 65536 in
   List.iter
     (fun id ->
       let n = Netlist.node t id in
       Buffer.add_string b
-        (Printf.sprintf "%d:%d:%h:%h" id
+        (Printf.sprintf "%d:%d:%d:%h:%h" id
            (match n.Netlist.kind with
            | Netlist.Primary_input -> -1
            | Netlist.Cell k -> Netlist.Csr.code_of_kind (Netlist.Cell k))
+           (Pops_process.Vt.to_int n.Netlist.vt)
            n.Netlist.cin n.Netlist.wire);
       Array.iter (fun f -> Buffer.add_string b (Printf.sprintf ",%d" f)) n.Netlist.fanins;
       Buffer.add_char b ';')
@@ -1901,6 +1902,7 @@ let serve_bench () =
       tc_ratio;
       max_rounds;
       k_paths = None;
+      vt_assign = false;
     }
   in
   (* payloads: a mid-size generated circuit (parse-dominated analyze
@@ -2112,6 +2114,124 @@ let serve_bench () =
 (* Bechamel measurement of the kernels                                *)
 (* ----------------------------------------------------------------- *)
 
+(* ----------------------------------------------------------------- *)
+(* vt: the post-sizing multi-Vt leakage pass (BENCH_vt.json).  Per    *)
+(* profile circuit: run the flow with --vt-assign at a Tc the circuit *)
+(* meets (1.25 x its initial STA delay), and record leakage saved,    *)
+(* swap counts and the pass wall-clock.  Hard checks: the saving must *)
+(* clear 20% on every met circuit with the final delay still at or    *)
+(* under Tc, and the final netlist (sizing + Vt classes) must be      *)
+(* bit-identical at 1, 2 and 4 pool domains.                          *)
+
+type vt_record = {
+  vr_circuit : string;
+  vr_gates : int;
+  vr_leak_before : float;
+  vr_leak_after : float;
+  vr_saved_pct : float;
+  vr_accepted : int;
+  vr_rejected : int;
+  vr_rounds : int;
+  vr_ms : float;
+  vr_fingerprint : string;
+}
+
+let vt_bench () =
+  let host = Domain.recommended_domain_count () in
+  Printf.printf "host_cores = %d\n%!" host;
+  let circuits =
+    if !smoke then [ "fpd"; "c432" ]
+    else [ "fpd"; "Adder16"; "c432"; "c880"; "c1355"; "c1908" ]
+  in
+  let records = ref [] in
+  let t =
+    Table.create ~title:"multi-Vt leakage assignment (Tc = 1.25 x initial delay)"
+      [ ("circuit", Table.Left); ("gates", Table.Right);
+        ("leakage (uW)", Table.Right); ("saved", Table.Right);
+        ("acc/rej", Table.Right); ("rounds", Table.Right);
+        ("pass (ms)", Table.Right); ("domains", Table.Left) ]
+  in
+  List.iter
+    (fun name ->
+      let p = Option.get (Profiles.find name) in
+      let base = fst (Profiles.circuit tech p) in
+      let d0 = Timing.critical_delay (Timing.analyze ~lib (Netlist.copy base)) in
+      let tc = 1.25 *. d0 in
+      let run_at d =
+        Pops_util.Pool.set_default_size d;
+        let nl = Netlist.copy base in
+        let r = Pops_flow.Flow.optimize ~vt_assign:true ~lib ~tc nl in
+        let final_delay = Timing.critical_delay (Timing.analyze ~lib nl) in
+        (netlist_fingerprint nl, final_delay, r)
+      in
+      let fp1, final_delay, r = run_at 1 in
+      List.iter
+        (fun d ->
+          let fp, _, _ = run_at d in
+          if fp <> fp1 then
+            failwith
+              (Printf.sprintf "vt: %s diverges at %d domains - failing the run"
+                 name d))
+        [ 2; 4 ];
+      Pops_util.Pool.set_default_size host;
+      let v = Option.get r.Pops_flow.Flow.vt in
+      let saved = pct v.Pops_flow.Vt_assign.leakage_after
+          v.Pops_flow.Vt_assign.leakage_before in
+      let met = r.Pops_flow.Flow.outcome = Pops_flow.Flow.Met in
+      if met && final_delay > tc then
+        failwith
+          (Printf.sprintf "vt: %s un-met its constraint (%.1f > %.1f ps)" name
+             final_delay tc);
+      if met && saved < 20. then
+        failwith
+          (Printf.sprintf "vt: %s saved only %.1f%% leakage (floor: 20%%)" name
+             saved);
+      records :=
+        { vr_circuit = name; vr_gates = Netlist.gate_count base;
+          vr_leak_before = v.Pops_flow.Vt_assign.leakage_before;
+          vr_leak_after = v.Pops_flow.Vt_assign.leakage_after;
+          vr_saved_pct = saved;
+          vr_accepted = v.Pops_flow.Vt_assign.accepted;
+          vr_rejected = v.Pops_flow.Vt_assign.rejected;
+          vr_rounds = v.Pops_flow.Vt_assign.rounds;
+          vr_ms = v.Pops_flow.Vt_assign.ms; vr_fingerprint = fp1 }
+        :: !records;
+      Table.add_row t
+        [ name; string_of_int (Netlist.gate_count base);
+          Printf.sprintf "%.3f -> %.3f" v.Pops_flow.Vt_assign.leakage_before
+            v.Pops_flow.Vt_assign.leakage_after;
+          Printf.sprintf "%.1f%%" saved;
+          Printf.sprintf "%d/%d" v.Pops_flow.Vt_assign.accepted
+            v.Pops_flow.Vt_assign.rejected;
+          string_of_int v.Pops_flow.Vt_assign.rounds;
+          Table.cell_f ~decimals:1 v.Pops_flow.Vt_assign.ms;
+          "1=2=4 bit-identical" ])
+    circuits;
+  Table.print t;
+  Printf.printf
+    "shape check: every circuit that meets Tc after sizing clears the 20%%\n\
+     leakage floor with slack still non-negative; the swap order is a pure\n\
+     function of the netlist, so the assignment is bit-identical at any\n\
+     domain count.\n";
+  let oc = open_out "BENCH_vt.json" in
+  Printf.fprintf oc "{\"host_cores\": %d, \"smoke\": %b, \"results\": [\n" host
+    !smoke;
+  let rows = List.rev !records in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"circuit\": %S, \"gates\": %d, \"leakage_before_uw\": %.6f, \
+         \"leakage_after_uw\": %.6f, \"saved_pct\": %.2f, \"accepted\": %d, \
+         \"rejected\": %d, \"rounds\": %d, \"ms\": %.3f, \
+         \"fingerprint\": %S}%s\n"
+        r.vr_circuit r.vr_gates r.vr_leak_before r.vr_leak_after r.vr_saved_pct
+        r.vr_accepted r.vr_rejected r.vr_rounds r.vr_ms r.vr_fingerprint
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "]}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_vt.json (%d rows)\n%!" (List.length rows)
+
 let bechamel_kernels () =
   let open Bechamel in
   let p = path11 () in
@@ -2180,7 +2300,7 @@ let experiments =
     ("flow", flow); ("margins", margins); ("sta_incr", sta_incr);
     ("delay_kernel", kernel_bench); ("parallel", parallel_bench);
     ("sta_scale", sta_scale); ("flow_scale", flow_scale);
-    ("serve", serve_bench);
+    ("serve", serve_bench); ("vt", vt_bench);
   ]
 
 let () =

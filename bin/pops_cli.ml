@@ -140,6 +140,12 @@ let tc_ps_arg =
   Arg.(value & opt (some float) None & info [ "tc" ] ~docv:"PS"
          ~doc:"Delay constraint in picoseconds (overrides --tc-ratio).")
 
+let vt_assign_arg =
+  Arg.(value & flag & info [ "vt-assign" ]
+         ~doc:"After sizing, run the multi-Vt leakage pass: promote \
+               off-critical gates to higher threshold classes while the \
+               constraint stays met.")
+
 let with_path f circuit gates cout branch =
   match path_of_spec ~circuit ~gates ~cout ~branch with
   | Error e ->
@@ -455,7 +461,7 @@ let finish_flow outcome =
     | Pops_flow.Flow.Met -> 0
     | _ -> exit_unmet)
 
-let run_flow name tc_ps tc_ratio rounds =
+let run_flow name tc_ps tc_ratio rounds vt_assign =
   match Profiles.find name with
   | None ->
     prerr_endline ("pops: unknown circuit " ^ name);
@@ -466,7 +472,7 @@ let run_flow name tc_ps tc_ratio rounds =
     let d0 = Timing.critical_delay (Timing.analyze ~lib nl) in
     let tc = match tc_ps with Some tc -> tc | None -> tc_ratio *. d0 in
     Printf.printf "%s: STA critical delay %.1f ps, target Tc = %.1f ps\n" name d0 tc;
-    finish_flow (Pops_flow.Flow.optimize_o ~max_rounds:rounds ~lib ~tc nl)
+    finish_flow (Pops_flow.Flow.optimize_o ~max_rounds:rounds ~vt_assign ~lib ~tc nl)
 
 let flow_cmd =
   let name_arg =
@@ -481,7 +487,7 @@ let flow_cmd =
            ~doc:"Target as a multiple of the initial STA critical delay.")
   in
   Cmd.v (Cmd.info "flow" ~doc:"Netlist-level timing closure (the Path Selection loop)")
-    Term.(const run_flow $ name_arg $ tc_ps_arg $ tc_ratio $ rounds)
+    Term.(const run_flow $ name_arg $ tc_ps_arg $ tc_ratio $ rounds $ vt_assign_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench-file: work on ISCAS .bench netlists                           *)
@@ -495,7 +501,7 @@ let name_fn names =
     | Some n -> n
     | None -> Printf.sprintf "n%d" id
 
-let run_bench_file file do_flow tc_ps tc_ratio out =
+let run_bench_file file do_flow tc_ps tc_ratio vt_assign out =
   match Pops_netlist.Bench_io.parse_file_o tech file with
   | Outcome.Failed d ->
     report_diag d;
@@ -515,7 +521,8 @@ let run_bench_file file do_flow tc_ps tc_ratio out =
         let tc = match tc_ps with Some tc -> tc | None -> tc_ratio *. d0 in
         Printf.printf "optimizing to Tc = %.1f ps ...\n" tc;
         finish_flow
-          (Pops_flow.Flow.optimize_o ~name:(name_fn names) ~lib ~tc nl)
+          (Pops_flow.Flow.optimize_o ~vt_assign ~name:(name_fn names) ~lib ~tc
+             nl)
       end
       else 0
     in
@@ -543,7 +550,8 @@ let bench_file_cmd =
            ~doc:"Write the (optimized) netlist back in .bench syntax.")
   in
   Cmd.v (Cmd.info "bench-file" ~doc:"Analyze or optimize an ISCAS .bench netlist file")
-    Term.(const run_bench_file $ file $ do_flow $ tc_ps_arg $ tc_ratio $ out)
+    Term.(const run_bench_file $ file $ do_flow $ tc_ps_arg $ tc_ratio
+          $ vt_assign_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* serve / optimize: the multi-tenant NDJSON job engine                *)
@@ -629,7 +637,7 @@ let serve_cmd =
 (* one-shot mode: generate a scale benchmark circuit and close timing on
    it with the incremental flow — the full-chip loop without needing a
    job file or a netlist on disk *)
-let run_optimize_generated gates shape name tc_ps tc_ratio rounds =
+let run_optimize_generated gates shape name tc_ps tc_ratio rounds vt_assign =
   guard @@ fun () ->
   let shape =
     match String.lowercase_ascii shape with
@@ -648,9 +656,9 @@ let run_optimize_generated gates shape name tc_ps tc_ratio rounds =
     (Netlist.gate_count nl)
     (Pops_netlist.Generator.scale_shape_name shape)
     d0 tc;
-  finish_flow (Pops_flow.Flow.optimize_o ~max_rounds:rounds ~lib ~tc nl)
+  finish_flow (Pops_flow.Flow.optimize_o ~max_rounds:rounds ~vt_assign ~lib ~tc nl)
 
-let run_optimize jobs gates shape name tc_ps tc_ratio rounds window
+let run_optimize jobs gates shape name tc_ps tc_ratio rounds vt_assign window
     tenant_sweeps job_sweeps job_wall_ms cache_cap bounds_cache no_times summary
     =
   match (jobs, gates) with
@@ -660,7 +668,8 @@ let run_optimize jobs gates shape name tc_ps tc_ratio rounds window
   | None, None ->
     prerr_endline "pops: one of --jobs FILE or --gates N is required";
     exit_invalid
-  | None, Some gates -> run_optimize_generated gates shape name tc_ps tc_ratio rounds
+  | None, Some gates ->
+    run_optimize_generated gates shape name tc_ps tc_ratio rounds vt_assign
   | Some jobs, None ->
     guard @@ fun () ->
     let config =
@@ -707,9 +716,9 @@ let optimize_cmd =
   in
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(const run_optimize $ jobs $ gates $ shape $ gen_name $ tc_ps_arg
-          $ tc_ratio $ rounds $ window_arg $ tenant_sweeps_arg $ job_sweeps_arg
-          $ job_wall_ms_arg $ cache_cap_arg $ bounds_cache_arg $ no_times_arg
-          $ summary)
+          $ tc_ratio $ rounds $ vt_assign_arg $ window_arg $ tenant_sweeps_arg
+          $ job_sweeps_arg $ job_wall_ms_arg $ cache_cap_arg $ bounds_cache_arg
+          $ no_times_arg $ summary)
 
 (* ------------------------------------------------------------------ *)
 

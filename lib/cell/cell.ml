@@ -9,6 +9,11 @@ type t = {
   par_ratio : float;
   cm_ratio_hl : float;
   cm_ratio_lh : float;
+  vt : Pops_process.Vt.t;
+  tau_factor : float;
+  leak_factor : float;
+  vtn_red : float;
+  vtp_red : float;
 }
 
 (* NMOS at 0.25 um is strongly velocity saturated: stacking costs less
@@ -29,7 +34,7 @@ let area_factor = function
   | Gate_kind.Inv | Gate_kind.Buf | Gate_kind.Nand _ | Gate_kind.Nor _
   | Gate_kind.Aoi21 | Gate_kind.Oai21 | Gate_kind.Aoi22 | Gate_kind.Oai22 -> 1.0
 
-let make ?k (tech : Pops_process.Tech.t) kind =
+let make ?k ?(vt = Pops_process.Vt.Lvt) (tech : Pops_process.Tech.t) kind =
   let k = Option.value k ~default:tech.k_ratio in
   let k_nom = tech.k_ratio in
   let dw_hl = weight_of_stack stack_factor_n (Gate_kind.series_n kind) in
@@ -47,7 +52,23 @@ let make ?k (tech : Pops_process.Tech.t) kind =
   in
   let cm_ratio_hl = tech.coupling_ratio *. (k /. (1. +. k)) in
   let cm_ratio_lh = tech.coupling_ratio *. (1. /. (1. +. k)) in
-  { kind; tech; k; dw_hl; dw_lh; s_hl; s_lh; par_ratio; cm_ratio_hl; cm_ratio_lh }
+  {
+    kind;
+    tech;
+    k;
+    dw_hl;
+    dw_lh;
+    s_hl;
+    s_lh;
+    par_ratio;
+    cm_ratio_hl;
+    cm_ratio_lh;
+    vt;
+    tau_factor = Pops_process.Tech.vt_tau_factor tech vt;
+    leak_factor = Pops_process.Tech.vt_leak_factor tech vt;
+    vtn_red = Pops_process.Tech.vtn_reduced_vt tech vt;
+    vtp_red = Pops_process.Tech.vtp_reduced_vt tech vt;
+  }
 
 let arity t = Gate_kind.arity t.kind
 

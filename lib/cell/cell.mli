@@ -30,6 +30,15 @@ type t = private {
   par_ratio : float;  (** C_par = par_ratio * cin *)
   cm_ratio_hl : float;  (** C_M = cm_ratio_hl * cin for output-falling *)
   cm_ratio_lh : float;  (** C_M = cm_ratio_lh * cin for output-rising *)
+  vt : Pops_process.Vt.t;  (** threshold class of this cell variant *)
+  tau_factor : float;
+      (** delay derating of the Vt class ({!Pops_process.Tech.vt_tau_factor});
+          exactly [1.0] for LVT *)
+  leak_factor : float;
+      (** leakage multiplier of the Vt class
+          ({!Pops_process.Tech.vt_leak_factor}); exactly [1.0] for LVT *)
+  vtn_red : float;  (** reduced NMOS threshold [(vtn + shift) / vdd] *)
+  vtp_red : float;  (** reduced PMOS threshold [(vtp + shift) / vdd] *)
 }
 
 val stack_factor_n : float
@@ -44,9 +53,10 @@ val stack_factor_p : float
 val stack_factor : float
 (** Alias for {!stack_factor_n} (kept for the simulator's stack model). *)
 
-val make : ?k:float -> Pops_process.Tech.t -> Gate_kind.t -> t
+val make : ?k:float -> ?vt:Pops_process.Vt.t -> Pops_process.Tech.t -> Gate_kind.t -> t
 (** [make tech kind] builds the cell model; [k] defaults to the process
-    configuration ratio [tech.k_ratio]. *)
+    configuration ratio [tech.k_ratio], [vt] to {!Pops_process.Vt.Lvt}
+    (the fastest, leakiest class — the pre-multi-Vt behaviour). *)
 
 val arity : t -> int
 

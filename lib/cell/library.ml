@@ -1,25 +1,35 @@
 type t = {
   tech : Pops_process.Tech.t;
-  cells : (Gate_kind.t * Cell.t) list;
+  cells : (Gate_kind.t * Cell.t array) list;
+      (* per kind, the three Vt variants indexed by [Vt.to_int] *)
   grid : float array;
 }
 
 let grid_multiples = [| 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16.; 24.; 32.; 48.; 64. |]
 
 let make ?(kinds = Gate_kind.all) tech =
-  let cells = List.map (fun kind -> (kind, Cell.make tech kind)) kinds in
+  let cells =
+    List.map
+      (fun kind ->
+        (kind, Array.map (fun vt -> Cell.make ~vt tech kind) Pops_process.Vt.all))
+      kinds
+  in
   { tech; cells; grid = Array.map (fun m -> m *. tech.cmin) grid_multiples }
 
 let tech t = t.tech
 
-let find t kind =
+let find_variants t kind =
   match List.find_opt (fun (k, _) -> Gate_kind.equal k kind) t.cells with
-  | Some (_, cell) -> cell
+  | Some (_, variants) -> variants
   | None -> raise Not_found
+
+let find t kind = (find_variants t kind).(0)
+
+let find_vt t kind vt = (find_variants t kind).(Pops_process.Vt.to_int vt)
 
 let inverter t = find t Gate_kind.Inv
 
-let cells t = List.map snd t.cells
+let cells t = List.map (fun (_, variants) -> variants.(0)) t.cells
 
 let drive_grid t = Array.copy t.grid
 
@@ -32,5 +42,5 @@ let snap_cin t cin =
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>library (%s):@ " t.tech.name;
-  List.iter (fun (_, c) -> Format.fprintf ppf "%a@ " Cell.pp c) t.cells;
+  List.iter (fun (_, variants) -> Format.fprintf ppf "%a@ " Cell.pp variants.(0)) t.cells;
   Format.fprintf ppf "@]"

@@ -14,7 +14,13 @@ val make : ?kinds:Gate_kind.t list -> Pops_process.Tech.t -> t
 val tech : t -> Pops_process.Tech.t
 
 val find : t -> Gate_kind.t -> Cell.t
-(** @raise Not_found if the kind was excluded at construction. *)
+(** The LVT (nominal-speed) variant of a kind — the cell the sizing flow
+    optimizes with.
+    @raise Not_found if the kind was excluded at construction. *)
+
+val find_vt : t -> Gate_kind.t -> Pops_process.Vt.t -> Cell.t
+(** The given Vt variant of a kind.  [find_vt t kind Lvt == find t kind].
+    @raise Not_found if the kind was excluded at construction. *)
 
 val inverter : t -> Cell.t
 (** The inverter cell, used pervasively by buffering code. *)

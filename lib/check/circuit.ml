@@ -321,3 +321,16 @@ let sanitize_spice s =
     input_slope = clampf 20. 100. s.input_slope;
     mults = List.map (clampf 1. 16.) s.mults;
   }
+
+let to_vt_path s vt =
+  let lib = library s.p_tech in
+  let shift = Tech.vt_shift vt in
+  let tech =
+    { s.p_tech with Tech.vtn = s.p_tech.Tech.vtn +. shift;
+      vtp = s.p_tech.Tech.vtp +. shift }
+  in
+  let stage kind =
+    { Path.cell = Pops_cell.Library.find_vt lib kind vt; branch = s.branch }
+  in
+  Path.make ~opts:s.opts ~input_slope:s.input_slope ~input_edge:s.input_edge
+    ~tech ~c_out:s.c_out (List.map stage s.kinds)

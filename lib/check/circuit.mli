@@ -108,3 +108,13 @@ val sanitize_spice : path_spec -> path_spec
 (** Clamp a spec (including shrunk variants) into the envelope the
     differential-oracle tolerance bands were measured on: default model
     options, moderate loads, slopes and drives. *)
+
+val to_vt_path : path_spec -> Pops_process.Vt.t -> Pops_delay.Path.t
+(** The spec's path rebuilt in one Vt class: every stage uses the
+    class's cell variant ({!Pops_cell.Library.find_vt}), so the delay
+    model sees the class's derated thresholds and [tau_factor], while
+    the path's technology record carries [vtn]/[vtp] shifted by
+    {!Tech.vt_shift} — which is what the transistor-level simulator
+    reads — so the differential oracle compares the same physical
+    threshold shift on both sides.  [to_vt_path s Lvt] is equivalent to
+    {!to_path} (all factors are exactly 1, the shift exactly 0). *)

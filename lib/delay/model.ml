@@ -5,7 +5,7 @@ let default_opts = { with_slope = true; with_coupling = true }
 let transition_time (cell : Pops_cell.Cell.t) ~edge ~cin ~cload =
   assert (cin > 0. && cload >= 0.);
   let s = match edge with Edge.Falling -> cell.s_hl | Edge.Rising -> cell.s_lh in
-  s *. cell.tech.tau *. cload /. cin
+  s *. cell.tech.tau *. cell.tau_factor *. cload /. cin
 
 let coupling_cap (cell : Pops_cell.Cell.t) ~edge_out ~cin =
   let r =
@@ -19,9 +19,7 @@ let stage_delay ?(opts = default_opts) (cell : Pops_cell.Cell.t) ~edge_out ~tau_
     ~cin ~cload =
   let tau_out = transition_time cell ~edge:edge_out ~cin ~cload in
   let v_t =
-    match edge_out with
-    | Edge.Falling -> Pops_process.Tech.vtn_reduced cell.tech
-    | Edge.Rising -> Pops_process.Tech.vtp_reduced cell.tech
+    match edge_out with Edge.Falling -> cell.vtn_red | Edge.Rising -> cell.vtp_red
   in
   let slope_term = if opts.with_slope then v_t *. tau_in /. 2. else 0. in
   let coupling_factor =

@@ -68,7 +68,7 @@ let compute_edges input_edge stages =
 
 let max_cin_factor = 4096.
 
-let compile_kernel tech (opts : Model.opts) stages edges =
+let compile_kernel (opts : Model.opts) stages edges =
   let n = Array.length stages in
   let mk () = Array.make n 0. in
   let s_own = mk () and st_own = mk () and v_own = mk () and m_own = mk () in
@@ -82,15 +82,20 @@ let compile_kernel tech (opts : Model.opts) stages edges =
         match edge with
         | Edge.Falling ->
           ( cell.Pops_cell.Cell.s_hl,
-            Pops_process.Tech.vtn_reduced tech,
+            cell.Pops_cell.Cell.vtn_red,
             cell.Pops_cell.Cell.cm_ratio_hl )
         | Edge.Rising ->
           ( cell.Pops_cell.Cell.s_lh,
-            Pops_process.Tech.vtp_reduced tech,
+            cell.Pops_cell.Cell.vtp_red,
             cell.Pops_cell.Cell.cm_ratio_lh )
       in
-      s_a.(i) <- s;
-      st_a.(i) <- s *. cell.Pops_cell.Cell.tech.Pops_process.Tech.tau;
+      (* the Vt derating folds into the compiled slope products exactly as
+         Model.transition_time groups it, so LVT (factor 1.0) stays
+         bit-identical and higher-Vt kernels match the record oracle *)
+      s_a.(i) <- s *. cell.Pops_cell.Cell.tau_factor;
+      st_a.(i) <-
+        s *. cell.Pops_cell.Cell.tech.Pops_process.Tech.tau
+        *. cell.Pops_cell.Cell.tau_factor;
       v_a.(i) <- (if opts.Model.with_slope then v else 0.);
       m_a.(i) <- (if opts.Model.with_coupling then m else 0.)
     in
@@ -125,7 +130,7 @@ let make ?(opts = Model.default_opts) ?input_slope ?(input_edge = Edge.Rising)
     input_edge;
     opts;
     edges;
-    kernel = compile_kernel tech opts stages edges;
+    kernel = compile_kernel opts stages edges;
   }
 
 let of_kinds ?opts ?input_slope ?input_edge ?drive_cin ?(branch = 0.) ~lib ~c_out
@@ -163,15 +168,15 @@ let stage_coeffs t i =
     match edge with
     | Edge.Falling ->
       ( cell.Pops_cell.Cell.s_hl,
-        Pops_process.Tech.vtn_reduced t.tech,
+        cell.Pops_cell.Cell.vtn_red,
         cell.Pops_cell.Cell.cm_ratio_hl )
     | Edge.Rising ->
       ( cell.Pops_cell.Cell.s_lh,
-        Pops_process.Tech.vtp_reduced t.tech,
+        cell.Pops_cell.Cell.vtp_red,
         cell.Pops_cell.Cell.cm_ratio_lh )
   in
   let m = if t.opts.Model.with_coupling then m else 0. in
-  { s; v; m; p = cell.Pops_cell.Cell.par_ratio }
+  { s = s *. cell.Pops_cell.Cell.tau_factor; v; m; p = cell.Pops_cell.Cell.par_ratio }
 
 (* Output load of stage [i] under sizing [x] (x.(0) already forced). *)
 let load t x i =
@@ -398,7 +403,7 @@ let fast_input_violations t x =
 
 let rebuild t stages =
   let edges = compute_edges t.input_edge stages in
-  { t with stages; edges; kernel = compile_kernel t.tech t.opts stages edges }
+  { t with stages; edges; kernel = compile_kernel t.opts stages edges }
 
 let with_stage_inserted t ~at st =
   let n = Array.length t.stages in

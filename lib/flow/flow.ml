@@ -35,6 +35,7 @@ type report = {
   protocol_ms : float;
   analysis_ms : float;
   loop_ms : float;
+  vt : Vt_assign.report option;
 }
 
 (* Map one path-level protocol decision back onto the netlist.  Sizing is
@@ -141,7 +142,7 @@ let size_critical ~size ~lib ~tc ~timing ~phase t =
 type best_state = Best_mark of int * float | Best_copy of Netlist.t * float
 
 let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
-    ?(k_paths = 3) ?(reference = false) ~lib ~tc t =
+    ?(k_paths = 3) ?(reference = false) ?(vt_assign = false) ~lib ~tc t =
   let ref_nl = Netlist.copy t in
   let t_loop = Unix.gettimeofday () in
   (* The analysis portion of the loop — (re)building or updating
@@ -373,6 +374,13 @@ let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
     end
     else d
   in
+  (* the leakage pass runs on the settled netlist: after the rewind so
+     a rolled-back surgery cannot strand accepted swaps, on the same
+     persistent timing so every accept test is an incremental re-time *)
+  let vt =
+    if vt_assign then Some (Vt_assign.run ~lib ~tc ~timing:!timing t)
+    else None
+  in
   let loop_ms = 1000. *. (Unix.gettimeofday () -. t_loop) in
   {
     outcome;
@@ -388,14 +396,15 @@ let optimize ?budget ?(max_rounds = 20) ?(allow_restructure = true)
     protocol_ms = !protocol_ms;
     analysis_ms = !analysis_ms;
     loop_ms;
+    vt;
   }
 
 (* The boundary entry point: validate first (a malformed netlist is the
    caller's bug, not a degradation), then run the flow under a Watch
    collector so every ladder descent, contained crash and budget trip
    surfaces in the returned Outcome. *)
-let optimize_o ?budget ?max_rounds ?allow_restructure ?k_paths ?reference ?name
-    ~lib ~tc t =
+let optimize_o ?budget ?max_rounds ?allow_restructure ?k_paths ?reference
+    ?vt_assign ?name ~lib ~tc t =
   let problems =
     List.filter
       (fun d -> d.Diag.severity = Diag.Error)
@@ -407,7 +416,7 @@ let optimize_o ?budget ?max_rounds ?allow_restructure ?k_paths ?reference ?name
     match
       Watch.collect (fun () ->
           optimize ?budget ?max_rounds ?allow_restructure ?k_paths ?reference
-            ~lib ~tc t)
+            ?vt_assign ~lib ~tc t)
     with
     | r, diags ->
       let diags =
@@ -442,4 +451,7 @@ let pp_report ppf r =
     r.initial_delay r.final_delay r.initial_area r.final_area
     (List.length r.iterations)
     r.buffers_added r.rewrites r.stale_decisions
-    (match r.equivalence with Ok () -> "PASS" | Error m -> "FAIL: " ^ m)
+    (match r.equivalence with Ok () -> "PASS" | Error m -> "FAIL: " ^ m);
+  match r.vt with
+  | None -> ()
+  | Some v -> Format.fprintf ppf "@,%a" Vt_assign.pp_report v

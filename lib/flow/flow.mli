@@ -59,6 +59,9 @@ type report = {
       (** wall-clock time of the whole optimization loop — analysis,
           selection, protocol, apply, rewind — excluding the initial
           reference copy and the final equivalence check *)
+  vt : Vt_assign.report option;
+      (** the multi-Vt leakage pass, when requested with [~vt_assign] —
+          runs after the sizing loop and the best-state rewind *)
 }
 
 val optimize :
@@ -67,6 +70,7 @@ val optimize :
   ?allow_restructure:bool ->
   ?k_paths:int ->
   ?reference:bool ->
+  ?vt_assign:bool ->
   lib:Pops_cell.Library.t ->
   tc:float ->
   Pops_netlist.Netlist.t ->
@@ -96,7 +100,13 @@ val optimize :
     round plus the solver sweeps underneath); exhaustion ends the flow
     with [Budget_exhausted] and the usual rollback.  Diagnostics flow to
     the ambient {!Pops_robust.Watch} collector; {!optimize_o} returns
-    them directly. *)
+    them directly.
+
+    With [vt_assign] (default false) the {!Vt_assign} leakage pass runs
+    once after the sizing loop and its best-state rewind, on the same
+    persistent timing annotation, and its report lands in the [vt]
+    field; it trades remaining positive slack for lower leakage and
+    never un-meets a met constraint. *)
 
 val optimize_o :
   ?budget:Pops_robust.Budget.t ->
@@ -104,6 +114,7 @@ val optimize_o :
   ?allow_restructure:bool ->
   ?k_paths:int ->
   ?reference:bool ->
+  ?vt_assign:bool ->
   ?name:(int -> string) ->
   lib:Pops_cell.Library.t ->
   tc:float ->

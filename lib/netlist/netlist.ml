@@ -10,6 +10,8 @@ type node = {
   mutable fanouts : int list;
   mutable cin : float;
   mutable wire : float;
+  mutable vt : Pops_process.Vt.t;
+      (* threshold class of the cell instance; Lvt for primary inputs *)
 }
 
 (* Incremental caches.
@@ -40,6 +42,7 @@ type csr = {
       (* level l occupies c_node_of indices
          [c_level_off.(l), c_level_off.(l+1)); length depth + 2 *)
   c_kind_code : int array;  (* by id: -1 input, -2 unknown cell, else 0..13 *)
+  c_vt : int array;  (* by id: Vt.to_int of the node's threshold class *)
   c_cin : float array;  (* by id *)
   c_load : float array;  (* by id: load_on snapshot *)
   c_fanin_off : int array;  (* by id, length c_bound + 1 *)
@@ -430,7 +433,7 @@ let count_level_ge t l =
 let alloc t kind fanins cin wire =
   grow t;
   let id = t.next_id in
-  let n = { id; kind; fanins; fanouts = []; cin; wire } in
+  let n = { id; kind; fanins; fanouts = []; cin; wire; vt = Pops_process.Vt.Lvt } in
   t.nodes.(id) <- Some n;
   t.next_id <- id + 1;
   t.n_live <- t.n_live + 1;
@@ -577,6 +580,20 @@ let replace_kind t id kind =
   n.kind <- Cell kind;
   mark_dirty t id
 
+let set_vt t id vt =
+  let n = node t id in
+  (match n.kind with
+  | Primary_input -> invalid_arg "Netlist.set_vt: primary input"
+  | Cell _ -> ());
+  if not (Pops_process.Vt.equal n.vt vt) then begin
+    (* non-structural, like replace_kind: widths and edges are untouched,
+       only the node's own stage delay changes *)
+    n.vt <- vt;
+    mark_dirty t id
+  end
+
+let vt_of t id = (node t id).vt
+
 let rewire_fanouts t ~from_ ~to_ ~except =
   let src = node t from_ in
   let consumers = List.filter (fun c -> not (List.mem c except)) src.fanouts in
@@ -682,6 +699,7 @@ module Csr = struct
   let pos c = c.c_pos
   let level_off c = c.c_level_off
   let kind_code c = c.c_kind_code
+  let vt_code c = c.c_vt
   let cin c = c.c_cin
   let load c = c.c_load
   let fanin_off c = c.c_fanin_off
@@ -704,6 +722,7 @@ let build_csr t =
   let pos = Array.make (max 1 bound) (-1) in
   Array.iteri (fun i id -> pos.(id) <- i) order;
   let kind_code = Array.make (max 1 bound) (-1)
+  and vt = Array.make (max 1 bound) 0
   and cin = Array.make (max 1 bound) Float.nan
   and load = Array.make (max 1 bound) Float.nan in
   let fanin_off = Array.make (bound + 1) 0
@@ -727,6 +746,7 @@ let build_csr t =
     | None -> ()
     | Some nd ->
       kind_code.(id) <- Csr.code_of_kind nd.kind;
+      vt.(id) <- Pops_process.Vt.to_int nd.vt;
       cin.(id) <- nd.cin;
       load.(id) <- load_on t id;
       let fi = fanin_off.(id) in
@@ -751,6 +771,7 @@ let build_csr t =
     c_pos = pos;
     c_level_off = level_off;
     c_kind_code = kind_code;
+    c_vt = vt;
     c_cin = cin;
     c_load = load;
     c_fanin_off = fanin_off;
@@ -780,6 +801,7 @@ let csr t =
       if id < c.c_bound && t.nodes.(id) <> None then begin
         let nd = node t id in
         c.c_kind_code.(id) <- Csr.code_of_kind nd.kind;
+        c.c_vt.(id) <- Pops_process.Vt.to_int nd.vt;
         c.c_cin.(id) <- nd.cin;
         c.c_load.(id) <- load_on t id
       end
@@ -1011,6 +1033,21 @@ let total_area t lib =
       match n.kind with
       | Cell kind ->
         acc +. Pops_cell.Cell.area (Pops_cell.Library.find lib kind) ~cin:n.cin
+      | Primary_input -> acc)
+    0. (gate_ids t)
+
+(* Same fold as {!total_area} (same order, so an all-LVT netlist weighs
+   bit-identically to its plain area), each gate's width scaled by its Vt
+   class's leakage factor. *)
+let total_leakage_area t lib =
+  List.fold_left
+    (fun acc id ->
+      let n = node t id in
+      match n.kind with
+      | Cell kind ->
+        let cell = Pops_cell.Library.find_vt lib kind n.vt in
+        acc
+        +. Pops_cell.Cell.area cell ~cin:n.cin *. cell.Pops_cell.Cell.leak_factor
       | Primary_input -> acc)
     0. (gate_ids t)
 

@@ -28,6 +28,9 @@ type node = private {
   mutable fanouts : int list;  (** derived, kept consistent *)
   mutable cin : float;  (** input capacitance per input pin, fF *)
   mutable wire : float;  (** extra capacitance on the output net, fF *)
+  mutable vt : Pops_process.Vt.t;
+      (** threshold class of the instance; {!Pops_process.Vt.Lvt} for
+          inputs and freshly built gates — mutate via {!set_vt} *)
 }
 
 type t
@@ -79,6 +82,16 @@ val set_fanin : t -> int -> pin:int -> int -> unit
 
 val replace_kind : t -> int -> Pops_cell.Gate_kind.t -> unit
 (** Change a gate's kind.  @raise Invalid_argument if the arity differs. *)
+
+val set_vt : t -> int -> Pops_process.Vt.t -> unit
+(** Change a gate's threshold class.  Non-structural (widths, loads and
+    edges are untouched): only the gate's own stage delay and leakage
+    change, so observers re-propagate just its forward cone.  No-op when
+    the class is unchanged.  @raise Invalid_argument on inputs. *)
+
+val vt_of : t -> int -> Pops_process.Vt.t
+(** Threshold class of a node ({!Pops_process.Vt.Lvt} for inputs and
+    freshly allocated gates). *)
 
 val rewire_fanouts : t -> from_:int -> to_:int -> except:int list -> unit
 (** Point every fan-out pin reading [from_] (except the listed consumer
@@ -166,6 +179,10 @@ module Csr : sig
   (** By id: [-1] for primary inputs, [-2] for cells outside
       {!code_kinds}, else an index into {!code_kinds}. *)
 
+  val vt_code : t -> int array
+  (** By id: {!Pops_process.Vt.to_int} of the node's threshold class
+      (0 = LVT for inputs).  Scalar-synced like {!kind_code}. *)
+
   val cin : t -> float array
   (** By id: input capacitance per pin, fF. *)
 
@@ -237,6 +254,12 @@ val find_cycle : t -> int list option
 val kind_histogram : t -> (Pops_cell.Gate_kind.t * int) list
 val total_area : t -> Pops_cell.Library.t -> float
 (** Total transistor width [Sigma W] over all gates, um. *)
+
+val total_leakage_area : t -> Pops_cell.Library.t -> float
+(** Leakage-weighted width: each gate's [Sigma W] scaled by the
+    subthreshold-leakage factor of its Vt class.  The fold runs in the
+    same order as {!total_area}, so an all-LVT netlist (every factor
+    exactly 1.0) weighs bit-identically to its plain area. *)
 
 val copy : t -> t
 (** Deep copy (transforms mutate; benchmarks compare variants). *)

@@ -103,6 +103,34 @@ let at_corner t corner =
 let vtn_reduced t = t.vtn /. t.vdd
 let vtp_reduced t = t.vtp /. t.vdd
 
+(* Vt-class derivations.  All four functions are the identity at [Lvt]
+   (shift 0.0, factors exactly 1.0), which keeps an all-LVT netlist
+   bit-identical to the pre-multi-Vt model. *)
+
+let vt_shift = function Vt.Lvt -> 0. | Vt.Svt -> 0.05 | Vt.Hvt -> 0.10
+
+let vt_tau_factor t vt =
+  match vt with
+  | Vt.Lvt -> 1.0
+  | _ ->
+    (* alpha-power drive loss: Id ~ (VDD - VT)^alpha, so a threshold
+       raised by dvt slows the stage by ((VDD-VT)/(VDD-VT-dvt))^alpha,
+       evaluated at the mean of the N and P thresholds *)
+    let vt_mean = (t.vtn +. t.vtp) *. 0.5 in
+    let dvt = vt_shift vt in
+    ((t.vdd -. vt_mean) /. (t.vdd -. vt_mean -. dvt)) ** t.alpha
+
+let vt_leak_factor t vt =
+  match vt with
+  | Vt.Lvt -> 1.0
+  | _ -> 10. ** (-1000. *. vt_shift vt /. t.subthreshold_slope)
+
+let vtn_reduced_vt t vt =
+  match vt with Vt.Lvt -> t.vtn /. t.vdd | _ -> (t.vtn +. vt_shift vt) /. t.vdd
+
+let vtp_reduced_vt t vt =
+  match vt with Vt.Lvt -> t.vtp /. t.vdd | _ -> (t.vtp +. vt_shift vt) /. t.vdd
+
 let cin_of_width t ~wn ~wp = t.cg_per_um *. (wn +. wp)
 
 let width_of_cin t ~k cin =

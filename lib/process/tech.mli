@@ -72,6 +72,29 @@ val vtn_reduced : t -> float
 val vtp_reduced : t -> float
 (** [vtp / vdd] — the reduced threshold [v_TP] of eq. (1). *)
 
+val vt_shift : Vt.t -> float
+(** Threshold increase of a Vt class over the process nominal, V:
+    [0.0] for {!Vt.Lvt}, [0.05] for {!Vt.Svt}, [0.10] for {!Vt.Hvt}. *)
+
+val vt_tau_factor : t -> Vt.t -> float
+(** Delay derating of a Vt class: the alpha-power drive-current loss
+    [((VDD - VT) / (VDD - VT - dVt))^alpha] at the mean N/P threshold.
+    Exactly [1.0] at {!Vt.Lvt}. *)
+
+val vt_leak_factor : t -> Vt.t -> float
+(** Subthreshold-leakage multiplier of a Vt class relative to the
+    nominal (LVT) device: [10^(-dVt / slope)] — exponential in the
+    threshold shift, so SVT/HVT cut leakage by roughly 4x/15x at a
+    typical 85 mV/decade swing.  Exactly [1.0] at {!Vt.Lvt}. *)
+
+val vtn_reduced_vt : t -> Vt.t -> float
+(** [(vtn + vt_shift vt) / vdd] — the reduced NMOS threshold of a cell
+    in the given Vt class.  Bit-identical to {!vtn_reduced} at
+    {!Vt.Lvt}. *)
+
+val vtp_reduced_vt : t -> Vt.t -> float
+(** PMOS counterpart of {!vtn_reduced_vt}. *)
+
 val cin_of_width : t -> wn:float -> wp:float -> float
 (** Input capacitance (fF) of a transistor pair of given widths (um). *)
 

@@ -1,0 +1,24 @@
+type t = Lvt | Svt | Hvt
+
+let count = 3
+let all = [| Lvt; Svt; Hvt |]
+let to_int = function Lvt -> 0 | Svt -> 1 | Hvt -> 2
+
+let of_int = function
+  | 0 -> Lvt
+  | 1 -> Svt
+  | 2 -> Hvt
+  | n -> invalid_arg (Printf.sprintf "Vt.of_int: %d" n)
+
+let name = function Lvt -> "lvt" | Svt -> "svt" | Hvt -> "hvt"
+
+let of_string = function
+  | "lvt" -> Some Lvt
+  | "svt" -> Some Svt
+  | "hvt" -> Some Hvt
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+let compare a b = Int.compare (to_int a) (to_int b)
+let next = function Lvt -> Some Svt | Svt -> Some Hvt | Hvt -> None
+let pp ppf t = Format.pp_print_string ppf (name t)

@@ -29,6 +29,7 @@ let points =
     "solver.nan.damped";
     "pool.raise";
     "bench.truncate";
+    "vt.swap";
   ]
 
 (* --- hashing --------------------------------------------------------- *)

@@ -2,7 +2,8 @@
 
     The engine carries a small, closed set of named injection points
     ({!points}): force a solver rung to diverge, poison an iterate with
-    NaN, raise inside a pool task, truncate a [.bench] mid-statement.
+    NaN, raise inside a pool task, truncate a [.bench] mid-statement,
+    abort the multi-Vt swap loop.
     A {e spec} arms a subset of them:
 
     {v entry  ::= point [ "@" prob ] | "seed=" int64

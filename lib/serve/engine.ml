@@ -233,6 +233,16 @@ let flow_metrics ~tc (r : Flow.report) =
     ("flow", Json.Str (flow_outcome_name r.Flow.outcome));
     ("met", Json.Bool (r.Flow.outcome = Flow.Met));
     ("equivalence", Json.Bool (Result.is_ok r.Flow.equivalence)) ]
+  @
+  (* only when the job opted into the pass, so pre-existing result
+     lines stay byte-identical *)
+  match r.Flow.vt with
+  | None -> []
+  | Some v ->
+    [ ("leakage_before_uw", num3 v.Pops_flow.Vt_assign.leakage_before);
+      ("leakage_after_uw", num3 v.Pops_flow.Vt_assign.leakage_after);
+      ("vt_accepted", Json.Num (float_of_int v.Pops_flow.Vt_assign.accepted));
+      ("vt_rejected", Json.Num (float_of_int v.Pops_flow.Vt_assign.rejected)) ]
 
 let exec_optimize t (job : Job.t) ~budget nl names parse_diags =
   let d0 = Timing.critical_delay (Timing.analyze ~lib:t.lib nl) in
@@ -247,7 +257,7 @@ let exec_optimize t (job : Job.t) ~budget nl names parse_diags =
   in
   let outcome =
     Flow.optimize_o ~budget ~max_rounds ?k_paths:job.Job.k_paths
-      ~name:(name_fn names) ~lib:t.lib ~tc nl
+      ~vt_assign:job.Job.vt_assign ~name:(name_fn names) ~lib:t.lib ~tc nl
   in
   match outcome with
   | Outcome.Failed d ->

@@ -13,11 +13,12 @@ type t = {
   tc_ratio : float option;
   max_rounds : int option;
   k_paths : int option;
+  vt_assign : bool;
 }
 
 let known_fields =
   [ "id"; "tenant"; "bench"; "bench_file"; "action"; "tc_ps"; "tc_ratio";
-    "max_rounds"; "k_paths" ]
+    "max_rounds"; "k_paths"; "vt_assign" ]
 
 let of_json ~seq json =
   match json with
@@ -63,6 +64,10 @@ let of_json ~seq json =
             tc_ratio = num "tc_ratio";
             max_rounds = int "max_rounds";
             k_paths = int "k_paths";
+            vt_assign =
+              Option.value
+                (Option.bind (Json.member "vt_assign" json) Json.to_bool)
+                ~default:false;
           })
   | _ -> Error "a job request must be a JSON object"
 

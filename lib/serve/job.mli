@@ -25,6 +25,8 @@ type t = {
           used when [tc_ps] is absent (engine default 0.8) *)
   max_rounds : int option;
   k_paths : int option;
+  vt_assign : bool;
+      (** run the multi-Vt leakage pass after sizing (default false) *)
 }
 
 val of_json : seq:int -> Json.t -> (t, string) result

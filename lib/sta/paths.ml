@@ -34,7 +34,7 @@ let extract ?input_slope ~lib t nodes =
       | Netlist.Cell k -> k
       | Netlist.Primary_input -> assert false
     in
-    let cell = Pops_cell.Library.find lib kind in
+    let cell = Pops_cell.Library.find_vt lib kind node.Netlist.vt in
     let total_load = Netlist.load_on t id in
     let branch =
       if i = n - 1 then 0.
@@ -61,20 +61,21 @@ let extract ?input_slope ~lib t nodes =
    gate, where the [Model.stage_delay] call boxed a tuple per edge. *)
 type est_coeffs = {
   ec_have : bool array;
-  ec_stau_hl : float array;  (* s_hl *. tau *)
+  ec_stau_hl : float array;  (* (s_hl *. tau) *. tau_factor, by 3*code+vt *)
   ec_stau_lh : float array;
   ec_cm_hl : float array;
   ec_cm_lh : float array;
   ec_par : float array;
-  ec_slope_r : float;  (* vtp_red *. tau_in *. 0.5, tau_in = 2 tau *)
-  ec_slope_f : float;  (* vtn_red *. tau_in *. 0.5 *)
+  ec_slope_r : float array;  (* vtp_red *. tau_in *. 0.5 by Vt, tau_in = 2 tau *)
+  ec_slope_f : float array;  (* vtn_red *. tau_in *. 0.5 by Vt *)
 }
 
 let est_coeffs ~lib tech =
   let n = Array.length Netlist.Csr.code_kinds in
+  let nv = Pops_process.Vt.count in
   let have = Array.make n false
-  and stau_hl = Array.make n Float.nan
-  and stau_lh = Array.make n Float.nan
+  and stau_hl = Array.make (nv * n) Float.nan
+  and stau_lh = Array.make (nv * n) Float.nan
   and cm_hl = Array.make n Float.nan
   and cm_lh = Array.make n Float.nan
   and par = Array.make n Float.nan in
@@ -83,8 +84,15 @@ let est_coeffs ~lib tech =
       match Pops_cell.Library.find lib kind with
       | (cell : Pops_cell.Cell.t) ->
         have.(code) <- true;
-        stau_hl.(code) <- cell.s_hl *. cell.tech.Pops_process.Tech.tau;
-        stau_lh.(code) <- cell.s_lh *. cell.tech.Pops_process.Tech.tau;
+        Array.iter
+          (fun vt ->
+            let vc = Pops_process.Vt.to_int vt in
+            let cv = Pops_cell.Library.find_vt lib kind vt in
+            stau_hl.((nv * code) + vc) <-
+              cv.s_hl *. cv.tech.Pops_process.Tech.tau *. cv.tau_factor;
+            stau_lh.((nv * code) + vc) <-
+              cv.s_lh *. cv.tech.Pops_process.Tech.tau *. cv.tau_factor)
+          Pops_process.Vt.all;
         cm_hl.(code) <- cell.cm_ratio_hl;
         cm_lh.(code) <- cell.cm_ratio_lh;
         par.(code) <- cell.par_ratio
@@ -98,8 +106,14 @@ let est_coeffs ~lib tech =
     ec_cm_hl = cm_hl;
     ec_cm_lh = cm_lh;
     ec_par = par;
-    ec_slope_r = Pops_process.Tech.vtp_reduced tech *. tau_in *. 0.5;
-    ec_slope_f = Pops_process.Tech.vtn_reduced tech *. tau_in *. 0.5;
+    ec_slope_r =
+      Array.map
+        (fun vt -> Pops_process.Tech.vtp_reduced_vt tech vt *. tau_in *. 0.5)
+        Pops_process.Vt.all;
+    ec_slope_f =
+      Array.map
+        (fun vt -> Pops_process.Tech.vtn_reduced_vt tech vt *. tau_in *. 0.5)
+        Pops_process.Vt.all;
   }
 
 (* edge-agnostic per-gate delay estimate (nominal input slope, worst
@@ -113,6 +127,7 @@ let delay_estimates_into ~lib t est =
   let c = Netlist.csr t in
   let node_of = Netlist.Csr.node_of c in
   let kind_code = Netlist.Csr.kind_code c in
+  let vt_code = Netlist.Csr.vt_code c in
   let cin = Netlist.Csr.cin c in
   let load = Netlist.Csr.load c in
   for i = 0 to Netlist.Csr.length c - 1 do
@@ -121,18 +136,20 @@ let delay_estimates_into ~lib t est =
     if code = -1 then est.(id) <- 0.
     else if code = -2 || not ec.ec_have.(code) then raise Not_found
     else begin
+      let vc = vt_code.(id) in
+      let sx = (3 * code) + vc in
       let cin_v = cin.(id) in
       let cload = load.(id) +. (ec.ec_par.(code) *. cin_v) in
-      let tau_r = ec.ec_stau_lh.(code) *. cload /. cin_v in
-      let tau_f = ec.ec_stau_hl.(code) *. cload /. cin_v in
+      let tau_r = ec.ec_stau_lh.(sx) *. cload /. cin_v in
+      let tau_f = ec.ec_stau_hl.(sx) *. cload /. cin_v in
       let cm_r = ec.ec_cm_lh.(code) *. cin_v in
       let cm_f = ec.ec_cm_hl.(code) *. cin_v in
       let d_r =
-        ec.ec_slope_r
+        ec.ec_slope_r.(vc)
         +. ((1. +. (2. *. cm_r /. (cm_r +. cload))) *. tau_r *. 0.5)
       in
       let d_f =
-        ec.ec_slope_f
+        ec.ec_slope_f.(vc)
         +. ((1. +. (2. *. cm_f /. (cm_f +. cload))) *. tau_f *. 0.5)
       in
       est.(id) <- Float.max d_r d_f

@@ -37,5 +37,10 @@ let analyze ?(freq_mhz = 100.) ?input_prob ~lib t =
   let dynamic_uw = List.fold_left (fun acc (_, p) -> acc +. p) 0. per_node in
   let switched_cap = dynamic_uw *. 1000. /. (vdd *. vdd *. freq_mhz) in
   let area = Netlist.total_area t lib in
-  let leakage_uw = tech.Pops_process.Tech.i_leak_per_um *. area *. vdd /. 1000. in
+  (* leakage-weighted width: each gate's Sigma W scaled by its Vt class's
+     subthreshold factor; equals [area] bitwise on an all-LVT netlist *)
+  let leak_area = Netlist.total_leakage_area t lib in
+  let leakage_uw =
+    tech.Pops_process.Tech.i_leak_per_um *. leak_area *. vdd /. 1000.
+  in
   { dynamic_uw; leakage_uw; switched_cap; area; per_node }

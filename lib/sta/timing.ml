@@ -9,28 +9,32 @@ type arrival = { time : float; slope : float; from_ : (int * Edge.t) option }
 (* Per-kind-code delay coefficients, hoisted out of the propagation
    sweep: everything {!Model.stage_delay} reads from the cell record,
    pre-multiplied where the grouping keeps float results bit-identical
-   ([s *. tau] is the left-most association of eq. 1 either way).
-   Indexed by {!Netlist.Csr.kind_code}; a kind missing from the library
-   has [have = false] and propagating through it raises [Not_found],
-   exactly like the legacy per-node library lookup. *)
+   ([(s *. tau) *. tau_factor] is exactly how {!Model.transition_time}
+   associates, and the LVT factor is exactly 1.0).  The slope products
+   and reduced thresholds are per (kind, Vt class): [stau_*] is indexed
+   [3 * kind_code + vt_code] and [vt*_red] by the Vt code alone (the
+   threshold shift is kind-independent).  A kind missing from the
+   library has [have = false] and propagating through it raises
+   [Not_found], exactly like the legacy per-node library lookup. *)
 type tables = {
   have : bool array;
   klass : int array;  (* 0 inverting, 1 xor-class, 2 buffer *)
-  stau_hl : float array;  (* s_hl *. tau *)
+  stau_hl : float array;  (* (s_hl *. tau) *. tau_factor, by 3*code+vt *)
   stau_lh : float array;
   cm_hl : float array;  (* coupling-capacitance ratio, falling output *)
   cm_lh : float array;
   par : float array;  (* parasitic ratio: cpar = par *. cin *)
-  vtn_red : float;
-  vtp_red : float;
+  vtn_red : float array;  (* reduced thresholds by Vt code *)
+  vtp_red : float array;
 }
 
 let build_tables ~lib =
   let n = Array.length Netlist.Csr.code_kinds in
+  let nv = Pops_process.Vt.count in
   let have = Array.make n false
   and klass = Array.make n 0
-  and stau_hl = Array.make n Float.nan
-  and stau_lh = Array.make n Float.nan
+  and stau_hl = Array.make (nv * n) Float.nan
+  and stau_lh = Array.make (nv * n) Float.nan
   and cm_hl = Array.make n Float.nan
   and cm_lh = Array.make n Float.nan
   and par = Array.make n Float.nan in
@@ -45,8 +49,15 @@ let build_tables ~lib =
           | Gk.Buf -> 2
           | Gk.Inv | Gk.Nand _ | Gk.Nor _ | Gk.Aoi21 | Gk.Oai21 | Gk.Aoi22
           | Gk.Oai22 -> 0);
-        stau_hl.(code) <- cell.s_hl *. cell.tech.Pops_process.Tech.tau;
-        stau_lh.(code) <- cell.s_lh *. cell.tech.Pops_process.Tech.tau;
+        Array.iter
+          (fun vt ->
+            let vc = Pops_process.Vt.to_int vt in
+            let cv = Pops_cell.Library.find_vt lib kind vt in
+            stau_hl.((nv * code) + vc) <-
+              cv.s_hl *. cv.tech.Pops_process.Tech.tau *. cv.tau_factor;
+            stau_lh.((nv * code) + vc) <-
+              cv.s_lh *. cv.tech.Pops_process.Tech.tau *. cv.tau_factor)
+          Pops_process.Vt.all;
         cm_hl.(code) <- cell.cm_ratio_hl;
         cm_lh.(code) <- cell.cm_ratio_lh;
         par.(code) <- cell.par_ratio
@@ -61,8 +72,12 @@ let build_tables ~lib =
     cm_hl;
     cm_lh;
     par;
-    vtn_red = Pops_process.Tech.vtn_reduced tech;
-    vtp_red = Pops_process.Tech.vtp_reduced tech;
+    vtn_red =
+      Array.map (fun vt -> Pops_process.Tech.vtn_reduced_vt tech vt)
+        Pops_process.Vt.all;
+    vtp_red =
+      Array.map (fun vt -> Pops_process.Tech.vtp_reduced_vt tech vt)
+        Pops_process.Vt.all;
   }
 
 (* Arrivals live in one dense float array with four slots per node id —
@@ -195,7 +210,7 @@ let eval_node t id =
     let a = (t.input_arrival, t.input_slope, -1) in
     (Some a, Some a)
   | Netlist.Cell kind ->
-    let cell = Pops_cell.Library.find t.lib kind in
+    let cell = Pops_cell.Library.find_vt t.lib kind n.Netlist.vt in
     let cload =
       Netlist.load_on t.netlist id +. Pops_cell.Cell.cpar cell ~cin:n.Netlist.cin
     in
@@ -277,13 +292,14 @@ let sweep_range t (c : Netlist.Csr.t) lo hi =
   let tb = t.tables in
   let node_of = Netlist.Csr.node_of c in
   let kind_code = Netlist.Csr.kind_code c in
+  let vt_code = Netlist.Csr.vt_code c in
   let cin = Netlist.Csr.cin c in
   let load = Netlist.Csr.load c in
   let fanin_off = Netlist.Csr.fanin_off c in
   let fanin = Netlist.Csr.fanin c in
   let arr = t.arr in
   let rise_f = t.rise_from and fall_f = t.fall_from in
-  let vtp = tb.vtp_red and vtn = tb.vtn_red in
+  let vtp_a = tb.vtp_red and vtn_a = tb.vtn_red in
   let best = Array.make 2 Float.nan in
   let best_from = ref (-1) in
   let best_from2 = ref (-1) in
@@ -308,6 +324,11 @@ let sweep_range t (c : Netlist.Csr.t) lo hi =
       let f_lo = Array.unsafe_get fanin_off id
       and f_hi = Array.unsafe_get fanin_off (id + 1) in
       let kl = Array.unsafe_get tb.klass code in
+      (* the node's Vt class picks its slope products and thresholds;
+         the codes are 0..2 by construction, so the indexing is safe *)
+      let vc = Array.unsafe_get vt_code id in
+      let sx = (3 * code) + vc in
+      let vtp = Array.unsafe_get vtp_a vc and vtn = Array.unsafe_get vtn_a vc in
       (* [x /. 2.] is written [x *. 0.5] throughout: exact for every
          IEEE double, so results stay bit-identical to the reference *)
       if kl <> 1 then begin
@@ -316,8 +337,8 @@ let sweep_range t (c : Netlist.Csr.t) lo hi =
            fan-in's arrival slots once.  Per output edge the candidate
            order is still pin order, so the keep-first tie break (and
            hence every stored bit) matches the two-pass loop. *)
-        let tau_r = Array.unsafe_get tb.stau_lh code *. cload /. cin_v in
-        let tau_f = Array.unsafe_get tb.stau_hl code *. cload /. cin_v in
+        let tau_r = Array.unsafe_get tb.stau_lh sx *. cload /. cin_v in
+        let tau_f = Array.unsafe_get tb.stau_hl sx *. cload /. cin_v in
         let cm_r = Array.unsafe_get tb.cm_lh code *. cin_v in
         let cm_f = Array.unsafe_get tb.cm_hl code *. cin_v in
         let gterm_r = (1. +. (2. *. cm_r /. (cm_r +. cload))) *. tau_r *. 0.5 in
@@ -386,7 +407,7 @@ let sweep_range t (c : Netlist.Csr.t) lo hi =
       else
         for eo = 0 to 1 do
           (* eo: 0 = rising output, 1 = falling output (= edge_bit) *)
-          let stau = if eo = 0 then tb.stau_lh.(code) else tb.stau_hl.(code) in
+          let stau = if eo = 0 then tb.stau_lh.(sx) else tb.stau_hl.(sx) in
           let cmr = if eo = 0 then tb.cm_lh.(code) else tb.cm_hl.(code) in
           let v_t = if eo = 0 then vtp else vtn in
           let tau_out = stau *. cload /. cin_v in
@@ -504,7 +525,10 @@ let eval_store_csr t (c : Netlist.Csr.t) id =
   else begin
     let cin = Netlist.Csr.cin c and load = Netlist.Csr.load c in
     let fanin_off = Netlist.Csr.fanin_off c and fanin = Netlist.Csr.fanin c in
-    let vtp = tb.vtp_red and vtn = tb.vtn_red in
+    let vc = Array.unsafe_get (Netlist.Csr.vt_code c) id in
+    let sx = (3 * code) + vc in
+    let vtp = Array.unsafe_get tb.vtp_red vc
+    and vtn = Array.unsafe_get tb.vtn_red vc in
     let cin_v = Array.unsafe_get cin id in
     let cload =
       Array.unsafe_get load id +. (Array.unsafe_get tb.par code *. cin_v)
@@ -517,8 +541,8 @@ let eval_store_csr t (c : Netlist.Csr.t) id =
     let best_from = ref (-1) in
     let best_from2 = ref (-1) in
     if kl <> 1 then begin
-      let tau_r = Array.unsafe_get tb.stau_lh code *. cload /. cin_v in
-      let tau_f = Array.unsafe_get tb.stau_hl code *. cload /. cin_v in
+      let tau_r = Array.unsafe_get tb.stau_lh sx *. cload /. cin_v in
+      let tau_f = Array.unsafe_get tb.stau_hl sx *. cload /. cin_v in
       let cm_r = Array.unsafe_get tb.cm_lh code *. cin_v in
       let cm_f = Array.unsafe_get tb.cm_hl code *. cin_v in
       let gterm_r = (1. +. (2. *. cm_r /. (cm_r +. cload))) *. tau_r *. 0.5 in
@@ -560,7 +584,7 @@ let eval_store_csr t (c : Netlist.Csr.t) id =
     end
     else
       for eo = 0 to 1 do
-        let stau = if eo = 0 then tb.stau_lh.(code) else tb.stau_hl.(code) in
+        let stau = if eo = 0 then tb.stau_lh.(sx) else tb.stau_hl.(sx) in
         let cmr = if eo = 0 then tb.cm_lh.(code) else tb.cm_hl.(code) in
         let v_t = if eo = 0 then vtp else vtn in
         let tau_out = stau *. cload /. cin_v in
@@ -1071,6 +1095,7 @@ let eval_req_csr s (c : Netlist.Csr.t) id =
   let arr = tm.arr in
   let req = s.req in
   let kind_code = Netlist.Csr.kind_code c in
+  let vt_code = Netlist.Csr.vt_code c in
   let cin = Netlist.Csr.cin c in
   let load = Netlist.Csr.load c in
   let fo_off = Netlist.Csr.fanout_off c in
@@ -1104,20 +1129,27 @@ let eval_req_csr s (c : Netlist.Csr.t) id =
                term is the consumer's required time minus the stage
                delay through it at our slope *)
             let kl = Array.unsafe_get tb.klass code in
+            (* the stage swept backward is the consumer's, so its Vt
+               class picks the coefficients *)
+            let vc = Array.unsafe_get vt_code cid in
+            let sx = (3 * code) + vc in
             let ob_lo = if kl = 1 then 0 else if kl = 2 then eo else 1 - eo in
             let ob_hi = if kl = 1 then 1 else ob_lo in
             for ob = ob_lo to ob_hi do
               let rc = Array.unsafe_get req ((2 * cid) + ob) in
               if not (Float.is_nan rc) then begin
                 let stau =
-                  if ob = 0 then Array.unsafe_get tb.stau_lh code
-                  else Array.unsafe_get tb.stau_hl code
+                  if ob = 0 then Array.unsafe_get tb.stau_lh sx
+                  else Array.unsafe_get tb.stau_hl sx
                 in
                 let cmr =
                   if ob = 0 then Array.unsafe_get tb.cm_lh code
                   else Array.unsafe_get tb.cm_hl code
                 in
-                let v_t = if ob = 0 then tb.vtp_red else tb.vtn_red in
+                let v_t =
+                  if ob = 0 then Array.unsafe_get tb.vtp_red vc
+                  else Array.unsafe_get tb.vtn_red vc
+                in
                 let tau_out = stau *. cload /. cin_v in
                 let cm = cmr *. cin_v in
                 let gterm =
@@ -1243,7 +1275,9 @@ let slacks_reference tm ~tc =
                   match cn.Netlist.kind with
                   | Netlist.Primary_input -> ()
                   | Netlist.Cell kind ->
-                    let cell = Pops_cell.Library.find tm.lib kind in
+                    let cell =
+                      Pops_cell.Library.find_vt tm.lib kind cn.Netlist.vt
+                    in
                     let cload =
                       Netlist.load_on nl c
                       +. Pops_cell.Cell.cpar cell ~cin:cn.Netlist.cin

@@ -187,3 +187,51 @@ analysis still completes with exit 0:
   
   STA critical delay: 91.0 ps
 
+With --vt-assign the flow runs the multi-Vt leakage pass after timing
+closure: slack-rich circuits give up most of their subthreshold leakage
+(here 93.3%, the all-HVT floor) without the delay leaving the target:
+
+  $ pops optimize --gates 2000 --shape iscas --name c2k --tc-ratio 1.05 --vt-assign
+  c2k: 2000 gates (iscas), STA critical delay 516481.4 ps, target Tc = 542305.5 ps
+  flow: met
+  delay 516481.4 -> 516481.4 ps
+  area 33488.9 -> 33488.9 um
+  0 rounds, 0 buffer inverters, 0 rewrites, 0 stale dropped
+  equivalence: PASS
+  vt-assign: leakage 12.558 -> 0.842 uW (93.3% saved)
+  3973 swaps accepted, 53 rejected, 3 rounds
+
+An infeasible constraint still exits 1 with the pass enabled, and the
+pass accepts nothing - swapping up the threshold of a failing circuit
+would only slow it further, so every candidate is rejected and the
+leakage stays put:
+
+  $ pops bench-file gen.bench --flow --tc 1 --vt-assign
+  netlist: 3 inputs, 3 gates, 2 outputs, depth 2
+  aoi21: 1
+  xor2: 2
+  
+  STA critical delay: 317.9 ps
+  optimizing to Tc = 1.0 ps ...
+  pops: constraint-infeasible: constraint 1.000 ps not met: critical delay 317.870 ps after optimization
+  flow: no-progress
+  delay 317.9 -> 317.9 ps
+  area 19.6 -> 22.6 um
+  2 rounds, 2 buffer inverters, 0 rewrites, 0 stale dropped
+  equivalence: PASS
+  vt-assign: leakage 0.008 -> 0.008 uW (0.0% saved)
+  0 swaps accepted, 5 rejected, 1 rounds
+    round 1: 317.9 ps, sizing on a 2-gate path
+    round 1: 317.9 ps, buffers+sizing on a 1-gate path
+  [1]
+
+A serve job opts into the pass with "vt_assign": true; the result line
+gains the leakage metrics (jobs without the field are untouched - their
+result lines render byte-identically to before the pass existed):
+
+  $ cat > vt.ndjson <<'EOF'
+  > {"id":"vt1","bench":"INPUT(a)\nINPUT(b)\nOUTPUT(y)\nn1 = NAND(a, b)\ny = NOT(n1)\n","tc_ratio":1.3,"vt_assign":true}
+  > EOF
+  $ POPS_DOMAINS=1 pops serve --no-times --no-summary < vt.ndjson
+  {"id":"vt1","tenant":"default","seq":0,"status":"ok","exit":0,"netlist_cache":"miss","gates":2,"inputs":2,"outputs":1,"depth":2,"tc_ps":203.055,"initial_delay_ps":156.196,"final_delay_ps":156.196,"initial_area_um":4.541,"final_area_um":4.541,"rounds":0,"buffers":0,"rewrites":0,"flow":"met","met":true,"equivalence":true,"leakage_before_uw":0.002,"leakage_after_uw":0,"vt_accepted":4,"vt_rejected":0}
+

@@ -895,9 +895,12 @@ let () =
 (* SPICE differential oracle                                           *)
 (* ================================================================== *)
 
-(* tolerance bands per technology, recorded in the golden file: lines
-   "<tech-name> <lo> <hi>" bounding sim_delay / model_delay *)
-let golden_bands =
+(* tolerance bands recorded in the golden file: lines
+   "<tech-name> <lo> <hi>" bounding sim_delay / model_delay, and
+   "<tech-name>.<vt-class> <lo> <hi> <leak-factor>" for the per-Vt
+   differential rows, whose fourth column locks the class's leakage
+   multiplier at the model level *)
+let golden_tables =
   lazy
     (let path =
        if Sys.file_exists "spice_tolerances.golden" then "spice_tolerances.golden"
@@ -905,29 +908,37 @@ let golden_bands =
          "test/spice_tolerances.golden"
        else failwith "spice_tolerances.golden not found (run from repo root or test/)"
      in
-     let tbl = Hashtbl.create 16 in
+     let bands = Hashtbl.create 64 in
+     let leaks = Hashtbl.create 64 in
      let ic = open_in path in
      (try
         while true do
           let line = String.trim (input_line ic) in
           if line <> "" && line.[0] <> '#' then
-            Scanf.sscanf line " %s %f %f" (fun n lo hi -> Hashtbl.replace tbl n (lo, hi))
+            match
+              List.filter (( <> ) "") (String.split_on_char ' ' line)
+            with
+            | [ n; lo; hi ] ->
+              Hashtbl.replace bands n (float_of_string lo, float_of_string hi)
+            | [ n; lo; hi; leak ] ->
+              Hashtbl.replace bands n (float_of_string lo, float_of_string hi);
+              Hashtbl.replace leaks n (float_of_string leak)
+            | _ -> failwith ("malformed spice_tolerances.golden line: " ^ line)
         done
       with End_of_file -> ());
      close_in ic;
-     tbl)
+     (bands, leaks))
+
+let golden_band key =
+  match Hashtbl.find_opt (fst (Lazy.force golden_tables)) key with
+  | Some band -> band
+  | None -> Prop.failf "%s missing from spice_tolerances.golden" key
 
 let () =
   Prop.register ~name:"spice.model_tracks_simulation" C.spice_chain (fun s ->
       (* sanitizing keeps shrunk values inside the calibrated envelope *)
       let s = C.sanitize_spice s in
-      let lo, hi =
-        match Hashtbl.find_opt (Lazy.force golden_bands) s.C.p_tech.Tech.name with
-        | Some band -> band
-        | None ->
-          Prop.failf "technology %s missing from spice_tolerances.golden"
-            s.C.p_tech.Tech.name
-      in
+      let lo, hi = golden_band s.C.p_tech.Tech.name in
       let p = path_of s in
       let x = Path.clamp_sizing p (C.sizing s) in
       let sim = Transient.simulate_path ~steps_per_stage:500 p x in
@@ -936,6 +947,50 @@ let () =
       requiref (ratio >= lo && ratio <= hi)
         "sim/model ratio %.4f outside golden band [%.3f, %.3f] (sim %.6g ps, model %.6g ps)"
         ratio lo hi sim.Transient.total_delay model)
+
+(* Per-Vt-class differential: rebuild the chain in one Vt class
+   (Vt-variant cells on the model side, the class's threshold shift in
+   the path's tech record on the simulator side) and hold the sim/model
+   ratio to the class's own golden band.  The simulator's transistors
+   cut off cleanly below threshold — there is no subthreshold current to
+   measure — so the leakage half of the class is locked at the model
+   level against the golden file's recorded multiplier. *)
+let () =
+  Prop.register ~name:"spice.vt_model_tracks_simulation"
+    (Gen.pair C.spice_chain (Gen.int_range 0 (Pops_process.Vt.count - 1)))
+    (fun (s, vi) ->
+      let s = C.sanitize_spice s in
+      let vt = Pops_process.Vt.of_int vi in
+      let tech = s.C.p_tech in
+      let key =
+        Printf.sprintf "%s.%s" tech.Tech.name (Pops_process.Vt.name vt)
+      in
+      let lo, hi = golden_band key in
+      let p = C.to_vt_path s vt in
+      let x = Path.clamp_sizing p (C.sizing s) in
+      let sim = Transient.simulate_path ~steps_per_stage:500 p x in
+      let model = Path.delay p x in
+      let ratio = sim.Transient.total_delay /. model in
+      requiref (ratio >= lo && ratio <= hi)
+        "%s sim/model ratio %.4f outside golden band [%.3f, %.3f] (sim %.6g ps, model %.6g ps)"
+        key ratio lo hi sim.Transient.total_delay model;
+      let golden_leak =
+        match Hashtbl.find_opt (snd (Lazy.force golden_tables)) key with
+        | Some l -> l
+        | None -> Prop.failf "%s has no leak-factor column in the golden file" key
+      in
+      let lib = C.library tech in
+      List.iter
+        (fun kind ->
+          let cell = Library.find_vt lib kind vt in
+          requiref
+            (Float.abs (cell.Cell.leak_factor -. golden_leak)
+            <= 1e-4 *. Float.max 1. golden_leak)
+            "leak_factor %.6g of %s drifted from golden %.6g"
+            cell.Cell.leak_factor key golden_leak;
+          requiref (cell.Cell.tau_factor >= 1.)
+            "tau_factor %.6g < 1: a higher-Vt cell cannot be faster" cell.Cell.tau_factor)
+        s.C.kinds)
 
 (* ================================================================== *)
 (* fault injection: the resilience contract                            *)
@@ -1211,5 +1266,172 @@ let () =
         require
           (has_code Diag.Pool_task_failed diags)
           "contained pool tasks left no diagnostic in the outcome")
+
+(* ================================================================== *)
+(* multi-Vt assignment                                                 *)
+(* ================================================================== *)
+
+module Vt = Pops_process.Vt
+module Vt_assign = Pops_flow.Vt_assign
+
+let spine_and_slack = Gen.pair C.spine_spec (Gen.float_range 1.0 1.6)
+
+(* (a) the pass spends slack, never timing: when the incoming netlist
+   meets Tc, the worst arrival after every swap still meets it *)
+let () =
+  Prop.register ~max_size:6 ~name:"vt.slack_never_negative" spine_and_slack
+    (fun (sp, factor) ->
+      let nl, _ = C.build_spine Tech.cmos025 sp in
+      let lib = C.library Tech.cmos025 in
+      let timing = Timing.analyze ~lib nl in
+      let tc = factor *. Timing.critical_delay timing in
+      let r = Vt_assign.run ~lib ~tc ~timing nl in
+      let d = Timing.critical_delay timing in
+      requiref (d <= tc)
+        "vt pass un-met the constraint: delay %.17g > tc %.17g (%d swaps)" d tc
+        r.Vt_assign.accepted;
+      let fresh = Timing.critical_delay (Timing.analyze ~lib nl) in
+      requiref (d = fresh)
+        "incremental delay %.17g diverged from fresh STA %.17g after swaps" d
+        fresh)
+
+(* (b) leakage is monotone non-increasing across the swap loop, and the
+   report's leakage matches the power report bitwise *)
+let () =
+  Prop.register ~max_size:6 ~name:"vt.leakage_monotone" spine_and_slack
+    (fun (sp, factor) ->
+      let nl, _ = C.build_spine Tech.cmos025 sp in
+      let lib = C.library Tech.cmos025 in
+      let timing = Timing.analyze ~lib nl in
+      let tc = factor *. Timing.critical_delay timing in
+      let before = (Pops_sta.Power.analyze ~lib nl).Pops_sta.Power.leakage_uw in
+      let r = Vt_assign.run ~lib ~tc ~timing nl in
+      requiref (r.Vt_assign.leakage_before = before)
+        "report leakage_before %.17g <> power report %.17g"
+        r.Vt_assign.leakage_before before;
+      requiref (r.Vt_assign.leakage_after <= r.Vt_assign.leakage_before)
+        "leakage increased: %.17g -> %.17g" r.Vt_assign.leakage_before
+        r.Vt_assign.leakage_after;
+      let after = (Pops_sta.Power.analyze ~lib nl).Pops_sta.Power.leakage_uw in
+      requiref (r.Vt_assign.leakage_after = after)
+        "report leakage_after %.17g <> power report %.17g"
+        r.Vt_assign.leakage_after after;
+      if r.Vt_assign.accepted = 0 then
+        requiref (r.Vt_assign.leakage_after = r.Vt_assign.leakage_before)
+          "zero swaps yet leakage moved: %.17g -> %.17g"
+          r.Vt_assign.leakage_before r.Vt_assign.leakage_after)
+
+(* (c) the all-LVT state is the identity: under an unmeetable Tc no swap
+   is accepted, every gate stays LVT, the arrival state is bitwise the
+   baseline and the leakage-weighted area degenerates to the plain
+   area (every LVT factor is exactly 1.0) *)
+let () =
+  Prop.register ~max_size:6 ~name:"vt.all_lvt_is_baseline" C.spine_spec
+    (fun sp ->
+      let nl, _ = C.build_spine Tech.cmos025 sp in
+      let lib = C.library Tech.cmos025 in
+      let timing = Timing.analyze ~lib nl in
+      let d0 = Timing.critical_delay timing in
+      let r = Vt_assign.run ~lib ~tc:(0.5 *. d0) ~timing nl in
+      requiref (r.Vt_assign.accepted = 0)
+        "unmeetable Tc accepted %d swaps" r.Vt_assign.accepted;
+      List.iter
+        (fun id ->
+          require
+            (Vt.equal (Netlist.vt_of nl id) Vt.Lvt)
+            "a rejected swap left a non-LVT gate behind")
+        (Netlist.gate_ids nl);
+      requiref
+        (Timing.critical_delay timing = d0)
+        "rejected swaps moved the arrival state: %.17g <> %.17g"
+        (Timing.critical_delay timing) d0;
+      requiref
+        (Netlist.total_leakage_area nl lib = Netlist.total_area nl lib)
+        "all-LVT leakage-weighted area %.17g <> plain area %.17g"
+        (Netlist.total_leakage_area nl lib)
+        (Netlist.total_area nl lib))
+
+(* (d) the assignment is a pure function of the netlist: bit-identical
+   report and per-gate Vt classes at 1 and 4 pool domains *)
+let () =
+  Prop.register ~max_size:6 ~cases:40 ~name:"vt.deterministic_across_domains"
+    spine_and_slack (fun (sp, factor) ->
+      let lib = C.library Tech.cmos025 in
+      let run domains =
+        let nl, _ = C.build_spine Tech.cmos025 sp in
+        let saved = Pool.default_size () in
+        Fun.protect
+          ~finally:(fun () -> Pool.set_default_size saved)
+          (fun () ->
+            Pool.set_default_size domains;
+            let timing = Timing.analyze ~lib nl in
+            let tc = factor *. Timing.critical_delay timing in
+            let r = Vt_assign.run ~lib ~tc ~timing nl in
+            let vts =
+              List.map (fun id -> Vt.to_int (Netlist.vt_of nl id))
+                (Netlist.gate_ids nl)
+            in
+            (r, vts))
+      in
+      let r1, vts1 = run 1 in
+      let r4, vts4 = run 4 in
+      require (vts1 = vts4) "Vt assignment differs between 1 and 4 domains";
+      requiref
+        (r1.Vt_assign.leakage_after = r4.Vt_assign.leakage_after
+        && r1.Vt_assign.accepted = r4.Vt_assign.accepted
+        && r1.Vt_assign.rejected = r4.Vt_assign.rejected
+        && r1.Vt_assign.rounds = r4.Vt_assign.rounds)
+        "report differs between domain counts: %d/%d vs %d/%d swaps"
+        r1.Vt_assign.accepted r1.Vt_assign.rejected r4.Vt_assign.accepted
+        r4.Vt_assign.rejected)
+
+(* (e) the vt.swap fault point is contained: a deterministic Degraded
+   outcome whose netlist keeps the pre-pass assignment and sizing *)
+let () =
+  Prop.register ~max_size:6 ~name:"fault.vt_swap_contained"
+    (Gen.pair spine_and_slack Gen.int64)
+    (fun ((sp, factor), seed) ->
+      let nl, _ = C.build_spine Tech.cmos025 sp in
+      let lib = C.library Tech.cmos025 in
+      let cin0 =
+        List.map (fun id -> (Netlist.node nl id).Netlist.cin)
+          (Netlist.gate_ids nl)
+      in
+      let t0 = Timing.critical_delay (Timing.analyze ~lib nl) in
+      let tc = factor *. t0 in
+      match
+        Fault.with_spec
+          (Printf.sprintf "vt.swap,seed=%Ld" seed)
+          (fun () -> Flow.optimize_o ~vt_assign:true ~max_rounds:3 ~lib ~tc nl)
+      with
+      | Outcome.Failed diag ->
+        Prop.failf "vt.swap escalated to Failed: %s" (Diag.one_line diag)
+      | Outcome.Exact _ ->
+        Prop.failf "vt.swap fired (prob 1) yet the run is Exact"
+      | Outcome.Degraded (r, diags) ->
+        require
+          (has_code Diag.Fault_injected diags)
+          "aborted vt pass left no fault-injected diagnostic";
+        (match r.Flow.vt with
+        | None -> Prop.failf "vt_assign:true returned no vt report"
+        | Some v ->
+          requiref (v.Vt_assign.accepted = 0)
+            "aborted pass reports %d accepted swaps" v.Vt_assign.accepted;
+          requiref (v.Vt_assign.leakage_after = v.Vt_assign.leakage_before)
+            "aborted pass changed leakage: %.17g -> %.17g"
+            v.Vt_assign.leakage_before v.Vt_assign.leakage_after);
+        List.iter
+          (fun id ->
+            require
+              (Vt.equal (Netlist.vt_of nl id) Vt.Lvt)
+              "aborted pass left a promoted gate behind")
+          (Netlist.gate_ids nl);
+        (* tc >= the initial delay, so the sizing loop is a no-op and the
+           rewind trail is the whole story: sizes must be untouched *)
+        let cin1 =
+          List.map (fun id -> (Netlist.node nl id).Netlist.cin)
+            (Netlist.gate_ids nl)
+        in
+        require (cin0 = cin1) "aborted vt pass modified the sizing")
 
 let () = Prop.main ()

@@ -10,8 +10,30 @@ open Pops_check
 module C = Circuit
 module Rng = Pops_util.Rng
 module Tech = Pops_process.Tech
+module Vt = Pops_process.Vt
 module Path = Pops_delay.Path
 module Transient = Pops_spice.Transient
+
+(* one measured band: sweep [cases] sanitized chains drawn from [seed]'s
+   stream, building the path with [mk] (plain or per-Vt), and return the
+   observed sim/model total-delay ratio range widened by a safety margin
+   of 5% of the band centre on each side, floored at +-0.02 *)
+let band ~cases ~seed ~tech mk =
+  let rng = Rng.of_string seed in
+  let lo = ref infinity and hi = ref neg_infinity in
+  for i = 1 to cases do
+    let size = 1 + (i * 19 / cases) in
+    let s = C.sanitize_spice (C.spice_chain.Gen.gen rng size) in
+    let s = { s with C.p_tech = tech } in
+    let p = mk s in
+    let x = Path.clamp_sizing p (C.sizing s) in
+    let sim = Transient.simulate_path ~steps_per_stage:500 p x in
+    let ratio = sim.Transient.total_delay /. Path.delay p x in
+    if ratio < !lo then lo := ratio;
+    if ratio > !hi then hi := ratio
+  done;
+  let margin = Float.max 0.02 (0.05 *. ((!lo +. !hi) /. 2.)) in
+  (!lo -. margin, !hi +. margin)
 
 let () =
   let cases = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200 in
@@ -21,22 +43,29 @@ let () =
     "# regenerate: dune exec test/spice_measure.exe -- %d > test/spice_tolerances.golden\n"
     cases;
   Printf.printf "# <technology> <lo> <hi>\n";
+  Printf.printf "# <technology>.<vt-class> <lo> <hi> <leak-factor>\n";
   Array.iter
     (fun tech ->
-      let rng = Rng.of_string ("spice-measure-" ^ tech.Tech.name) in
-      let lo = ref infinity and hi = ref neg_infinity in
-      for i = 1 to cases do
-        let size = 1 + (i * 19 / cases) in
-        let s = C.sanitize_spice (C.spice_chain.Gen.gen rng size) in
-        let s = { s with C.p_tech = tech } in
-        let p = C.to_path s in
-        let x = Path.clamp_sizing p (C.sizing s) in
-        let sim = Transient.simulate_path ~steps_per_stage:500 p x in
-        let ratio = sim.Transient.total_delay /. Path.delay p x in
-        if ratio < !lo then lo := ratio;
-        if ratio > !hi then hi := ratio
-      done;
-      (* widen by 5% of the band centre on each side, floored at ±0.02 *)
-      let margin = Float.max 0.02 (0.05 *. ((!lo +. !hi) /. 2.)) in
-      Printf.printf "%s %.3f %.3f\n" tech.Tech.name (!lo -. margin) (!hi +. margin))
+      let lo, hi =
+        band ~cases ~seed:("spice-measure-" ^ tech.Tech.name) ~tech C.to_path
+      in
+      Printf.printf "%s %.3f %.3f\n" tech.Tech.name lo hi)
+    C.technologies;
+  (* per-Vt-class rows: the simulator sees the class's threshold shift
+     through the path's tech record, the model through the Vt-variant
+     cells; the fourth column locks the class's leakage multiplier
+     (transistors cut off cleanly in the simulator, so subthreshold
+     leakage is checked at the model level, not differentially) *)
+  Array.iter
+    (fun tech ->
+      Array.iter
+        (fun vt ->
+          let seed =
+            Printf.sprintf "spice-measure-%s-%s" tech.Tech.name (Vt.name vt)
+          in
+          let lo, hi = band ~cases ~seed ~tech (fun s -> C.to_vt_path s vt) in
+          Printf.printf "%s.%s %.3f %.3f %.6g\n" tech.Tech.name (Vt.name vt) lo
+            hi
+            (Tech.vt_leak_factor tech vt))
+        Vt.all)
     C.technologies

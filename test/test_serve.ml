@@ -114,6 +114,7 @@ let mk_job ~seq ?(tenant = "default") ?(action = Job.Analyze) ?tc_ratio
     tc_ratio;
     max_rounds;
     k_paths = None;
+    vt_assign = false;
   }
 
 (* a small mixed stream over distinct netlists: analyze and optimize,
