@@ -559,6 +559,9 @@ let bench_file_cmd =
 
 module Engine = Pops_serve.Engine
 module Server = Pops_serve.Server
+module Session = Pops_serve.Session
+module Listener = Pops_serve.Listener
+module Sjson = Pops_serve.Json
 
 let engine_config window tenant_sweeps job_sweeps job_wall_ms cache_cap
     bounds_cache no_times =
@@ -611,28 +614,260 @@ let no_summary_arg =
   Arg.(value & flag & info [ "no-summary" ]
          ~doc:"Do not append the summary line at end of stream.")
 
+let idle_timeout_arg =
+  Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SECONDS"
+         ~doc:"Close an idle stream/connection after this many seconds \
+               without traffic (deadline-exceeded diagnostic; clean exit).")
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Listen on a Unix domain socket instead of stdio. A stale \
+               socket file left by a killed server is cleaned up; a live \
+               one is an error.")
+
+let listen_arg =
+  Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT"
+         ~doc:"Listen on a TCP address instead of stdio (port 0 picks a \
+               free port, reported on stderr).")
+
+let queue_limit_arg =
+  Arg.(value & opt int Session.default_config.Session.queue_limit
+       & info [ "queue-limit" ] ~docv:"N"
+           ~doc:"Per-session bound on decoded jobs waiting to run; further \
+                 requests are shed with a typed $(i,overloaded) result \
+                 carrying a retry_after_ms hint.")
+
+let max_sessions_arg =
+  Arg.(value & opt int Listener.default_config.Listener.max_sessions
+       & info [ "max-sessions" ] ~docv:"N"
+           ~doc:"Concurrent-connection cap; beyond it new connections wait \
+                 in the kernel backlog (backpressure).")
+
+let retry_after_ms_arg =
+  Arg.(value & opt int Session.default_config.Session.retry_after_ms
+       & info [ "retry-after-ms" ] ~docv:"MS"
+           ~doc:"Retry hint carried by shed (overloaded) results.")
+
+let parse_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> Error (s ^ ": expected HOST:PORT")
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 -> Ok (host, p)
+    | _ -> Error (port ^ ": not a port number"))
+
+let run_listener engine ~listener_config address =
+  match Listener.create ~config:listener_config ~log:report_diag engine address
+  with
+  | Error e ->
+    prerr_endline ("pops: " ^ e);
+    exit_invalid
+  | Ok l ->
+    (* a vanished client must surface as a classified write error on its
+       own session, never as a process-killing SIGPIPE *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let drain = Sys.Signal_handle (fun _ -> Listener.request_drain l) in
+    Sys.set_signal Sys.sigterm drain;
+    Sys.set_signal Sys.sigint drain;
+    Printf.eprintf "pops: listening on %s\n%!"
+      (Listener.address_name (Listener.address l));
+    Listener.run l
+
 let run_serve window tenant_sweeps job_sweeps job_wall_ms cache_cap bounds_cache
-    no_times no_summary =
+    no_times no_summary socket listen idle_timeout queue_limit max_sessions
+    retry_after_ms =
   guard @@ fun () ->
   let config =
     engine_config window tenant_sweeps job_sweeps job_wall_ms cache_cap
       bounds_cache no_times
   in
   let engine = Engine.create ~config tech in
-  Server.serve engine ~summary:(not no_summary) Unix.stdin stdout
+  match (socket, listen) with
+  | Some _, Some _ ->
+    prerr_endline "pops: give --socket or --listen, not both";
+    exit_invalid
+  | None, None ->
+    Server.serve engine ~summary:(not no_summary) ?idle_timeout ~log:report_diag
+      Unix.stdin stdout
+  | _ -> (
+    let session =
+      { Session.queue_limit; idle_timeout; retry_after_ms;
+        summary = not no_summary }
+    in
+    let listener_config = { Listener.max_sessions; session } in
+    let address =
+      match (socket, listen) with
+      | Some path, None -> Ok (Listener.Unix_socket path)
+      | None, Some hp ->
+        Result.map (fun (h, p) -> Listener.Tcp (h, p)) (parse_hostport hp)
+      | _ -> assert false
+    in
+    match address with
+    | Error e ->
+      prerr_endline ("pops: " ^ e);
+      exit_invalid
+    | Ok address -> run_listener engine ~listener_config address)
 
 let serve_cmd =
-  let doc = "Serve optimization jobs from an NDJSON stream (stdin -> stdout)" in
+  let doc =
+    "Serve optimization jobs from an NDJSON stream (stdio, Unix socket or TCP)"
+  in
   Cmd.v (Cmd.info "serve" ~doc
            ~man:[ `S Manpage.s_description;
                   `P "Long-lived multi-tenant job engine: one JSON request per \
                       input line, one result per output line in submission \
                       order, batched across the domain pool with per-tenant \
-                      budgets and cross-request netlist caching. See \
-                      docs/serving.md for the schema." ])
+                      budgets and cross-request netlist caching. With \
+                      $(b,--socket) or $(b,--listen) it becomes a supervised \
+                      listener: each connection is an isolated session with \
+                      its own deadlines, bounded queue and summary line, and \
+                      SIGTERM drains in-flight work before exiting 0. See \
+                      docs/serving.md for the schema and the ops contract." ])
     Term.(const run_serve $ window_arg $ tenant_sweeps_arg $ job_sweeps_arg
           $ job_wall_ms_arg $ cache_cap_arg $ bounds_cache_arg $ no_times_arg
-          $ no_summary_arg)
+          $ no_summary_arg $ socket_arg $ listen_arg $ idle_timeout_arg
+          $ queue_limit_arg $ max_sessions_arg $ retry_after_ms_arg)
+
+(* ------------------------------------------------------------------ *)
+(* client: stream stdin to a listener and report the worst exit        *)
+(* ------------------------------------------------------------------ *)
+
+let exit_of_status_name = function
+  | "ok" | "degraded" -> 0
+  | "unmet" | "rejected" | "overloaded" -> 1
+  | "invalid" -> 2
+  | "failed" -> 3
+  | _ -> 0
+
+(* the per-line worst-exit bookkeeping mirrors Job.exit_of_status on
+   the server side; the summary line's worst_exit field wins when
+   present so a --no-times stream still exits faithfully *)
+let client_line_exit line =
+  match Sjson.parse line with
+  | Error _ -> 0
+  | Ok (Sjson.Obj fields) -> (
+    match List.assoc_opt "summary" fields with
+    | Some (Sjson.Bool true) -> (
+      match List.assoc_opt "worst_exit" fields with
+      | Some (Sjson.Num e) -> int_of_float e
+      | _ -> 0)
+    | _ -> (
+      match List.assoc_opt "exit" fields with
+      | Some (Sjson.Num e) -> int_of_float e
+      | _ -> (
+        match List.assoc_opt "status" fields with
+        | Some (Sjson.Str s) -> exit_of_status_name s
+        | _ -> 0)))
+  | Ok _ -> 0
+
+let run_client socket connect =
+  guard @@ fun () ->
+  let addr =
+    match (socket, connect) with
+    | Some path, None -> Ok (Unix.ADDR_UNIX path)
+    | None, Some hp ->
+      Result.bind (parse_hostport hp) (fun (host, port) ->
+          match
+            try Ok (Unix.inet_addr_of_string host)
+            with Failure _ -> (
+              match Unix.gethostbyname host with
+              | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+                Error (host ^ ": unknown host")
+              | h -> Ok h.Unix.h_addr_list.(0))
+          with
+          | Ok a -> Ok (Unix.ADDR_INET (a, port))
+          | Error e -> Error e)
+    | _ -> Error "give exactly one of --socket PATH or --connect HOST:PORT"
+  in
+  match addr with
+  | Error e ->
+    prerr_endline ("pops: " ^ e);
+    exit_invalid
+  | Ok addr -> (
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fd =
+      Unix.socket ~cloexec:true
+        (Unix.domain_of_sockaddr addr)
+        Unix.SOCK_STREAM 0
+    in
+    match Unix.connect fd addr with
+    | exception Unix.Unix_error (e, _, _) ->
+      prerr_endline ("pops: connect: " ^ Unix.error_message e);
+      exit_invalid
+    | () ->
+      let input = In_channel.input_all stdin in
+      let rec send pos =
+        if pos < String.length input then
+          send (pos + Unix.write_substring fd input pos (String.length input - pos))
+      in
+      send 0;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let buf = Bytes.create 65536 in
+      let acc = Buffer.create 4096 in
+      let worst = ref 0 in
+      let received = ref false in
+      let rec pop_lines () =
+        let s = Buffer.contents acc in
+        match String.index_opt s '\n' with
+        | None -> ()
+        | Some i ->
+          let line = String.sub s 0 i in
+          Buffer.clear acc;
+          Buffer.add_substring acc s (i + 1) (String.length s - i - 1);
+          print_endline line;
+          received := true;
+          worst := max !worst (client_line_exit line);
+          pop_lines ()
+      in
+      let rec recv () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes acc buf 0 n;
+          pop_lines ();
+          recv ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv ()
+        | exception Unix.Unix_error (e, _, _) ->
+          prerr_endline ("pops: read: " ^ Unix.error_message e);
+          worst := max !worst exit_internal
+      in
+      recv ();
+      pop_lines ();
+      if Buffer.length acc > 0 then begin
+        received := true;
+        print_endline (Buffer.contents acc)
+      end;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      flush stdout;
+      (* a session the server killed before answering anything (e.g. an
+         injected write fault) must not look like success *)
+      if (not !received) && String.trim input <> "" then begin
+        prerr_endline "pops: connection closed with no response";
+        exit_internal
+      end
+      else !worst)
+
+let client_cmd =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Connect to a Unix domain socket listener.")
+  in
+  let connect =
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT"
+           ~doc:"Connect to a TCP listener.")
+  in
+  let doc = "Send an NDJSON job stream to a pops listener" in
+  Cmd.v (Cmd.info "client" ~doc
+           ~man:[ `S Manpage.s_description;
+                  `P "Streams stdin to a $(b,pops serve --socket/--listen) \
+                      server, prints the result lines, and exits with the \
+                      worst per-job code (the same contract as $(b,pops \
+                      optimize --jobs)). Used by the test suite and handy \
+                      for scripted probes: echo '{\"action\":\"health\"}' | \
+                      pops client --socket /run/pops.sock." ])
+    Term.(const run_client $ socket $ connect)
 
 (* one-shot mode: generate a scale benchmark circuit and close timing on
    it with the incremental flow — the full-chip loop without needing a
@@ -726,6 +961,7 @@ let main_cmd =
   let doc = "POPS - low-power oriented CMOS circuit optimization (DATE 2005 reproduction)" in
   Cmd.group (Cmd.info "pops" ~version:"1.0.0" ~doc)
     [ tmin_cmd; size_cmd; flimit_cmd; protocol_cmd; curve_cmd; circuit_cmd;
-      simulate_cmd; flow_cmd; bench_file_cmd; serve_cmd; optimize_cmd ]
+      simulate_cmd; flow_cmd; bench_file_cmd; serve_cmd; client_cmd;
+      optimize_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -16,6 +16,9 @@ type code =
   | Invalid_input
   | Constraint_infeasible
   | Admission_rejected
+  | Overloaded
+  | Deadline_exceeded
+  | Net_error
   | Pool_task_failed
   | Fault_injected
   | Internal
@@ -46,6 +49,9 @@ let code_name = function
   | Invalid_input -> "invalid-input"
   | Constraint_infeasible -> "constraint-infeasible"
   | Admission_rejected -> "admission-rejected"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Net_error -> "net-error"
   | Pool_task_failed -> "pool-task-failed"
   | Fault_injected -> "fault-injected"
   | Internal -> "internal"
@@ -54,7 +60,7 @@ let default_severity = function
   | Netlist_zero_fanout | Solver_fallback | Bracket_collapse -> Warning
   | Fault_injected -> Info
   | Solver_divergence | Solver_nonfinite | Solver_stalled | Budget_exceeded
-  | Pool_task_failed -> Warning
+  | Overloaded | Deadline_exceeded | Net_error | Pool_task_failed -> Warning
   | Netlist_cycle | Netlist_dangling | Netlist_bad_cin | Bench_syntax
   | Bench_truncated | Invalid_input | Constraint_infeasible
   | Admission_rejected | Internal -> Error
@@ -65,10 +71,11 @@ let default_severity = function
 let classify = function
   | Netlist_cycle | Netlist_dangling | Netlist_bad_cin | Bench_syntax
   | Bench_truncated | Invalid_input -> `Invalid_input
-  | Constraint_infeasible | Admission_rejected -> `Constraint
+  | Constraint_infeasible | Admission_rejected | Overloaded -> `Constraint
   | Solver_divergence | Solver_nonfinite | Solver_stalled | Solver_fallback
   | Bracket_collapse | Budget_exceeded | Netlist_zero_fanout
-  | Pool_task_failed | Fault_injected -> `Degradation
+  | Deadline_exceeded | Net_error | Pool_task_failed | Fault_injected ->
+    `Degradation
   | Internal -> `Internal
 
 let default_hint = function
@@ -84,6 +91,10 @@ let default_hint = function
     Some "Tc is below Tmin: apply structure modification (pops protocol)"
   | Admission_rejected ->
     Some "the tenant's serve budget is exhausted: raise --tenant-sweeps or spread the jobs"
+  | Overloaded ->
+    Some "the server shed this job under load: retry after the hinted delay"
+  | Deadline_exceeded ->
+    Some "the connection sat idle past --idle-timeout; reconnect to continue"
   | _ -> None
 
 let make ?severity ?subject ?hint code message =

@@ -28,6 +28,16 @@ type code =
   | Admission_rejected
       (** a serve-mode job was refused at admission: its tenant's
           aggregate budget is exhausted (the job never ran) *)
+  | Overloaded
+      (** the server shed this job under load (bounded in-flight queue
+          full, or session table full); the result carries a
+          [retry_after_ms] hint and the job never ran *)
+  | Deadline_exceeded
+      (** a connection sat idle (or failed to drain its responses)
+          past the configured idle deadline and was closed *)
+  | Net_error
+      (** a connection-level I/O failure (reset, broken pipe, refused
+          accept); degrades only that session *)
   | Pool_task_failed  (** a contained domain task raised *)
   | Fault_injected  (** an injection point fired (testing only) *)
   | Internal  (** invariant violation inside the engine *)

@@ -30,6 +30,10 @@ let points =
     "pool.raise";
     "bench.truncate";
     "vt.swap";
+    "net.accept";
+    "net.read";
+    "net.write";
+    "net.stall";
   ]
 
 (* --- hashing --------------------------------------------------------- *)

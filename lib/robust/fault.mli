@@ -3,7 +3,10 @@
     The engine carries a small, closed set of named injection points
     ({!points}): force a solver rung to diverge, poison an iterate with
     NaN, raise inside a pool task, truncate a [.bench] mid-statement,
-    abort the multi-Vt swap loop.
+    abort the multi-Vt swap loop, or break the socket listener's
+    connection lifecycle ([net.accept] refuses a fresh connection,
+    [net.read] / [net.write] fail a session's I/O, [net.stall] freezes
+    a session until its idle deadline trips).
     A {e spec} arms a subset of them:
 
     {v entry  ::= point [ "@" prob ] | "seed=" int64

@@ -146,7 +146,31 @@ let source_text (job : Job.t) =
     | exception Sys_error e ->
       Error (Diag.makef Diag.Invalid_input "cannot read netlist file: %s" e))
 
+let lru_stats_json (s : Pops_util.Lru.stats) =
+  Json.Obj
+    [ ("hits", Json.Num (float_of_int s.Pops_util.Lru.hits));
+      ("misses", Json.Num (float_of_int s.Pops_util.Lru.misses));
+      ("evictions", Json.Num (float_of_int s.Pops_util.Lru.evictions));
+      ("length", Json.Num (float_of_int s.Pops_util.Lru.length)) ]
+
+(* the readiness probe: engine/cache/pool state, served at intake so it
+   can never be starved by a tenant budget or a crashed job — a health
+   line is a pure function of the engine state at its stream position *)
+let health_metrics t =
+  [ ("health", Json.Bool true);
+    ("jobs", Json.Num (float_of_int t.jobs_run));
+    ("window", Json.Num (float_of_int t.config.window));
+    ("domains", Json.Num (float_of_int (Pool.default_size ())));
+    ("netlist_cache", lru_stats_json (Cache.stats t.cache));
+    ("bounds_cache", lru_stats_json (Bounds.cache_stats ())) ]
+
 let admit t (job : Job.t) =
+  if job.Job.action = Job.Health then
+    Done
+      { Job.seq = job.Job.seq; id = job.Job.id; tenant = job.Job.tenant;
+        status = Job.Ok_; cache = `None; metrics = health_metrics t;
+        diags = []; ms = 0. }
+  else
   let tn = tenant_of t job.Job.tenant in
   if Budget.exhausted tn.budget then begin
     tn.rejected <- tn.rejected + 1;
@@ -279,6 +303,9 @@ let exec t prepared =
       | Job.Analyze -> exec_analyze t r.job r.nl r.parse_diags
       | Job.Optimize ->
         exec_optimize t r.job ~budget:r.budget r.nl r.names r.parse_diags
+      | Job.Health ->
+        (* health probes are answered at intake, never prepared *)
+        (Job.Ok_, health_metrics t, [])
     in
     {
       Job.seq = r.job.Job.seq;
@@ -318,6 +345,9 @@ let count t (r : Job.result) =
   | Job.Degraded -> c.degraded <- c.degraded + 1
   | Job.Unmet -> c.unmet <- c.unmet + 1
   | Job.Rejected -> c.rejected <- c.rejected + 1
+  (* transport-level sheds never pass through the engine; counted with
+     rejections if one ever does *)
+  | Job.Overloaded -> c.rejected <- c.rejected + 1
   | Job.Invalid -> c.invalid <- c.invalid + 1
   | Job.Failed -> c.failed <- c.failed + 1
 
@@ -352,13 +382,6 @@ let run_job t job =
 (* ------------------------------------------------------------------ *)
 (* summary                                                             *)
 (* ------------------------------------------------------------------ *)
-
-let lru_stats_json (s : Pops_util.Lru.stats) =
-  Json.Obj
-    [ ("hits", Json.Num (float_of_int s.Pops_util.Lru.hits));
-      ("misses", Json.Num (float_of_int s.Pops_util.Lru.misses));
-      ("evictions", Json.Num (float_of_int s.Pops_util.Lru.evictions));
-      ("length", Json.Num (float_of_int s.Pops_util.Lru.length)) ]
 
 let summary_json t =
   let c = t.counters in

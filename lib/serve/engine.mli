@@ -63,7 +63,9 @@ val run_batch : t -> Job.t list -> Job.result list
 (** Admit, execute and account one batch (callers should respect
     [config.window]; the engine does not split oversized batches).
     Results are in submission order, one per job, always — rejection,
-    invalid input and crashes are result lines, never exceptions. *)
+    invalid input and crashes are result lines, never exceptions.
+    [Health] jobs are answered at intake (engine/cache/pool state) and
+    can never be starved by a tenant budget or another job's crash. *)
 
 val run_job : t -> Job.t -> Job.result
 (** A batch of one. *)

@@ -1,7 +1,7 @@
 module Diag = Pops_robust.Diag
 
 type source = Inline of string | File of string
-type action = Analyze | Optimize
+type action = Analyze | Optimize | Health
 
 type t = {
   seq : int;
@@ -31,6 +31,16 @@ let of_json ~seq json =
       let str k = Option.bind (Json.member k json) Json.to_str in
       let num k = Option.bind (Json.member k json) Json.to_float in
       let int k = Option.bind (Json.member k json) Json.to_int in
+      let action =
+        match Json.member "action" json with
+        | None -> Ok Optimize
+        | Some (Json.Str "analyze") -> Ok Analyze
+        | Some (Json.Str "optimize") -> Ok Optimize
+        | Some (Json.Str "health") -> Ok Health
+        | Some (Json.Str s) ->
+          Error (Printf.sprintf "unknown action %S (analyze | optimize | health)" s)
+        | Some _ -> Error "\"action\" must be a string"
+      in
       let source =
         match (str "bench", str "bench_file") with
         | Some text, None -> Ok (Inline text)
@@ -39,16 +49,10 @@ let of_json ~seq json =
         | None, None ->
           if Json.member "bench" json <> None || Json.member "bench_file" json <> None
           then Error "\"bench\" / \"bench_file\" must be strings"
+          else if action = Ok Health then
+            (* a health probe carries no netlist *)
+            Ok (Inline "")
           else Error "a netlist is required: \"bench\" or \"bench_file\""
-      in
-      let action =
-        match Json.member "action" json with
-        | None -> Ok Optimize
-        | Some (Json.Str "analyze") -> Ok Analyze
-        | Some (Json.Str "optimize") -> Ok Optimize
-        | Some (Json.Str s) ->
-          Error (Printf.sprintf "unknown action %S (analyze | optimize)" s)
-        | Some _ -> Error "\"action\" must be a string"
       in
       match (source, action) with
       | Error e, _ | _, Error e -> Error e
@@ -71,7 +75,7 @@ let of_json ~seq json =
           })
   | _ -> Error "a job request must be a JSON object"
 
-type status = Ok_ | Degraded | Unmet | Rejected | Invalid | Failed
+type status = Ok_ | Degraded | Unmet | Rejected | Overloaded | Invalid | Failed
 
 type result = {
   seq : int;
@@ -89,15 +93,16 @@ let status_name = function
   | Degraded -> "degraded"
   | Unmet -> "unmet"
   | Rejected -> "rejected"
+  | Overloaded -> "overloaded"
   | Invalid -> "invalid"
   | Failed -> "failed"
 
 (* the PR 5 contract: 0 success (possibly degraded), 1 constraint (an
-   admission rejection is a resource constraint), 2 invalid input, 3
-   internal error *)
+   admission rejection or a load-shed is a resource constraint), 2
+   invalid input, 3 internal error *)
 let exit_of_status = function
   | Ok_ | Degraded -> 0
-  | Unmet | Rejected -> 1
+  | Unmet | Rejected | Overloaded -> 1
   | Invalid -> 2
   | Failed -> 3
 

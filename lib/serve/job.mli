@@ -12,6 +12,9 @@ type source =
 type action =
   | Analyze  (** parse, validate, STA, power — no mutation *)
   | Optimize  (** the full timing-closure flow ({!Pops_flow.Flow}) *)
+  | Health
+      (** readiness probe: report engine/cache/pool state without
+          touching a netlist ([source] is an empty [Inline]) *)
 
 type t = {
   seq : int;  (** submission index, assigned by the intake loop *)
@@ -44,6 +47,9 @@ type status =
   | Degraded  (** usable result, quality diagnostics attached *)
   | Unmet  (** ran to completion but the constraint is not met *)
   | Rejected  (** refused at admission (tenant budget) — never ran *)
+  | Overloaded
+      (** shed by the transport under load (bounded in-flight queue);
+          never ran — the result carries a [retry_after_ms] metric *)
   | Invalid  (** malformed request or netlist *)
   | Failed  (** the job's task crashed; other jobs are unaffected *)
 

@@ -1,0 +1,257 @@
+module Diag = Pops_robust.Diag
+module Fault = Pops_robust.Fault
+module Fdx = Pops_util.Fdx
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_name = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+type config = { max_sessions : int; session : Session.config }
+
+let default_config = { max_sessions = 64; session = Session.default_config }
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  log : Diag.t -> unit;
+  listen_fd : Unix.file_descr;
+  address : address;  (* resolved: TCP port 0 becomes the bound port *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  draining : bool Atomic.t;
+  mutable sessions : Session.t list;  (* in accept order *)
+  mutable next_id : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* binding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* a socket file left behind by a killed listener must not wedge the
+   next start — but only provably-stale files are removed: the path
+   must be a socket, and a probe connect must be refused *)
+let cleanup_stale path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> Error (Printf.sprintf "%s: a listener is already serving" path)
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "%s: cannot probe stale socket: %s" path
+             (Unix.error_message e))
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    verdict)
+  | _ -> Error (Printf.sprintf "%s exists and is not a socket" path)
+
+let bind_listen fd sockaddr resolved =
+  match
+    Unix.bind fd sockaddr;
+    Unix.listen fd 64
+  with
+  | () -> Ok (fd, resolved fd)
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+
+let bind_unix path =
+  match cleanup_stale path with
+  | Error e -> Error e
+  | Ok () ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match bind_listen fd (Unix.ADDR_UNIX path) (fun _ -> Unix_socket path) with
+    | Ok _ as ok -> ok
+    | Error e -> Error (Printf.sprintf "cannot bind %s: %s" path e))
+
+let bind_tcp host port =
+  let addr =
+    try Ok (Unix.inet_addr_of_string host)
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        Error (Printf.sprintf "%s: unknown host" host)
+      | h -> Ok h.Unix.h_addr_list.(0))
+  in
+  match addr with
+  | Error e -> Error e
+  | Ok addr ->
+    let sockaddr = Unix.ADDR_INET (addr, port) in
+    let fd =
+      Unix.socket ~cloexec:true
+        (Unix.domain_of_sockaddr sockaddr)
+        Unix.SOCK_STREAM 0
+    in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let resolved fd =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> Tcp (host, p)
+      | _ -> Tcp (host, port)
+    in
+    (match bind_listen fd sockaddr resolved with
+    | Ok _ as ok -> ok
+    | Error e -> Error (Printf.sprintf "cannot bind %s:%d: %s" host port e))
+
+let create ?(config = default_config) ~log engine address =
+  let bound =
+    match address with
+    | Unix_socket path -> bind_unix path
+    | Tcp (host, port) -> bind_tcp host port
+  in
+  match bound with
+  | Error e -> Error e
+  | Ok (listen_fd, resolved) ->
+    Fdx.set_nonblock listen_fd;
+    let wake_r, wake_w = Fdx.pipe_self () in
+    Ok
+      {
+        engine;
+        config;
+        log;
+        listen_fd;
+        address = resolved;
+        wake_r;
+        wake_w;
+        draining = Atomic.make false;
+        sessions = [];
+        next_id = 0;
+      }
+
+let address t = t.address
+
+(* safe from a signal handler or another domain: one atomic store and
+   one self-pipe write *)
+let request_drain t =
+  Atomic.set t.draining true;
+  Fdx.notify t.wake_w
+
+(* ------------------------------------------------------------------ *)
+(* the event loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let accept_burst t =
+  let rec go () =
+    if
+      (not (Atomic.get t.draining))
+      && List.length t.sessions < t.config.max_sessions
+    then
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | fd, _peer ->
+        t.next_id <- t.next_id + 1;
+        let peer = Printf.sprintf "client-%d" t.next_id in
+        if Fault.fire "net.accept" then begin
+          (* the connection is dropped, the listener is not *)
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          t.log
+            (Diag.makef ~subject:peer Diag.Net_error
+               "injected accept failure (net.accept): connection dropped")
+        end
+        else begin
+          let s =
+            Session.create ~id:t.next_id ~peer ~log:t.log
+              ~config:t.config.session t.engine fd
+          in
+          t.sessions <- t.sessions @ [ s ]
+        end;
+        go ()
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+        t.log
+          (Diag.makef Diag.Net_error "accept failed: %s" (Unix.error_message e))
+  in
+  go ()
+
+let prune t =
+  t.sessions <- List.filter (fun s -> not (Session.closed s)) t.sessions
+
+(* run every queued job before going back to sleep: one engine window
+   per runnable session per pass, round-robin in accept order, flushing
+   as results land — select never blocks while work is waiting *)
+let work t =
+  let rec go () =
+    if not (Atomic.get t.draining) then begin
+      let runnable = List.filter Session.runnable t.sessions in
+      if runnable <> [] then begin
+        List.iter
+          (fun s ->
+            Session.step s;
+            Session.flush s)
+          runnable;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let drain t =
+  (* stop accepting first, so "drain" is observable as a refused
+     connect, then let every session run its queue to completion under
+     the engine's per-job budgets *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.address with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  List.iter (fun s -> Session.finish s) t.sessions;
+  t.sessions <- [];
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+  0
+
+let run t =
+  let rec loop () =
+    prune t;
+    work t;
+    prune t;
+    if Atomic.get t.draining then drain t
+    else begin
+      let accept_ok = List.length t.sessions < t.config.max_sessions in
+      let read =
+        (t.wake_r :: (if accept_ok then [ t.listen_fd ] else []))
+        @ List.filter_map
+            (fun s -> if Session.wants_read s then Some (Session.fd s) else None)
+            t.sessions
+      in
+      let write =
+        List.filter_map
+          (fun s -> if Session.wants_write s then Some (Session.fd s) else None)
+          t.sessions
+      in
+      let deadline =
+        List.fold_left
+          (fun acc s ->
+            match (Session.deadline s, acc) with
+            | Some d, Some a -> Some (min a d)
+            | Some d, None -> Some d
+            | None, acc -> acc)
+          None t.sessions
+      in
+      let ready = Fdx.wait ?deadline ~read ~write () in
+      Fdx.drain t.wake_r;
+      if Atomic.get t.draining then drain t
+      else begin
+        if accept_ok && List.memq t.listen_fd ready.Fdx.readable then
+          accept_burst t;
+        List.iter
+          (fun s ->
+            if List.memq (Session.fd s) ready.Fdx.readable then
+              Session.handle_readable s)
+          t.sessions;
+        let now = Fdx.now () in
+        List.iter (fun s -> ignore (Session.expire s ~now)) t.sessions;
+        List.iter
+          (fun s -> if Session.wants_write s then Session.flush s)
+          t.sessions;
+        loop ()
+      end
+    end
+  in
+  loop ()

@@ -1,0 +1,69 @@
+(** The supervised socket front end: many concurrent NDJSON clients,
+    one engine, one thread.
+
+    A single select loop owns every descriptor: the listening socket, a
+    self-pipe for drain wake-ups, and one {!Session} per accepted
+    connection.  The loop blocks until a descriptor is ready or the
+    nearest session deadline passes — it never spins — and runs queued
+    jobs round-robin, one engine window per session per pass, so a
+    firehose client cannot starve the others.
+
+    Isolation contract: each session's result stream is bit-identical
+    (with [times:false]) to running the same request lines through the
+    stdio server against a fresh engine — intake order, sequence
+    numbers and cache transparency are all per-session.  A malformed
+    frame, a killed client, an exhausted deadline or an armed [net.*]
+    fault point closes {e that session only}, re-emitting the typed
+    diagnostic through the log callback in deterministic loop order;
+    the listener keeps serving.
+
+    Lifecycle: {!request_drain} (async-signal-safe; wired to
+    SIGTERM/SIGINT by the CLI) makes {!run} stop accepting, unlink a
+    Unix socket path, run every queued job to completion under the
+    engine's per-job budgets, append each session's summary, flush, and
+    return 0. *)
+
+type address =
+  | Unix_socket of string  (** filesystem path ([--socket PATH]) *)
+  | Tcp of string * int  (** host, port ([--listen HOST:PORT]) *)
+
+val address_name : address -> string
+
+type config = {
+  max_sessions : int;
+      (** accepted-connection cap; at the cap the listener stops
+          watching the accept descriptor (kernel-backlog backpressure)
+          until a session closes *)
+  session : Session.config;  (** applied to every accepted session *)
+}
+
+val default_config : config
+(** 64 sessions, {!Session.default_config} per session. *)
+
+type t
+
+val create :
+  ?config:config ->
+  log:(Pops_robust.Diag.t -> unit) ->
+  Engine.t ->
+  address ->
+  (t, string) result
+(** Bind and listen.  A stale Unix socket file (the path is a socket
+    {e and} a probe connect is refused) is silently removed and rebound;
+    a live listener or a non-socket file at the path is an error.
+    [log] receives every connection-level diagnostic (shed jobs,
+    injected faults, deadline closures, I/O failures) in the
+    deterministic order the loop observed them. *)
+
+val address : t -> address
+(** The bound address — a TCP request for port 0 reports the real
+    kernel-assigned port. *)
+
+val run : t -> int
+(** The event loop; returns the process exit code (0) after a drain.
+    Per-job and per-session failures are result lines and diagnostics,
+    never listener exits. *)
+
+val request_drain : t -> unit
+(** Ask {!run} to drain and return.  One atomic store plus one
+    self-pipe write: safe from a signal handler or another domain. *)

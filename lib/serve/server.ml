@@ -1,3 +1,6 @@
+module Diag = Pops_robust.Diag
+module Fdx = Pops_util.Fdx
+
 module Line_source = struct
   type t = {
     fd : Unix.file_descr;
@@ -39,123 +42,87 @@ module Line_source = struct
       Some line
     end
 
-  let refill t =
-    match Unix.read t.fd chunk 0 (Bytes.length chunk) with
-    | 0 ->
-      t.eof <- true;
-      false
-    | n ->
-      Buffer.add_subbytes t.buf chunk 0 n;
-      true
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+  (* block in select (honouring [deadline]) before the blocking read, so
+     an idle stream times out instead of parking in [Unix.read] forever *)
+  let refill ?deadline t =
+    match Fdx.wait_readable ?deadline t.fd with
+    | `Timeout -> `Timeout
+    | `Ready -> (
+      match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 ->
+        t.eof <- true;
+        `Eof
+      | n ->
+        Buffer.add_subbytes t.buf chunk 0 n;
+        `Bytes
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Bytes)
 
-  let rec next t =
+  let residue_or_eof t =
+    match pop_residue t with Some line -> `Line line | None -> `Eof
+
+  let rec next ?deadline t =
     match pop_line t with
-    | Some _ as line -> line
+    | Some line -> `Line line
     | None ->
-      if t.eof then pop_residue t
-      else if refill t then next t
-      else pop_residue t
-
-  let readable_now fd =
-    match Unix.select [ fd ] [] [] 0. with
-    | [ _ ], _, _ -> true
-    | _ -> false
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      if t.eof then residue_or_eof t
+      else (
+        match refill ?deadline t with
+        | `Bytes -> next ?deadline t
+        | `Eof -> residue_or_eof t
+        | `Timeout -> `Timeout)
 
   let rec next_ready t =
     match pop_line t with
     | Some line -> Some (Some line)
     | None ->
       if t.eof then Some (pop_residue t)
-      else if readable_now t.fd then
-        if refill t then next_ready t else Some (pop_residue t)
+      else if Fdx.readable_now t.fd then (
+        match refill t with
+        | `Bytes -> next_ready t
+        | `Eof -> Some (pop_residue t)
+        | `Timeout -> None)
       else None
 end
 
 (* ------------------------------------------------------------------ *)
 
-(* a line that fails JSON or job decoding still yields a result line in
-   sequence position — the stream never skips or reorders *)
-let decode ~seq line =
-  match Json.parse line with
-  | Error e -> Error (Printf.sprintf "not a JSON object: %s" e)
-  | Ok json -> Job.of_json ~seq json
-
-let bad_line_result ~seq error =
-  {
-    Job.seq;
-    id = Printf.sprintf "job-%d" seq;
-    tenant = "default";
-    status = Job.Invalid;
-    cache = `None;
-    metrics = [ ("error", Json.Str error) ];
-    diags = [];
-    ms = 0.;
-  }
-
-let skippable line =
-  let line = String.trim line in
-  line = "" || line.[0] = '#'
-
-(* run one batch of decoded items: good jobs go through the engine
-   together, bad lines become Invalid results, and the merged output is
-   in submission order *)
-let run_items engine items =
-  let jobs =
-    List.filter_map (function Ok job -> Some job | Error _ -> None) items
-  in
-  let results = Engine.run_batch engine jobs in
-  let rec merge items results =
-    match (items, results) with
-    | [], [] -> []
-    | Error (seq, e) :: items, results ->
-      bad_line_result ~seq e :: merge items results
-    | Ok _ :: items, r :: results -> r :: merge items results
-    | Ok _ :: _, [] | [], _ :: _ -> assert false
-  in
-  merge items results
-
 let emit engine oc results =
-  let times = (Engine.config engine).Engine.times in
-  List.iter
-    (fun r -> output_string oc (Json.to_string (Job.to_json ~times r) ^ "\n"))
-    results;
+  List.iter (fun r -> output_string oc (Session.render engine r)) results;
   flush oc
 
-let worst_exit results =
-  List.fold_left
-    (fun acc r -> max acc (Job.exit_of_status r.Job.status))
-    0 results
-
-(* ------------------------------------------------------------------ *)
-
-let serve engine ?(summary = true) fd oc =
+let serve engine ?(summary = true) ?idle_timeout ?(log = fun _ -> ()) fd oc =
   let window = (Engine.config engine).Engine.window in
   let src = Line_source.of_fd fd in
   let seq = ref 0 in
   let decode_next line =
     let s = !seq in
     incr seq;
-    match decode ~seq:s line with Ok j -> Ok j | Error e -> Error (s, e)
+    Session.decode ~seq:s line
   in
+  let deadline () = Option.map (fun s -> Fdx.now () +. s) idle_timeout in
   (* one batch: block for a first line, then drain what is already
      pending up to the window *)
   let rec fill acc n =
     if n >= window then List.rev acc
     else
       match Line_source.next_ready src with
-      | Some (Some line) when skippable line -> fill acc n
+      | Some (Some line) when Session.skippable line -> fill acc n
       | Some (Some line) -> fill (decode_next line :: acc) (n + 1)
       | Some None | None -> List.rev acc
   in
   let rec loop () =
-    match Line_source.next src with
-    | None -> ()
-    | Some line when skippable line -> loop ()
-    | Some line ->
+    match Line_source.next ?deadline:(deadline ()) src with
+    | `Eof -> ()
+    | `Timeout ->
+      (* same contract as a socket session: an idle stream is closed
+         with a deadline diagnostic, not an error exit *)
+      log
+        (Diag.makef ~subject:"stdin" Diag.Deadline_exceeded
+           "stream idle past the deadline; treating as end of stream")
+    | `Line line when Session.skippable line -> loop ()
+    | `Line line ->
       let items = fill [ decode_next line ] 1 in
-      emit engine oc (run_items engine items);
+      emit engine oc (Session.run_items engine items);
       loop ()
   in
   loop ();
@@ -169,9 +136,8 @@ let run_jobs_file engine ?(summary = false) path oc =
   let window = (Engine.config engine).Engine.window in
   let lines = In_channel.with_open_bin path In_channel.input_lines in
   let items =
-    List.filteri (fun _ line -> not (skippable line)) lines
-    |> List.mapi (fun seq line ->
-           match decode ~seq line with Ok j -> Ok j | Error e -> Error (seq, e))
+    List.filteri (fun _ line -> not (Session.skippable line)) lines
+    |> List.mapi (fun seq line -> Session.decode ~seq line)
   in
   let rec batches items =
     match items with
@@ -189,9 +155,9 @@ let run_jobs_file engine ?(summary = false) path oc =
   let code =
     List.fold_left
       (fun acc batch ->
-        let results = run_items engine batch in
+        let results = Session.run_items engine batch in
         emit engine oc results;
-        max acc (worst_exit results))
+        max acc (Session.worst_exit results))
       0 (batches items)
   in
   if summary then begin

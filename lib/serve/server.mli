@@ -11,7 +11,11 @@
     engine's window.  A client that streams jobs gets window-sized
     batches and full pool fan-out; a client that sends one request and
     waits gets a batch of one and minimum latency — no flags, no
-    timers. *)
+    timers.
+
+    The protocol itself (decoding, batching, rendering, exit codes)
+    lives in {!Session} and is shared with the socket {!Listener}, so
+    the two transports return bit-identical result streams. *)
 
 module Line_source : sig
   (** Buffered line reader over a raw descriptor, with a non-blocking
@@ -23,9 +27,11 @@ module Line_source : sig
 
   val of_fd : Unix.file_descr -> t
 
-  val next : t -> string option
-  (** Blocking read of the next line; [None] at end of stream.  A final
-      unterminated line is returned as a line. *)
+  val next : ?deadline:float -> t -> [ `Line of string | `Eof | `Timeout ]
+  (** Blocking read of the next line.  Blocks in [select]
+      ({!Pops_util.Fdx.wait_readable}) until bytes arrive or the
+      absolute [deadline] passes — never parks in [read] past the
+      deadline.  A final unterminated line is returned as a line. *)
 
   val next_ready : t -> string option option
   (** Non-blocking: [Some (Some line)] when a full line is available
@@ -33,11 +39,21 @@ module Line_source : sig
       would block. *)
 end
 
-val serve : Engine.t -> ?summary:bool -> Unix.file_descr -> out_channel -> int
+val serve :
+  Engine.t ->
+  ?summary:bool ->
+  ?idle_timeout:float ->
+  ?log:(Pops_robust.Diag.t -> unit) ->
+  Unix.file_descr ->
+  out_channel ->
+  int
 (** Run the request loop until end of stream; returns the process exit
     code (0 — per-job failures are result lines, not server failures;
     see docs/serving.md).  [summary] (default true) appends the
-    {!Engine.summary_json} line at shutdown. *)
+    {!Engine.summary_json} line at shutdown.  [idle_timeout] (seconds)
+    closes an idle stream through the same deadline path the socket
+    listener uses: the timeout is treated as end of stream and a
+    [deadline-exceeded] diagnostic goes to [log] (default: dropped). *)
 
 val run_jobs_file :
   Engine.t -> ?summary:bool -> string -> out_channel -> int

@@ -1,0 +1,384 @@
+module Diag = Pops_robust.Diag
+module Fault = Pops_robust.Fault
+module Fdx = Pops_util.Fdx
+
+(* ------------------------------------------------------------------ *)
+(* shared protocol helpers: one implementation for every transport     *)
+(* ------------------------------------------------------------------ *)
+
+type item = (Job.t, int * string) result
+
+let skippable line =
+  let line = String.trim line in
+  line = "" || line.[0] = '#'
+
+(* a line that fails JSON or job decoding still yields a result line in
+   sequence position — the stream never skips or reorders *)
+let decode ~seq line : item =
+  match Json.parse line with
+  | Error e -> Error (seq, Printf.sprintf "not a JSON object: %s" e)
+  | Ok json -> (
+    match Job.of_json ~seq json with
+    | Ok job -> Ok job
+    | Error e -> Error (seq, e))
+
+let bad_line_result ~seq error =
+  {
+    Job.seq;
+    id = Printf.sprintf "job-%d" seq;
+    tenant = "default";
+    status = Job.Invalid;
+    cache = `None;
+    metrics = [ ("error", Json.Str error) ];
+    diags = [];
+    ms = 0.;
+  }
+
+let overloaded_result ~retry_after_ms item =
+  let seq, id, tenant =
+    match item with
+    | Ok (j : Job.t) -> (j.Job.seq, j.Job.id, j.Job.tenant)
+    | Error (seq, _) -> (seq, Printf.sprintf "job-%d" seq, "default")
+  in
+  {
+    Job.seq;
+    id;
+    tenant;
+    status = Job.Overloaded;
+    cache = `None;
+    metrics = [ ("retry_after_ms", Json.Num (float_of_int retry_after_ms)) ];
+    diags =
+      [ Diag.makef Diag.Overloaded
+          "job %s shed: the session's in-flight queue is full" id ];
+    ms = 0.;
+  }
+
+(* run one batch of decoded items: good jobs go through the engine
+   together, bad lines become Invalid results, and the merged output is
+   in submission order *)
+let run_items engine items =
+  let jobs =
+    List.filter_map (function Ok job -> Some job | Error _ -> None) items
+  in
+  let results = Engine.run_batch engine jobs in
+  let rec merge items results =
+    match (items, results) with
+    | [], [] -> []
+    | Error (seq, e) :: items, results ->
+      bad_line_result ~seq e :: merge items results
+    | Ok _ :: items, r :: results -> r :: merge items results
+    | Ok _ :: _, [] | [], _ :: _ -> assert false
+  in
+  merge items results
+
+let render engine r =
+  let times = (Engine.config engine).Engine.times in
+  Json.to_string (Job.to_json ~times r) ^ "\n"
+
+let worst_exit results =
+  List.fold_left
+    (fun acc r -> max acc (Job.exit_of_status r.Job.status))
+    0 results
+
+(* ------------------------------------------------------------------ *)
+(* line buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Linebuf = struct
+  type t = {
+    buf : Buffer.t;
+    mutable scan_from : int;  (* no '\n' in buf before this offset *)
+  }
+
+  let create () = { buf = Buffer.create 4096; scan_from = 0 }
+
+  let push t bytes len = Buffer.add_subbytes t.buf bytes 0 len
+
+  let pop_line t =
+    let s = Buffer.contents t.buf in
+    match String.index_from_opt s t.scan_from '\n' with
+    | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+      t.scan_from <- 0;
+      (* tolerate CRLF clients *)
+      let line =
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      Some line
+    | None ->
+      t.scan_from <- String.length s;
+      None
+
+  let pop_residue t =
+    if Buffer.length t.buf = 0 then None
+    else begin
+      let line = Buffer.contents t.buf in
+      Buffer.clear t.buf;
+      t.scan_from <- 0;
+      Some line
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* the per-connection state machine                                    *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  queue_limit : int;
+  idle_timeout : float option;
+  retry_after_ms : int;
+  summary : bool;
+}
+
+let default_config =
+  { queue_limit = 256; idle_timeout = None; retry_after_ms = 1000;
+    summary = true }
+
+(* a client that sends but never reads must not buffer the server into
+   the ground: past this backlog the session is closed, not grown *)
+let out_limit = 8 * 1024 * 1024
+
+type phase =
+  | Active  (* reading requests *)
+  | Draining  (* client EOF seen; run what is queued, then summarise *)
+  | Finishing  (* everything rendered; flush the backlog, then close *)
+  | Closed
+
+type t = {
+  id : int;
+  sock : Unix.file_descr;
+  peer_label : string;
+  log : Diag.t -> unit;
+  config : config;
+  engine : Engine.t;
+  inbuf : Linebuf.t;
+  chunk : Bytes.t;
+  queue : item Queue.t;
+  outq : Buffer.t;  (* rendered lines not yet moved to [pending] *)
+  mutable pending : Bytes.t;  (* being written *)
+  mutable pos : int;
+  mutable phase : phase;
+  mutable seq : int;
+  mutable jobs : int;  (* results that went through the engine *)
+  mutable shed : int;
+  mutable worst : int;
+  mutable deadline : float option;
+}
+
+let create ~id ~peer ~log ~config engine sock =
+  Fdx.set_nonblock sock;
+  let t =
+    {
+      id;
+      sock;
+      peer_label = peer;
+      log;
+      config;
+      engine;
+      inbuf = Linebuf.create ();
+      chunk = Bytes.create 65536;
+      queue = Queue.create ();
+      outq = Buffer.create 4096;
+      pending = Bytes.empty;
+      pos = 0;
+      phase = Active;
+      seq = 0;
+      jobs = 0;
+      shed = 0;
+      worst = 0;
+      deadline = None;
+    }
+  in
+  (match config.idle_timeout with
+  | Some s -> t.deadline <- Some (Fdx.now () +. s)
+  | None -> ());
+  t
+
+let fd t = t.sock
+let peer t = t.peer_label
+let closed t = t.phase = Closed
+let wants_read t = t.phase = Active
+
+let out_bytes t = Bytes.length t.pending - t.pos + Buffer.length t.outq
+let wants_write t = t.phase <> Closed && out_bytes t > 0
+let deadline t = if t.phase = Closed then None else t.deadline
+
+let touch t =
+  match t.config.idle_timeout with
+  | Some s -> t.deadline <- Some (Fdx.now () +. s)
+  | None -> ()
+
+let net_diag t fmt = Diag.makef ~subject:t.peer_label Diag.Net_error fmt
+
+let close ?diag t =
+  if t.phase <> Closed then begin
+    (match diag with Some d -> t.log d | None -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    t.phase <- Closed
+  end
+
+let emit t r =
+  t.worst <- max t.worst (Job.exit_of_status r.Job.status);
+  Buffer.add_string t.outq (render t.engine r);
+  if out_bytes t > out_limit then
+    close t
+      ~diag:
+        (net_diag t "response backlog exceeded %d bytes: client is not reading"
+           out_limit)
+
+let intake t line =
+  if not (skippable line) then begin
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    let item = decode ~seq line in
+    if Queue.length t.queue >= t.config.queue_limit then begin
+      (* explicit load-shedding: a typed response with a retry hint
+         instead of a silently growing queue *)
+      t.shed <- t.shed + 1;
+      t.log
+        (Diag.makef ~subject:t.peer_label Diag.Overloaded
+           "shed job seq %d: in-flight queue full at %d" seq
+           t.config.queue_limit);
+      emit t (overloaded_result ~retry_after_ms:t.config.retry_after_ms item)
+    end
+    else Queue.add item t.queue
+  end
+
+let handle_readable t =
+  if t.phase = Active then begin
+    if Fault.fire "net.stall" then begin
+      (* simulate a stalled connection: stop reading and let the idle
+         deadline machinery close the session deterministically *)
+      t.log
+        (Diag.makef ~subject:t.peer_label ~severity:Diag.Info
+           Diag.Fault_injected
+           "net.stall: session frozen until its idle deadline");
+      t.deadline <- Some (Fdx.now () -. 1.)
+    end
+    else if Fault.fire "net.read" then
+      close t ~diag:(net_diag t "injected read failure (net.read)")
+    else begin
+      (* bounded pull per visit so one firehose client cannot starve the
+         other sessions; leftover bytes keep the descriptor readable *)
+      let rec pull budget =
+        if budget = 0 then `More
+        else
+          match Fdx.read t.sock t.chunk with
+          | Fdx.Read n ->
+            Linebuf.push t.inbuf t.chunk n;
+            touch t;
+            pull (budget - 1)
+          | Fdx.Read_blocked -> `Blocked
+          | Fdx.Read_eof -> `Eof
+          | Fdx.Read_closed e -> `Failed e
+      in
+      let verdict = pull 4 in
+      let rec pop () =
+        match Linebuf.pop_line t.inbuf with
+        | Some line ->
+          intake t line;
+          pop ()
+        | None -> ()
+      in
+      pop ();
+      match verdict with
+      | `More | `Blocked -> ()
+      | `Eof ->
+        (* a final unterminated line still counts *)
+        (match Linebuf.pop_residue t.inbuf with
+        | Some line -> intake t line
+        | None -> ());
+        t.phase <- Draining
+      | `Failed e -> close t ~diag:(net_diag t "read failed: %s" e)
+    end
+  end
+
+let summary_line t =
+  Json.to_string
+    (Json.Obj
+       [ ("summary", Json.Bool true);
+         ("jobs", Json.Num (float_of_int t.jobs));
+         ("shed", Json.Num (float_of_int t.shed));
+         ("worst_exit", Json.Num (float_of_int t.worst)) ])
+  ^ "\n"
+
+let runnable t =
+  match t.phase with
+  | Active -> not (Queue.is_empty t.queue)
+  | Draining -> true
+  | Finishing | Closed -> false
+
+let step t =
+  if t.phase = Active || t.phase = Draining then begin
+    if not (Queue.is_empty t.queue) then begin
+      let window = (Engine.config t.engine).Engine.window in
+      let rec take acc n =
+        if n >= window || Queue.is_empty t.queue then List.rev acc
+        else take (Queue.pop t.queue :: acc) (n + 1)
+      in
+      let items = take [] 0 in
+      let results = run_items t.engine items in
+      t.jobs <- t.jobs + List.length results;
+      List.iter (emit t) results
+    end;
+    if t.phase = Draining && Queue.is_empty t.queue then begin
+      if t.config.summary then Buffer.add_string t.outq (summary_line t);
+      t.phase <- Finishing
+    end
+  end
+
+let flush t =
+  if t.phase <> Closed then
+    if out_bytes t > 0 && Fault.fire "net.write" then
+      close t ~diag:(net_diag t "injected write failure (net.write)")
+    else begin
+      let rec go () =
+        if t.phase = Closed then ()
+        else if t.pos < Bytes.length t.pending then
+          match
+            Fdx.write t.sock t.pending t.pos (Bytes.length t.pending - t.pos)
+          with
+          | Fdx.Wrote n ->
+            t.pos <- t.pos + n;
+            touch t;
+            go ()
+          | Fdx.Write_blocked -> ()
+          | Fdx.Write_closed e ->
+            close t ~diag:(net_diag t "write failed: %s" e)
+        else if Buffer.length t.outq > 0 then begin
+          t.pending <- Buffer.to_bytes t.outq;
+          Buffer.clear t.outq;
+          t.pos <- 0;
+          go ()
+        end
+        else if t.phase = Finishing then close t
+      in
+      go ()
+    end
+
+let expire t ~now =
+  match t.deadline with
+  | Some d when t.phase <> Closed && now >= d ->
+    close t
+      ~diag:
+        (Diag.makef ~subject:t.peer_label Diag.Deadline_exceeded
+           "session closed: idle past its deadline");
+    true
+  | _ -> false
+
+let finish t =
+  if t.phase <> Closed then begin
+    if t.phase = Active then t.phase <- Draining;
+    while runnable t do
+      step t
+    done;
+    (* the client may be gone; a blocking flush classifies the failure
+       instead of raising, and close is unconditional *)
+    Fdx.set_block t.sock;
+    flush t;
+    close t
+  end

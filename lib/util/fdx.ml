@@ -1,0 +1,89 @@
+let now () = Unix.gettimeofday ()
+
+type readiness = {
+  readable : Unix.file_descr list;
+  writable : Unix.file_descr list;
+  timed_out : bool;
+}
+
+let rec wait ?deadline ~read ~write () =
+  let timeout =
+    match deadline with
+    | None -> -1. (* block until something is ready *)
+    | Some d -> Float.max 0. (d -. now ())
+  in
+  match Unix.select read write [] timeout with
+  | [], [], _ when timeout >= 0. && read = [] && write = [] ->
+    { readable = []; writable = []; timed_out = true }
+  | [], [], _ ->
+    (* select can return early (timeout rounding): only report a timeout
+       once the deadline has really passed, else go around again *)
+    if timeout >= 0. && now () >= Option.get deadline then
+      { readable = []; writable = []; timed_out = true }
+    else wait ?deadline ~read ~write ()
+  | readable, writable, _ -> { readable; writable; timed_out = false }
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    (* a signal (e.g. the drain handler) interrupted the wait: recompute
+       the timeout and go back to sleep — the handler's self-pipe byte
+       makes the retry return readable immediately when it matters *)
+    wait ?deadline ~read ~write ()
+
+let wait_readable ?deadline fd =
+  let r = wait ?deadline ~read:[ fd ] ~write:[] () in
+  if r.timed_out then `Timeout else `Ready
+
+let readable_now fd =
+  match Unix.select [ fd ] [] [] 0. with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+type read_result =
+  | Read of int
+  | Read_eof
+  | Read_blocked
+  | Read_closed of string
+
+let read fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> Read_eof
+  | n -> Read n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> Read_blocked
+  | exception Unix.Unix_error (e, _, _) -> Read_closed (Unix.error_message e)
+
+type write_result =
+  | Wrote of int
+  | Write_blocked
+  | Write_closed of string
+
+let write fd buf pos len =
+  match Unix.write fd buf pos len with
+  | n -> Wrote n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> Write_blocked
+  | exception Unix.Unix_error (e, _, _) -> Write_closed (Unix.error_message e)
+
+let set_nonblock fd = try Unix.set_nonblock fd with Unix.Unix_error _ -> ()
+let set_block fd = try Unix.clear_nonblock fd with Unix.Unix_error _ -> ()
+
+let pipe_self () =
+  let r, w = Unix.pipe () in
+  set_nonblock r;
+  set_nonblock w;
+  (r, w)
+
+let notify fd =
+  match Unix.write fd (Bytes.make 1 '!') 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let drain fd =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read fd buf 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()

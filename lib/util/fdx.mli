@@ -1,0 +1,77 @@
+(** Select/poll loop helpers shared by the serving front ends.
+
+    The stdio server and the socket listener both sit in the same
+    posture: block in [select] until a descriptor is ready {e or} the
+    nearest deadline passes, then perform non-blocking reads and writes
+    that classify every failure instead of raising.  This module owns
+    that posture so both transports share one deadline code path (no
+    socket-only robustness) and neither spins on a zero-timeout poll.
+
+    Deadlines are absolute [Unix.gettimeofday] instants, the same clock
+    {!Pops_robust.Budget} uses for wall caps. *)
+
+val now : unit -> float
+(** The deadline clock ([Unix.gettimeofday]). *)
+
+type readiness = {
+  readable : Unix.file_descr list;
+  writable : Unix.file_descr list;
+  timed_out : bool;  (** the deadline passed with nothing ready *)
+}
+
+val wait :
+  ?deadline:float ->
+  read:Unix.file_descr list ->
+  write:Unix.file_descr list ->
+  unit ->
+  readiness
+(** Block in [select] until some watched descriptor is ready or
+    [deadline] passes ([None] = wait forever).  [EINTR] retries with a
+    recomputed timeout, so a signal handler that only sets a flag cannot
+    make the wait return a bogus verdict; a deadline already in the past
+    still polls once (timeout 0) before reporting [timed_out]. *)
+
+val wait_readable : ?deadline:float -> Unix.file_descr -> [ `Ready | `Timeout ]
+(** {!wait} on one read descriptor. *)
+
+val readable_now : Unix.file_descr -> bool
+(** One zero-timeout poll: is a read guaranteed not to block?  ([false]
+    on [EINTR] — the caller's loop will come back.) *)
+
+type read_result =
+  | Read of int  (** [n > 0] bytes landed in the buffer *)
+  | Read_eof
+  | Read_blocked  (** descriptor not ready (only on non-blocking fds) *)
+  | Read_closed of string  (** connection-level failure, e.g. [ECONNRESET] *)
+
+val read : Unix.file_descr -> bytes -> read_result
+(** [read fd buf] classifies every outcome of one [Unix.read]: peer
+    resets and kindred connection errors become {!Read_closed} instead
+    of an exception, so a hostile client can never throw past the
+    caller's loop.  [EINTR] reads as {!Read_blocked}. *)
+
+type write_result =
+  | Wrote of int
+  | Write_blocked
+  | Write_closed of string  (** [EPIPE], [ECONNRESET], ... *)
+
+val write : Unix.file_descr -> bytes -> int -> int -> write_result
+(** [write fd buf pos len] — one [Unix.write], classified like {!read}.
+    Callers must have [SIGPIPE] ignored (the serving front ends do) so a
+    vanished reader surfaces as [Write_closed "EPIPE"]. *)
+
+val set_nonblock : Unix.file_descr -> unit
+val set_block : Unix.file_descr -> unit
+
+val pipe_self : unit -> Unix.file_descr * Unix.file_descr
+(** A non-blocking self-pipe [(r, w)] — the classic way to make
+    [select] wake up for an event raised from a signal handler or
+    another domain.  {!notify} the write end; {!drain} the read end. *)
+
+val notify : Unix.file_descr -> unit
+(** Write one byte to a self-pipe, ignoring [EAGAIN] (already
+    signalled) and every other error (worst case: a spurious timeout
+    later). *)
+
+val drain : Unix.file_descr -> unit
+(** Empty a self-pipe's read end without blocking. *)

@@ -60,3 +60,96 @@ code), with a diagnostic naming the remedy.
   {"id":"job-1","tenant":"default","seq":1,"status":"rejected","exit":1,"diags":["admission-rejected (default): job job-1 refused: tenant default spent its 0-sweep serve budget"]}
   {"summary":true,"jobs":2,"ok":0,"degraded":0,"unmet":0,"rejected":2,"invalid":0,"failed":0,"netlist_cache":{"hits":0,"misses":0,"evictions":0,"length":0},"bounds_cache":{"hits":0,"misses":0,"evictions":0,"length":0},"tenants":[{"tenant":"default","jobs":0,"rejected":2,"sweeps":0}]}
   [1]
+
+The socket listener: the same protocol over a Unix domain socket, one
+isolated session per connection.  The session's result lines are
+bit-identical to the stdio run above; the end-of-session summary is
+per-session (the engine-wide one would not be deterministic under
+concurrent clients).
+
+  $ pops serve --socket main.sock --no-times 2>main.log &
+  $ SRV=$!
+  $ for i in $(seq 100); do [ -S main.sock ] && break; sleep 0.1; done
+
+  $ pops client --socket main.sock < stream.ndjson
+  {"id":"job-0","tenant":"default","seq":0,"status":"ok","exit":0,"netlist_cache":"miss","gates":2,"inputs":2,"outputs":1,"depth":2,"delay_ps":156.196,"area_um":4.541,"power_uw":5.865}
+  {"id":"broken","tenant":"default","seq":1,"status":"invalid","exit":2,"netlist_cache":"miss","diags":["bench-syntax (line 3): unsupported gate FROB"]}
+  {"id":"opt1","tenant":"default","seq":2,"status":"unmet","exit":1,"netlist_cache":"hit","gates":2,"inputs":2,"outputs":1,"depth":2,"tc_ps":148.387,"initial_delay_ps":156.196,"final_delay_ps":148.469,"initial_area_um":4.541,"final_area_um":5.304,"rounds":2,"buffers":0,"rewrites":0,"flow":"budget-exhausted","met":false,"equivalence":true,"diags":["constraint-infeasible: constraint 148.387 ps not met: critical delay 148.469 ps after optimization"]}
+  {"summary":true,"jobs":3,"shed":0,"worst_exit":2}
+  [2]
+
+A health probe is answered at intake (it can never be starved by a
+busy tenant) and reports engine, cache and pool state.
+
+  $ printf '{"action":"health"}\n' | pops client --socket main.sock
+  {"id":"job-0","tenant":"default","seq":0,"status":"ok","exit":0,"health":true,"jobs":3,"window":16,"domains":1,"netlist_cache":{"hits":1,"misses":2,"evictions":0,"length":2},"bounds_cache":{"hits":0,"misses":2,"evictions":0,"length":2}}
+  {"summary":true,"jobs":1,"shed":0,"worst_exit":0}
+
+SIGTERM drains: stop accepting, finish in-flight work, flush, unlink
+the socket, exit 0.
+
+  $ kill -TERM $SRV && wait $SRV && echo drained
+  drained
+  $ [ -S main.sock ] || echo socket removed
+  socket removed
+  $ cat main.log
+  pops: listening on main.sock
+
+Backpressure: with --queue-limit 1 a burst of three requests queues
+one job and sheds the rest with a typed overloaded response (exit 1)
+carrying a retry hint -- shed responses are emitted immediately, which
+is the point of the hint, so they precede the queued job's result.
+
+  $ cat > burst.ndjson <<'EOF'
+  > {"bench":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","action":"analyze"}
+  > {"bench":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","action":"analyze"}
+  > {"bench":"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n","action":"analyze"}
+  > EOF
+  $ pops serve --socket shed.sock --no-times --queue-limit 1 2>shed.log &
+  $ SRV2=$!
+  $ for i in $(seq 100); do [ -S shed.sock ] && break; sleep 0.1; done
+  $ pops client --socket shed.sock < burst.ndjson
+  {"id":"job-1","tenant":"default","seq":1,"status":"overloaded","exit":1,"retry_after_ms":1000,"diags":["overloaded: job job-1 shed: the session's in-flight queue is full"]}
+  {"id":"job-2","tenant":"default","seq":2,"status":"overloaded","exit":1,"retry_after_ms":1000,"diags":["overloaded: job job-2 shed: the session's in-flight queue is full"]}
+  {"id":"job-0","tenant":"default","seq":0,"status":"ok","exit":0,"netlist_cache":"miss","gates":1,"inputs":1,"outputs":1,"depth":1,"delay_ps":90.98,"area_um":1.514,"power_uw":4.848}
+  {"summary":true,"jobs":1,"shed":2,"worst_exit":1}
+  [1]
+
+Every shed is also re-emitted on the server's log stream, in order.
+
+  $ kill -TERM $SRV2 && wait $SRV2 && echo drained
+  drained
+  $ cat shed.log
+  pops: listening on shed.sock
+  pops: overloaded (client-1): shed job seq 1: in-flight queue full at 1
+  pops: overloaded (client-1): shed job seq 2: in-flight queue full at 1
+
+A socket file left behind by a killed listener (kill -9: no drain, no
+unlink) is provably stale -- the path is a socket and a probe connect
+is refused -- so the next start cleans it up and binds; a live
+listener is never displaced.
+
+  $ pops serve --socket stale.sock --no-times 2>/dev/null &
+  $ SRV3=$!
+  $ for i in $(seq 100); do [ -S stale.sock ] && break; sleep 0.1; done
+  $ pops serve --socket stale.sock --no-times 2>&1 | head -1
+  pops: stale.sock: a listener is already serving
+  $ kill -9 $SRV3 && wait $SRV3
+  [137]
+  $ [ -S stale.sock ] && echo stale file remains
+  stale file remains
+  $ pops serve --socket stale.sock --no-times 2>/dev/null &
+  $ SRV4=$!
+  $ for i in $(seq 100); do pops client --socket stale.sock </dev/null >/dev/null 2>&1 && break; sleep 0.1; done
+  $ printf '{"action":"health"}\n' | pops client --socket stale.sock >/dev/null && echo serving again
+  serving again
+  $ kill -TERM $SRV4 && wait $SRV4 && echo drained
+  drained
+
+The stdio server shares the listener's deadline code path: an idle
+stream is closed with a deadline-exceeded diagnostic and a clean exit,
+not an error.
+
+  $ (printf '{"action":"health"}\n'; sleep 1) | pops serve --no-times --no-summary --idle-timeout 0.3
+  {"id":"job-0","tenant":"default","seq":0,"status":"ok","exit":0,"health":true,"jobs":0,"window":16,"domains":1,"netlist_cache":{"hits":0,"misses":0,"evictions":0,"length":0},"bounds_cache":{"hits":0,"misses":0,"evictions":0,"length":0}}
+  pops: deadline-exceeded (stdin): stream idle past the deadline; treating as end of stream

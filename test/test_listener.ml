@@ -1,0 +1,454 @@
+(* Tests for Pops_serve.Listener: the supervised socket front end.
+
+   The contract under test (see lib/serve/listener.mli): every
+   connection is an isolated session whose result stream is
+   bit-identical to running the same lines through the stdio server
+   against a fresh engine; a killed client, an armed net.* fault or an
+   exhausted deadline degrades only its own session while the listener
+   keeps serving; and a drain request runs the in-flight work to
+   completion and returns 0. *)
+
+module Tech = Pops_process.Tech
+module Generator = Pops_netlist.Generator
+module Bench_io = Pops_netlist.Bench_io
+module Diag = Pops_robust.Diag
+module Fault = Pops_robust.Fault
+module Pool = Pops_util.Pool
+module Json = Pops_serve.Json
+module Job = Pops_serve.Job
+module Engine = Pops_serve.Engine
+module Server = Pops_serve.Server
+module Session = Pops_serve.Session
+module Listener = Pops_serve.Listener
+
+let tech = Tech.cmos025
+
+(* both ends of every socket live in this process; a torn-down peer
+   must surface as EPIPE, not kill the test run *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let with_domains n f =
+  let old = Pool.default_size () in
+  Pool.set_default_size n;
+  Fun.protect ~finally:(fun () -> Pool.set_default_size old) f
+
+let config = { Engine.default_config with Engine.times = false }
+
+(* --- workload ------------------------------------------------------- *)
+
+let bench_text ~seed gates =
+  let nl, _ =
+    Generator.generate tech
+      (Generator.make_profile
+         ~name:(Printf.sprintf "listener_t%d" seed)
+         ~path_gates:gates ())
+  in
+  Bench_io.to_string nl
+
+(* distinct seeds give distinct netlists, so a shared-engine run and a
+   fresh-engine run see the same (all-miss) cache verdicts *)
+let job_line ~seed ?(action = "analyze") () =
+  Printf.sprintf {|{"bench":%s,"action":"%s"}|}
+    (Json.to_string (Json.Str (bench_text ~seed 10)))
+    action
+  ^ "\n"
+
+let job_stream ~base n =
+  String.concat "" (List.init n (fun i -> job_line ~seed:(base + i) ()))
+
+(* --- the stdio reference -------------------------------------------- *)
+
+(* the same lines through Server.serve against a fresh engine: what any
+   one socket session must reproduce byte for byte *)
+let stdio_reference input =
+  let r_in, w_in = Unix.pipe () in
+  let bytes = Bytes.of_string input in
+  let rec write_all off =
+    if off < Bytes.length bytes then
+      write_all (off + Unix.write w_in bytes off (Bytes.length bytes - off))
+  in
+  write_all 0;
+  Unix.close w_in;
+  let fname = Filename.temp_file "pops_listener_ref" ".ndjson" in
+  let oc = open_out fname in
+  let engine = Engine.create ~config tech in
+  let code = Server.serve engine ~summary:false r_in oc in
+  Unix.close r_in;
+  close_out oc;
+  let s = In_channel.with_open_bin fname In_channel.input_all in
+  Sys.remove fname;
+  Alcotest.(check int) "stdio reference exit" 0 code;
+  s
+
+(* --- harness -------------------------------------------------------- *)
+
+let sock_counter = ref 0
+
+let fresh_sock_path () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "pops_lst_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+
+type harness = {
+  listener : Listener.t;
+  domain : int Domain.t;
+  diags : Diag.t list ref;
+}
+
+let start ?(session = Session.default_config) ?(max_sessions = 64) ?address ()
+    =
+  let address =
+    match address with
+    | Some a -> a
+    | None -> Listener.Unix_socket (fresh_sock_path ())
+  in
+  let engine = Engine.create ~config tech in
+  let diags = ref [] in
+  let log d = diags := d :: !diags in
+  match
+    Listener.create ~config:{ Listener.max_sessions; session } ~log engine
+      address
+  with
+  | Error e -> Alcotest.failf "listener create: %s" e
+  | Ok l ->
+    let domain = Domain.spawn (fun () -> Listener.run l) in
+    { listener = l; domain; diags }
+
+(* drain, join, and return (exit code, diag code names in loop order) *)
+let stop h =
+  Listener.request_drain h.listener;
+  let code = Domain.join h.domain in
+  (code, List.rev_map (fun d -> Diag.code_name d.Diag.code) !(h.diags))
+
+let connect h =
+  let sockaddr =
+    match Listener.address h.listener with
+    | Listener.Unix_socket path -> Unix.ADDR_UNIX path
+    | Listener.Tcp (_, port) ->
+      Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+  in
+  let fd =
+    Unix.socket ~cloexec:true
+      (Unix.domain_of_sockaddr sockaddr)
+      Unix.SOCK_STREAM 0
+  in
+  Unix.connect fd sockaddr;
+  fd
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let recv_all fd =
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 4096 in
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes acc buf 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  go ();
+  Buffer.contents acc
+
+let recv_lines fd n =
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 4096 in
+  let count s = String.fold_left (fun c ch -> if ch = '\n' then c + 1 else c) 0 s in
+  let rec go () =
+    if count (Buffer.contents acc) < n then
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | k ->
+        Buffer.add_subbytes acc buf 0 k;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents acc
+
+let roundtrip h input =
+  let fd = connect h in
+  send_all fd input;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let out = recv_all fd in
+  Unix.close fd;
+  out
+
+(* a roundtrip that tolerates the connection being torn down under it
+   (fault storms) — returns whatever arrived *)
+let roundtrip_hard h input =
+  match connect h with
+  | exception Unix.Unix_error _ -> ""
+  | fd ->
+    let out =
+      try
+        send_all fd input;
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        recv_all fd
+      with Unix.Unix_error _ -> ""
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    out
+
+let no_summary = { Session.default_config with Session.summary = false }
+
+(* --- bit-identity with the stdio server ----------------------------- *)
+
+let test_socket_eq_stdio () =
+  with_domains 2 @@ fun () ->
+  let inputs = List.init 3 (fun c -> job_stream ~base:(100 + (10 * c)) 3) in
+  let expected = List.map stdio_reference inputs in
+  let h = start ~session:no_summary () in
+  (* concurrent clients, one domain each, interleaving on the listener *)
+  let outs =
+    List.map Domain.join
+      (List.map (fun input -> Domain.spawn (fun () -> roundtrip h input)) inputs)
+  in
+  let code, _ = stop h in
+  Alcotest.(check int) "drain exit" 0 code;
+  List.iteri
+    (fun i (exp, got) ->
+      Alcotest.(check string) (Printf.sprintf "client %d == stdio" i) exp got)
+    (List.combine expected outs)
+
+let test_session_summary () =
+  with_domains 1 @@ fun () ->
+  let h = start () in
+  let out = roundtrip h (job_stream ~base:200 2) in
+  let code, _ = stop h in
+  Alcotest.(check int) "drain exit" 0 code;
+  match List.rev (String.split_on_char '\n' (String.trim out)) with
+  | last :: _ ->
+    Alcotest.(check string) "per-session summary"
+      {|{"summary":true,"jobs":2,"shed":0,"worst_exit":0}|} last
+  | [] -> Alcotest.fail "no output"
+
+let test_health_job () =
+  with_domains 1 @@ fun () ->
+  let h = start ~session:no_summary () in
+  let out = roundtrip h "{\"action\":\"health\"}\n" in
+  let code, _ = stop h in
+  Alcotest.(check int) "drain exit" 0 code;
+  match Json.parse (String.trim out) with
+  | Error e -> Alcotest.failf "bad health line %s: %s" out e
+  | Ok j ->
+    Alcotest.(check (option string)) "status ok" (Some "ok")
+      (Option.bind (Json.member "status" j) Json.to_str);
+    Alcotest.(check bool) "health flag" true
+      (Json.member "health" j = Some (Json.Bool true))
+
+(* --- load shedding --------------------------------------------------- *)
+
+let test_queue_shed () =
+  with_domains 1 @@ fun () ->
+  let session = { Session.default_config with Session.queue_limit = 1 } in
+  let h = start ~session () in
+  (* one write: the burst lands in a single read, so exactly one job is
+     queued and the rest are shed, deterministically *)
+  let out = roundtrip h (job_stream ~base:300 3) in
+  let code, _ = stop h in
+  Alcotest.(check int) "drain exit" 0 code;
+  let lines = String.split_on_char '\n' (String.trim out) in
+  let count pred = List.length (List.filter pred lines) in
+  let has_status s line =
+    match Json.parse line with
+    | Ok j -> Option.bind (Json.member "status" j) Json.to_str = Some s
+    | Error _ -> false
+  in
+  Alcotest.(check int) "2 shed" 2 (count (has_status "overloaded"));
+  Alcotest.(check int) "1 ran" 1 (count (has_status "ok"));
+  Alcotest.(check string) "summary accounts the sheds"
+    {|{"summary":true,"jobs":1,"shed":2,"worst_exit":1}|}
+    (List.nth lines (List.length lines - 1));
+  (* shed responses carry the retry hint *)
+  List.iter
+    (fun line ->
+      if has_status "overloaded" line then
+        match Json.parse line with
+        | Ok j ->
+          Alcotest.(check bool) "retry_after_ms" true
+            (Json.member "retry_after_ms" j <> None)
+        | Error _ -> ())
+    lines
+
+(* --- crash containment ----------------------------------------------- *)
+
+let test_killed_client_isolated () =
+  with_domains 1 @@ fun () ->
+  let input = job_stream ~base:400 2 in
+  let expected = stdio_reference input in
+  let h = start ~session:no_summary () in
+  (* victim: half a frame, then an abortive close (RST) — kill -9 moral
+     equivalent *)
+  let fd = connect h in
+  send_all fd "{\"bench\":";
+  Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0);
+  Unix.close fd;
+  (* survivor is untouched: byte-identical to the stdio reference *)
+  let got = roundtrip h input in
+  let code, _ = stop h in
+  Alcotest.(check int) "drain exit" 0 code;
+  Alcotest.(check string) "survivor == stdio" expected got
+
+let test_idle_deadline () =
+  with_domains 1 @@ fun () ->
+  let session = { no_summary with Session.idle_timeout = Some 0.15 } in
+  let h = start ~session () in
+  (* an idle connection is closed by the deadline sweep... *)
+  let fd = connect h in
+  let out = recv_all fd in
+  Unix.close fd;
+  Alcotest.(check string) "idle session got nothing" "" out;
+  (* ...and the listener keeps serving *)
+  let out2 = roundtrip h "{\"action\":\"health\"}\n" in
+  let code, diags = stop h in
+  Alcotest.(check int) "drain exit" 0 code;
+  Alcotest.(check bool) "healthy after expiry" true
+    (String.length out2 > 0);
+  Alcotest.(check bool) "deadline diagnostic emitted" true
+    (List.mem "deadline-exceeded" diags)
+
+(* --- fault injection -------------------------------------------------- *)
+
+let test_net_fault_storm () =
+  with_domains 1 @@ fun () ->
+  let input = job_stream ~base:500 3 in
+  let expected = stdio_reference input in
+  Fault.with_spec "net@0.4,seed=5" @@ fun () ->
+  let h = start ~session:no_summary () in
+  (* storm: every client either completes identically or is cut short —
+     never garbled, and the listener never dies *)
+  for _ = 1 to 6 do
+    let out = roundtrip_hard h input in
+    Alcotest.(check bool) "output is a prefix of the reference" true
+      (String.length out <= String.length expected
+      && String.sub expected 0 (String.length out) = out)
+  done;
+  let code, _ = stop h in
+  Alcotest.(check int) "listener drains cleanly after the storm" 0 code
+
+let test_net_read_deterministic_replay () =
+  with_domains 1 @@ fun () ->
+  let input = job_line ~seed:600 () in
+  (* prob-1 net.read: the session dies on its first readable event, the
+     listener survives, and the diagnostic stream replays identically *)
+  let run () =
+    Fault.with_spec "net.read" @@ fun () ->
+    let h = start ~session:no_summary () in
+    let _ = roundtrip_hard h input in
+    stop h
+  in
+  let code_a, diags_a = run () in
+  let code_b, diags_b = run () in
+  Alcotest.(check int) "exit a" 0 code_a;
+  Alcotest.(check int) "exit b" 0 code_b;
+  Alcotest.(check (list string)) "replay is bitwise-identical"
+    [ "net-error" ] diags_a;
+  Alcotest.(check (list string)) "second run identical" diags_a diags_b
+
+(* --- drain ------------------------------------------------------------ *)
+
+let test_drain_mid_session () =
+  with_domains 1 @@ fun () ->
+  let h = start () in
+  let fd = connect h in
+  send_all fd (job_stream ~base:700 4);
+  (* no shutdown: the session is still active when the drain arrives *)
+  let results = recv_lines fd 4 in
+  Listener.request_drain h.listener;
+  let tail = recv_all fd in
+  Unix.close fd;
+  let code, _ = stop h in
+  Alcotest.(check int) "drain exit" 0 code;
+  Alcotest.(check int) "all four results arrived" 4
+    (List.length (String.split_on_char '\n' (String.trim results)));
+  (* the drain still appends this session's summary before closing *)
+  Alcotest.(check string) "summary flushed on drain"
+    {|{"summary":true,"jobs":4,"shed":0,"worst_exit":0}|}
+    (String.trim tail)
+
+(* --- binding ----------------------------------------------------------- *)
+
+let test_stale_socket_cleanup () =
+  let path = fresh_sock_path () in
+  (* a bound socket file whose owner is gone: connect refused -> stale *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX path);
+  Unix.close dead;
+  let engine = Engine.create ~config tech in
+  (match Listener.create ~log:ignore engine (Listener.Unix_socket path) with
+  | Error e -> Alcotest.failf "stale socket not cleaned: %s" e
+  | Ok l ->
+    (* the path is live again: a second bind must be refused *)
+    (match Listener.create ~log:ignore engine (Listener.Unix_socket path) with
+    | Ok _ -> Alcotest.fail "double bind accepted"
+    | Error _ -> ());
+    Listener.request_drain l;
+    Alcotest.(check int) "drain exit" 0 (Listener.run l));
+  (* a non-socket file at the path is never deleted *)
+  let plain = fresh_sock_path () in
+  Out_channel.with_open_bin plain (fun oc -> Out_channel.output_string oc "x");
+  (match Listener.create ~log:ignore engine (Listener.Unix_socket plain) with
+  | Ok _ -> Alcotest.fail "bound over a regular file"
+  | Error _ -> Alcotest.(check bool) "file untouched" true (Sys.file_exists plain));
+  Sys.remove plain
+
+let test_tcp_port_zero () =
+  with_domains 1 @@ fun () ->
+  let h =
+    start ~session:no_summary ~address:(Listener.Tcp ("127.0.0.1", 0)) ()
+  in
+  (match Listener.address h.listener with
+  | Listener.Tcp (_, port) ->
+    Alcotest.(check bool) "kernel-assigned port" true (port > 0)
+  | Listener.Unix_socket _ -> Alcotest.fail "expected a TCP address");
+  let out = roundtrip h "{\"action\":\"health\"}\n" in
+  let code, _ = stop h in
+  Alcotest.(check int) "drain exit" 0 code;
+  Alcotest.(check bool) "served over TCP" true (String.length out > 0)
+
+(* -------------------------------------------------------------------- *)
+
+let () = Fault.clear ()
+
+let () =
+  Alcotest.run "listener"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "concurrent sockets == stdio" `Quick
+            test_socket_eq_stdio;
+          Alcotest.test_case "session summary" `Quick test_session_summary;
+          Alcotest.test_case "health job" `Quick test_health_job;
+        ] );
+      ( "backpressure",
+        [ Alcotest.test_case "queue-limit shedding" `Quick test_queue_shed ] );
+      ( "containment",
+        [
+          Alcotest.test_case "killed client" `Quick test_killed_client_isolated;
+          Alcotest.test_case "idle deadline" `Quick test_idle_deadline;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "net.* storm" `Quick test_net_fault_storm;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_net_read_deterministic_replay;
+        ] );
+      ( "drain",
+        [ Alcotest.test_case "mid-session" `Quick test_drain_mid_session ] );
+      ( "binding",
+        [
+          Alcotest.test_case "stale socket cleanup" `Quick
+            test_stale_socket_cleanup;
+          Alcotest.test_case "tcp port 0" `Quick test_tcp_port_zero;
+        ] );
+    ]

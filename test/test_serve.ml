@@ -71,7 +71,8 @@ let test_job_defaults () =
     Alcotest.(check string) "tenant" "default" j.Job.tenant;
     (match j.Job.action with
     | Job.Optimize -> ()
-    | Job.Analyze -> Alcotest.fail "default action should be optimize")
+    | Job.Analyze | Job.Health ->
+      Alcotest.fail "default action should be optimize")
 
 let test_job_rejects () =
   let expect_err s =
